@@ -1,0 +1,170 @@
+//! GNNLab's factored design (§3.1, §7).
+//!
+//! GNNLab dedicates some GPUs exclusively to sampling — each sampler
+//! holds the *entire* graph topology ("the topology has to be completely
+//! stored in a single GPU", §3.2) — and the rest exclusively to training,
+//! each trainer holding an identical (replicated) feature cache of the
+//! globally hottest vertices, ranked by a pre-sampling pass.
+//!
+//! Consequences this module reproduces:
+//!
+//! * topology larger than a GPU ⇒ out-of-memory (UKS on DGX-V100 in
+//!   Figure 8),
+//! * cache capacity capped at one GPU regardless of GPU count (the
+//!   flat-lining curves of Figure 2),
+//! * only the trainer subset contributes training throughput (§6.2).
+
+use legion_sampling::access::{CacheLayout, TopologyPlacement};
+use legion_sampling::{presample, KHopSampler};
+
+use crate::policy::{build_feature_caches_replicated, hotness_order};
+use crate::{BuildContext, ScheduleKind, SystemError, SystemSetup};
+
+/// Builds the GNNLab setup with `num_samplers` dedicated sampling GPUs.
+///
+/// # Errors
+///
+/// * [`SystemError::Infeasible`] if the split leaves no trainers/samplers,
+/// * [`SystemError::GpuOom`] if the topology replica or the feature cache
+///   does not fit,
+/// * [`SystemError::CpuOom`] if host memory cannot hold the dataset.
+pub fn setup(ctx: &BuildContext<'_>, num_samplers: usize) -> Result<SystemSetup, SystemError> {
+    let n = ctx.server.num_gpus();
+    if num_samplers == 0 || num_samplers >= n {
+        return Err(SystemError::Infeasible(format!(
+            "factored split {num_samplers}/{} needs both groups non-empty",
+            n - num_samplers
+        )));
+    }
+    let needed = ctx.dataset.topology_bytes() + ctx.dataset.feature_bytes();
+    let available = ctx.server.spec().cpu_memory;
+    if needed > available {
+        return Err(SystemError::CpuOom { needed, available });
+    }
+    let samplers: Vec<usize> = (0..num_samplers).collect();
+    let trainers: Vec<usize> = (num_samplers..n).collect();
+
+    // Each sampler GPU holds the full topology (plus reservation).
+    let topo_bytes = ctx.dataset.topology_bytes();
+    for &g in &samplers {
+        ctx.server
+            .alloc(g, topo_bytes + ctx.reserved_per_gpu)
+            .map_err(SystemError::GpuOom)?;
+    }
+
+    // Pre-sampling on trainer tablets (global shuffle) for the hotness
+    // rank; GNNLab's cache is keyed on global access frequency.
+    let tablets = ctx.even_tablets(trainers.len());
+    let sampler_alg = KHopSampler::new(ctx.fanouts.clone());
+    let pres = presample(
+        &ctx.dataset.graph,
+        &ctx.dataset.features,
+        ctx.server,
+        &trainers,
+        &tablets,
+        &sampler_alg,
+        ctx.batch_size,
+        ctx.presample_epochs,
+        ctx.seed,
+    );
+    let global_hotness = pres.h_f.column_wise_sum();
+    let order = hotness_order(&global_hotness);
+
+    // Identical feature cache replicated on every trainer.
+    let per_gpu_budget = ctx.per_gpu_cache_budget();
+    let cliques = build_feature_caches_replicated(
+        &ctx.dataset.features,
+        ctx.dataset.graph.num_vertices(),
+        ctx.server,
+        &trainers,
+        &order,
+        per_gpu_budget,
+    )
+    .map_err(SystemError::GpuOom)?;
+
+    // Tablets indexed by GPU id: samplers own none.
+    let mut tablets_by_gpu = vec![Vec::new(); n];
+    for (i, &g) in trainers.iter().enumerate() {
+        tablets_by_gpu[g] = tablets[i].clone();
+    }
+
+    Ok(SystemSetup {
+        name: format!("GNNLab({}s/{}t)", samplers.len(), trainers.len()),
+        layout: CacheLayout::from_cliques(n, cliques),
+        tablets: tablets_by_gpu,
+        // Samplers hold the topology locally; the runner treats sampling
+        // as PCIe-free, which ReplicatedGpu expresses.
+        topology_placement: TopologyPlacement::ReplicatedGpu,
+        schedule: ScheduleKind::Factored { samplers, trainers },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::dataset::spec_by_name;
+    use legion_hw::{ServerSpec, GIB};
+
+    fn ctx_on<'a>(
+        ds: &'a legion_graph::Dataset,
+        server: &'a legion_hw::MultiGpuServer,
+    ) -> BuildContext<'a> {
+        BuildContext {
+            dataset: ds,
+            server,
+            fanouts: vec![5, 5],
+            batch_size: 64,
+            presample_epochs: 1,
+            reserved_per_gpu: 0,
+            cache_budget_override: None,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn factored_setup_allocates_topology_on_samplers() {
+        let ds = spec_by_name("PR").unwrap().instantiate(1000, 1);
+        let server = ServerSpec::custom(4, GIB, 2).build();
+        let s = setup(&ctx_on(&ds, &server), 1).unwrap();
+        match &s.schedule {
+            ScheduleKind::Factored { samplers, trainers } => {
+                assert_eq!(samplers, &vec![0]);
+                assert_eq!(trainers, &vec![1, 2, 3]);
+            }
+            other => panic!("wrong schedule {other:?}"),
+        }
+        // Sampler GPU holds the topology.
+        assert_eq!(server.allocated_bytes(0), ds.topology_bytes());
+        // Trainers hold identical caches (same byte count).
+        assert_eq!(server.allocated_bytes(1), server.allocated_bytes(2));
+        assert!(server.allocated_bytes(1) > 0);
+        // Sampler GPUs train nothing.
+        assert!(s.tablets[0].is_empty());
+        assert!(!s.tablets[1].is_empty());
+    }
+
+    #[test]
+    fn topology_bigger_than_gpu_is_oom() {
+        let ds = spec_by_name("PR").unwrap().instantiate(1000, 1);
+        // GPU smaller than the topology.
+        let server = ServerSpec::custom(4, ds.topology_bytes() / 2, 2).build();
+        assert!(matches!(
+            setup(&ctx_on(&ds, &server), 1),
+            Err(SystemError::GpuOom(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_splits_rejected() {
+        let ds = spec_by_name("PR").unwrap().instantiate(1000, 1);
+        let server = ServerSpec::custom(4, GIB, 2).build();
+        assert!(matches!(
+            setup(&ctx_on(&ds, &server), 0),
+            Err(SystemError::Infeasible(_))
+        ));
+        assert!(matches!(
+            setup(&ctx_on(&ds, &server), 4),
+            Err(SystemError::Infeasible(_))
+        ));
+    }
+}

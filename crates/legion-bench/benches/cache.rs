@@ -1,0 +1,99 @@
+//! Criterion benches for CSLP and cache lookups, including the
+//! CSLP-vs-round-robin ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use legion_cache::{cslp, CliqueCache, HotnessMatrix};
+
+fn make_hotness(gpus: usize, n: usize) -> HotnessMatrix {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut h = HotnessMatrix::new(gpus, n);
+    for g in 0..gpus {
+        for v in 0..n as u32 {
+            h.add(g, v, rng.gen_range(0..1000));
+        }
+    }
+    h
+}
+
+fn bench_cslp(c: &mut Criterion) {
+    let h = make_hotness(4, 200_000);
+    c.bench_function("cslp_4gpu_200k", |b| b.iter(|| cslp(&h)));
+
+    // Ablation: the naive round-robin assignment CSLP replaces.
+    c.bench_function("round_robin_4gpu_200k", |b| {
+        b.iter(|| {
+            let acc = h.column_wise_sum();
+            let mut order: Vec<u32> = (0..acc.len() as u32).collect();
+            order.sort_by(|&a, &b| acc[b as usize].cmp(&acc[a as usize]));
+            let mut per_gpu: Vec<Vec<u32>> = vec![Vec::new(); 4];
+            for (i, v) in order.into_iter().enumerate() {
+                per_gpu[i % 4].push(v);
+            }
+            per_gpu
+        })
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let n = 100_000;
+    let mut cache = CliqueCache::new(vec![0, 1], n, 16);
+    let row = vec![0f32; 16];
+    for v in 0..(n as u32) / 2 {
+        cache.insert_feature((v % 2) as usize, v, &row);
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let queries: Vec<u32> = (0..10_000).map(|_| rng.gen_range(0..n as u32)).collect();
+    c.bench_function("clique_feature_lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &v in &queries {
+                if cache.lookup_feature(0, v).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_fifo_vs_static(c: &mut Criterion) {
+    // The BGL-ablation from DESIGN.md: replay a Zipf trace through the
+    // FIFO dynamic cache vs. the static hotness-ranked cache.
+    use legion_cache::dynamic::{compare_fifo_vs_static, FifoCache};
+    let zipf = legion_graph::generate::Zipf::new(100_000, 1.0);
+    let mut rng = StdRng::seed_from_u64(6);
+    let trace: Vec<u32> = (0..200_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+    let mut counts = vec![0u64; 100_000];
+    for &v in &trace {
+        counts[v as usize] += 1;
+    }
+    let mut order: Vec<u32> = (0..100_000).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(counts[v as usize]));
+
+    c.bench_function("fifo_replay_200k", |b| {
+        b.iter(|| {
+            let mut cache = FifoCache::new(5000);
+            for &v in &trace {
+                cache.access(v);
+            }
+            cache.hit_rate()
+        })
+    });
+    c.bench_function("fifo_vs_static_compare_200k", |b| {
+        b.iter(|| compare_fifo_vs_static(&trace, 5000, &order))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cslp, bench_lookup, bench_fifo_vs_static
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the cost model: single-plan evaluation and the
+//! full parallel α sweep (§4.3.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_cache::{cslp, CostModel, HotnessMatrix};
+use legion_graph::generate::ChungLuConfig;
+
+fn build_model(n: usize) -> CostModel {
+    let mut rng = StdRng::seed_from_u64(6);
+    let graph = ChungLuConfig {
+        num_vertices: n,
+        num_edges: n * 16,
+        exponent: 0.85,
+        shuffle_ids: false,
+        ..Default::default()
+    }
+    .generate(&mut rng);
+    let mut h_t = HotnessMatrix::new(2, n);
+    let mut h_f = HotnessMatrix::new(2, n);
+    for v in 0..n as u32 {
+        h_t.add(0, v, graph.degree(v) + 1);
+        h_f.add(1, v, graph.degree(v) * 2 + 1);
+    }
+    let t = cslp(&h_t);
+    let f = cslp(&h_f);
+    CostModel::new(
+        &graph,
+        &t.clique_order,
+        &t.accumulated,
+        &f.clique_order,
+        &f.accumulated,
+        1_000_000,
+        128,
+        64,
+    )
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let model = build_model(200_000);
+    let budget = 64 << 20;
+    c.bench_function("evaluate_one_plan_200k", |b| {
+        b.iter(|| model.evaluate(budget, 0.37))
+    });
+    c.bench_function("sweep_alpha_001_200k", |b| {
+        b.iter(|| model.best_plan(budget, 0.01))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cost_model
+);
+criterion_main!(benches);

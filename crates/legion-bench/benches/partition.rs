@@ -1,0 +1,44 @@
+//! Criterion benches for the partitioners (ablation: multilevel vs. LDG
+//! vs. hash, the DESIGN.md design-choice sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_graph::generate::ChungLuConfig;
+use legion_partition::{HashPartitioner, LdgPartitioner, MultilevelPartitioner, Partitioner};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let graph = ChungLuConfig {
+        num_vertices: 50_000,
+        num_edges: 800_000,
+        exponent: 0.85,
+        shuffle_ids: true,
+        ..Default::default()
+    }
+    .generate(&mut rng);
+
+    let mut group = c.benchmark_group("partition_4way_50k");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("hash", 4), |b| {
+        b.iter(|| HashPartitioner.partition(&graph, 4))
+    });
+    group.bench_function(BenchmarkId::new("ldg", 4), |b| {
+        b.iter(|| LdgPartitioner::default().partition(&graph, 4))
+    });
+    group.bench_function(BenchmarkId::new("multilevel", 4), |b| {
+        b.iter(|| MultilevelPartitioner::default().partition(&graph, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_partitioners
+);
+criterion_main!(benches);

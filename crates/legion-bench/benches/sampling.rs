@@ -1,0 +1,59 @@
+//! Criterion micro-benches for the neighbor sampler and the metered
+//! access engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_graph::generate::ChungLuConfig;
+use legion_graph::FeatureTable;
+use legion_hw::ServerSpec;
+use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
+use legion_sampling::KHopSampler;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let graph = ChungLuConfig {
+        num_vertices: 100_000,
+        num_edges: 1_600_000,
+        exponent: 0.85,
+        shuffle_ids: true,
+        ..Default::default()
+    }
+    .generate(&mut rng);
+    let features = FeatureTable::zeros(graph.num_vertices(), 8);
+    let layout = CacheLayout::none(1);
+    let server = ServerSpec::custom(1, 1 << 40, 1).build();
+    let engine = AccessEngine::new(
+        &graph,
+        &features,
+        &layout,
+        &server,
+        TopologyPlacement::CpuUva,
+    );
+    let seeds: Vec<u32> = (0..1000).map(|i| i * 97 % 100_000).collect();
+
+    let mut group = c.benchmark_group("sampling");
+    for fanouts in [vec![10], vec![25, 10]] {
+        let sampler = KHopSampler::new(fanouts.clone());
+        group.bench_with_input(
+            BenchmarkId::new("k_hop_batch1000", format!("{fanouts:?}")),
+            &sampler,
+            |b, s| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| s.sample_batch(&engine, 0, &seeds, &mut rng, None));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for the tensor kernels driving training cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_tensor::{Matrix, Tape};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 256] {
+        let a = Matrix::xavier(n, n, &mut rng);
+        let b = Matrix::xavier(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let x = Matrix::xavier(512, 128, &mut rng);
+    let w1 = Matrix::xavier(128, 64, &mut rng);
+    let w2 = Matrix::xavier(64, 16, &mut rng);
+    let labels: Vec<u32> = (0..512).map(|i| (i % 16) as u32).collect();
+    c.bench_function("mlp_fwd_bwd_512x128", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let w1v = tape.param(w1.clone());
+            let w2v = tape.param(w2.clone());
+            let h = tape.matmul(xv, w1v);
+            let h = tape.relu(h);
+            let logits = tape.matmul(h, w2v);
+            let loss = tape.cross_entropy_mean(logits, &labels);
+            tape.backward(loss);
+            tape.grad(w1v)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_matmul, bench_forward_backward
+);
+criterion_main!(benches);

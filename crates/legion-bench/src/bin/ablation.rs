@@ -1,0 +1,48 @@
+//! Design-choice ablations (DESIGN.md §5): inter-clique partitioner
+//! choice and static-vs-dynamic cache policies.
+
+use legion_bench::{banner, dataset_divisor, save_json};
+use legion_core::experiments::ablation;
+use legion_core::LegionConfig;
+
+fn main() {
+    let divisor = dataset_divisor("PR");
+    let config = LegionConfig::default();
+
+    banner(&format!(
+        "Ablation A: inter-clique partitioner (PR/{divisor}x, NV2, 5% cache)"
+    ));
+    let rows = ablation::partitioner_ablation(divisor, &config);
+    println!(
+        "{:<12} {:>10} {:>10} {:>16}",
+        "partitioner", "edge cut", "hit rate", "PCIe feat tx"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>9.1}% {:>9.1}% {:>16}",
+            r.partitioner,
+            r.edge_cut_ratio * 100.0,
+            r.hit_rate * 100.0,
+            r.pcie_feature
+        );
+    }
+    save_json("ablation_partitioner", &rows);
+
+    for ratio in [0.05f64, 0.25] {
+        banner(&format!(
+            "Ablation B: static vs dynamic cache policy (PR/{divisor}x, {:.0}% capacity)",
+            ratio * 100.0
+        ));
+        let rows = ablation::cache_policy_ablation(divisor, &config, ratio);
+        println!("{:<8} {:>10} {:>12}", "policy", "hit rate", "evictions");
+        for r in &rows {
+            println!(
+                "{:<8} {:>9.1}% {:>12}",
+                r.policy,
+                r.hit_rate * 100.0,
+                r.evictions
+            );
+        }
+        save_json(&format!("ablation_cache_policy_{:.0}pct", ratio * 100.0), &rows);
+    }
+}

@@ -1,0 +1,38 @@
+//! Runs every figure/table regeneration in sequence — the one-shot
+//! reproduction of the paper's whole evaluation section.
+//!
+//! Respects `LEGION_SMALL_DIVISOR` / `LEGION_LARGE_DIVISOR` /
+//! `LEGION_RESULTS_DIR` like the individual binaries.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig02", "fig03", "fig04", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "table03",
+        "ablation",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        let path = dir.join(bin);
+        eprintln!("\n##### running {bin} #####");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                failures.push(bin);
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+    eprintln!("\nAll figures and tables regenerated.");
+}

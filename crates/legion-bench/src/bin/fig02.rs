@@ -1,0 +1,29 @@
+//! Regenerates Figure 2: multi-GPU cache scalability (normalized CPU-GPU
+//! PCIe transactions vs. GPU count) on Siton and DGX-V100.
+
+use legion_bench::{banner, dataset_divisor, save_json};
+use legion_core::experiments::fig02;
+use legion_core::LegionConfig;
+
+fn main() {
+    let divisor = dataset_divisor("PR");
+    let config = LegionConfig::default();
+    banner(&format!(
+        "Figure 2: cache scalability (PR/{divisor}x, 2-hop GraphSAGE, 5% |V| cache per GPU)"
+    ));
+    let rows = fig02::run(divisor, &config);
+    for server in ["Siton", "DGX-V100"] {
+        println!("\n[{server}]");
+        println!(
+            "{:<14} {:>5} {:>16} {:>12}",
+            "system", "gpus", "PCIe feat tx", "normalized"
+        );
+        for r in rows.iter().filter(|r| r.server == server) {
+            println!(
+                "{:<14} {:>5} {:>16} {:>12.3}",
+                r.system, r.gpus, r.pcie_feature_transactions, r.normalized
+            );
+        }
+    }
+    save_json("fig02", &rows);
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 3: per-GPU cache hit rates (balance) for 8 GPUs
+//! under NV2 / NV4 / NV8 NVLink arrangements.
+
+use legion_bench::{banner, dataset_divisor, save_json};
+use legion_core::experiments::fig03;
+use legion_core::LegionConfig;
+
+fn main() {
+    let divisor = dataset_divisor("PR");
+    let config = LegionConfig::default();
+    banner(&format!(
+        "Figure 3: per-GPU cache hit rates (PR/{divisor}x, 5% |V| cache per GPU, 8 GPUs)"
+    ));
+    let rows = fig03::run(divisor, &config);
+    for clique in [2usize, 4, 8] {
+        println!("\n[NV{clique}]");
+        println!("{:<14} {:>8}  per-GPU hit rates", "system", "spread");
+        for r in rows.iter().filter(|r| r.clique_size == clique) {
+            let rates: Vec<String> = r
+                .per_gpu_hit_rate
+                .iter()
+                .map(|h| format!("{:.2}", h))
+                .collect();
+            println!("{:<14} {:>8.3}  [{}]", r.system, r.spread, rates.join(" "));
+        }
+    }
+    save_json("fig03", &rows);
+}

@@ -1,0 +1,41 @@
+//! Regenerates Figure 4: (a) PCIe throughput vs. payload size and
+//! (b) PCIe traffic reduction vs. cache capacity on Paper100M.
+
+use legion_bench::{banner, dataset_divisor, save_json};
+use legion_core::experiments::fig04;
+use legion_core::LegionConfig;
+
+fn main() {
+    let pa = dataset_divisor("PA");
+    let config = LegionConfig::default();
+    banner("Figure 4a: PCIe 3.0 throughput under different payload sizes");
+    let a = fig04::run_4a();
+    println!("{:>14} {:>14} {:>12}", "payload (B)", "GB/s", "utilization");
+    for r in &a {
+        println!(
+            "{:>14} {:>14.2} {:>11.1}%",
+            r.payload_bytes,
+            r.throughput_gbps,
+            r.utilization * 100.0
+        );
+    }
+    save_json("fig04a", &a);
+
+    banner(&format!(
+        "Figure 4b: PCIe traffic reduction vs. cache capacity (PA/{pa}x, single GPU)"
+    ));
+    let b = fig04::run_4b(pa, &config);
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "capacity", "topo reduction", "feature reduction"
+    );
+    for r in &b {
+        println!(
+            "{:>9.0}% {:>17.1}% {:>17.1}%",
+            r.capacity_fraction * 100.0,
+            r.topology_reduction * 100.0,
+            r.feature_reduction * 100.0
+        );
+    }
+    save_json("fig04b", &b);
+}

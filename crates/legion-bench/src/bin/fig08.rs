@@ -1,0 +1,71 @@
+//! Regenerates Figure 8: end-to-end epoch time and normalized PCIe
+//! counters for DGL / PaGraph / GNNLab / Legion on DGX-V100 and DGX-A100.
+
+use legion_bench::{banner, cell, dataset_divisor, divisors, save_json};
+use legion_core::experiments::fig08;
+use legion_core::LegionConfig;
+
+fn main() {
+    let (small, large) = divisors();
+    let config = LegionConfig::default();
+    banner(&format!(
+        "Figure 8: end-to-end performance (datasets scaled /{small} and /{large})"
+    ));
+    let cells = fig08::run(&dataset_divisor, &config);
+    for server in ["DGX-V100", "DGX-A100"] {
+        for model in ["GraphSAGE", "GCN"] {
+            println!("\n[{server} / {model}]  (epoch seconds; x = OOM)");
+            print!("{:<10}", "system");
+            let datasets: Vec<&str> = {
+                let mut seen = Vec::new();
+                for c in cells
+                    .iter()
+                    .filter(|c| c.server == server && c.model == model)
+                {
+                    if !seen.contains(&c.dataset.as_str()) {
+                        seen.push(c.dataset.as_str());
+                    }
+                }
+                seen
+            };
+            for d in &datasets {
+                print!(" {d:>10}");
+            }
+            println!();
+            for system in ["DGL", "PaGraph", "GNNLab", "Legion"] {
+                print!("{system:<10}");
+                for d in &datasets {
+                    let c = cells
+                        .iter()
+                        .find(|c| {
+                            c.server == server
+                                && c.model == model
+                                && c.system == system
+                                && c.dataset == *d
+                        })
+                        .expect("cell exists");
+                    print!(" {:>10}", cell(c.epoch_seconds, 4));
+                }
+                println!();
+            }
+            println!("-- normalized max per-GPU PCIe transactions (DGL = 1.0) --");
+            for system in ["DGL", "PaGraph", "GNNLab", "Legion"] {
+                print!("{system:<10}");
+                for d in &datasets {
+                    let c = cells
+                        .iter()
+                        .find(|c| {
+                            c.server == server
+                                && c.model == model
+                                && c.system == system
+                                && c.dataset == *d
+                        })
+                        .expect("cell exists");
+                    print!(" {:>10}", cell(c.pcie_normalized, 3));
+                }
+                println!();
+            }
+        }
+    }
+    save_json("fig08", &cells);
+}

@@ -1,0 +1,62 @@
+//! Regenerates Figure 9: cache hit rate vs. cache ratio for the four
+//! partition/NVLink strategies across NV2 / NV4 / NV8.
+
+use legion_bench::{banner, dataset_divisor, divisors, save_json};
+use legion_core::experiments::fig09;
+use legion_core::LegionConfig;
+
+fn main() {
+    let (small, large) = divisors();
+    let config = LegionConfig::default();
+    banner(&format!(
+        "Figure 9: partition strategies vs. cache hit rate (scaled /{small} and /{large})"
+    ));
+    let rows = fig09::run(&dataset_divisor, &config);
+    let mut datasets: Vec<&str> = Vec::new();
+    for r in &rows {
+        if !datasets.contains(&r.dataset.as_str()) {
+            datasets.push(&r.dataset);
+        }
+    }
+    for d in &datasets {
+        for clique in [2usize, 4, 8] {
+            let subset: Vec<_> = rows
+                .iter()
+                .filter(|r| r.dataset == *d && r.clique_size == clique)
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            println!("\n[{d} / NV{clique}]  hit rate per cache ratio");
+            let mut strategies: Vec<&str> = Vec::new();
+            for r in &subset {
+                if !strategies.contains(&r.strategy.as_str()) {
+                    strategies.push(&r.strategy);
+                }
+            }
+            print!("{:<20}", "strategy");
+            let mut ratios: Vec<f64> = subset.iter().map(|r| r.cache_ratio).collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ratios.dedup();
+            for r in &ratios {
+                print!(" {:>7.2}%", r * 100.0);
+            }
+            println!();
+            for s in strategies {
+                print!("{s:<20}");
+                for ratio in &ratios {
+                    let hit = subset
+                        .iter()
+                        .find(|r| r.strategy == s && (r.cache_ratio - ratio).abs() < 1e-9)
+                        .map(|r| r.hit_rate);
+                    match hit {
+                        Some(h) => print!(" {:>7.1}%", h * 100.0),
+                        None => print!(" {:>8}", "-"),
+                    }
+                }
+                println!();
+            }
+        }
+    }
+    save_json("fig09", &rows);
+}

@@ -1,0 +1,34 @@
+//! Regenerates Figure 10: feature-extraction traffic matrices on PA /
+//! DGX-V100 (NV4), 2.5% cache; normalized to GNNLab's CPU→GPU volume.
+
+use legion_bench::{banner, dataset_divisor, save_json};
+use legion_core::experiments::fig10;
+use legion_core::LegionConfig;
+
+fn main() {
+    let divisor = dataset_divisor("PA");
+    let config = LegionConfig::default();
+    banner(&format!(
+        "Figure 10: feature-extraction traffic matrices (PA/{divisor}x, DGX-V100 NV4, 2.5% cache)"
+    ));
+    let mats = fig10::run(divisor, &config);
+    for m in &mats {
+        println!(
+            "\n[{}]  total CPU->GPU {:.3}, max per-GPU CPU column {:.3}",
+            m.system, m.total_cpu, m.max_cpu_column
+        );
+        print!("{:<6}", "dst");
+        for s in 0..m.rows.len() {
+            print!(" {:>6}", format!("g{s}"));
+        }
+        println!(" {:>6}", "CPU");
+        for (dst, row) in m.rows.iter().enumerate() {
+            print!("g{dst:<5}");
+            for v in row {
+                print!(" {v:>6.3}");
+            }
+            println!();
+        }
+    }
+    save_json("fig10", &mats);
+}

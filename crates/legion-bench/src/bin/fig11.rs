@@ -1,0 +1,38 @@
+//! Regenerates Figure 11: local vs. global shuffling convergence
+//! (GraphSAGE & GCN, PR, Siton NV2) with real model training.
+
+use legion_bench::{banner, divisor_from_env, save_json};
+use legion_core::experiments::fig11;
+use legion_core::LegionConfig;
+
+fn main() {
+    let small = divisor_from_env("LEGION_FIG11_DIVISOR", 1000);
+    // Convergence runs real training; keep the model modest.
+    let config = LegionConfig {
+        hidden_dim: 64,
+        batch_size: 256,
+        fanouts: vec![10, 5],
+        ..Default::default()
+    };
+    let epochs = 10;
+    banner(&format!(
+        "Figure 11: local vs. global shuffling convergence (PR/{small}x, {epochs} epochs)"
+    ));
+    let curves = fig11::run(small, &config, epochs);
+    for c in &curves {
+        println!("\n[{} / {} shuffling]", c.model, c.shuffle);
+        println!(
+            "{:>6} {:>12} {:>14}",
+            "epoch", "train loss", "test accuracy"
+        );
+        for p in &c.points {
+            println!(
+                "{:>6} {:>12.4} {:>13.1}%",
+                p.epoch,
+                p.train_loss,
+                p.test_accuracy * 100.0
+            );
+        }
+    }
+    save_json("fig11", &curves);
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 12: unified cache vs. TopoCPU vs. TopoGPU epoch
+//! times (x = OOM).
+
+use legion_bench::{banner, cell, dataset_divisor, divisors, save_json};
+use legion_core::experiments::fig12;
+use legion_core::LegionConfig;
+
+fn main() {
+    let (small, large) = divisors();
+    let config = LegionConfig::default();
+    banner(&format!(
+        "Figure 12: impact of the topology cache (scaled /{small} and /{large})"
+    ));
+    let rows = fig12::run(&dataset_divisor, &config);
+    println!(
+        "{:<10} {:<8} {:<9} {:>14} {:>8}",
+        "server", "dataset", "placement", "epoch (s)", "alpha"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<8} {:<9} {:>14} {:>8}",
+            r.server,
+            r.dataset,
+            r.placement,
+            cell(r.epoch_seconds, 4),
+            cell(r.alpha, 2),
+        );
+    }
+    save_json("fig12", &rows);
+}

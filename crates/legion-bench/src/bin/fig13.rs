@@ -1,0 +1,34 @@
+//! Regenerates Figure 13: cost-model predictions vs. measured
+//! sampling+extraction time across the α sweep.
+
+use legion_bench::{banner, dataset_divisor, divisors, save_json};
+use legion_core::experiments::fig13;
+use legion_core::LegionConfig;
+
+fn main() {
+    let (small, _) = divisors();
+    let config = LegionConfig::default();
+    banner(&format!(
+        "Figure 13: cost model evaluation (PA 10GB / UKS 8GB cache, scaled /{small})"
+    ));
+    let rows = fig13::run(&dataset_divisor, &config);
+    for ds in ["PA", "UKS"] {
+        println!("\n[{ds}]");
+        println!(
+            "{:>6} {:>14} {:>14} {:>14} {:>12} {:>12}",
+            "alpha", "pred N_T", "pred N_F", "pred total", "sample (s)", "extract (s)"
+        );
+        for r in rows.iter().filter(|r| r.dataset == ds) {
+            println!(
+                "{:>6.2} {:>14.0} {:>14.0} {:>14.0} {:>12.4} {:>12.4}",
+                r.alpha,
+                r.predicted_n_t,
+                r.predicted_n_f,
+                r.predicted_total,
+                r.measured_sample_seconds,
+                r.measured_extract_seconds
+            );
+        }
+    }
+    save_json("fig13", &rows);
+}

@@ -1,0 +1,141 @@
+//! `simctl` — run ad-hoc Legion-vs-baseline comparisons from a JSON
+//! config, the way an operator would size a deployment.
+//!
+//! ```bash
+//! cargo run --release -p legion-bench --bin simctl -- '{"dataset":"PA","divisor":2000,"server":"dgx-v100","systems":["DGL","Legion"],"batch_size":256}'
+//! # Or from a file:
+//! cargo run --release -p legion-bench --bin simctl -- @config.json
+//! ```
+//!
+//! Omitted fields fall back to defaults; run with no arguments for a demo
+//! configuration.
+
+use serde::Deserialize;
+
+use legion_baselines::{dgl, gnnlab, pagraph, quiver};
+use legion_core::experiments::scaled_server;
+use legion_core::runner::run_epoch;
+use legion_core::system::legion_setup_with_plans;
+use legion_core::LegionConfig;
+use legion_hw::ServerSpec;
+
+#[derive(Debug, Deserialize)]
+#[serde(default, deny_unknown_fields)]
+struct Config {
+    dataset: String,
+    divisor: u64,
+    server: String,
+    systems: Vec<String>,
+    batch_size: usize,
+    fanouts: Vec<usize>,
+    seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            dataset: "PA".to_string(),
+            divisor: 2000,
+            server: "dgx-v100".to_string(),
+            systems: vec![
+                "DGL".into(),
+                "PaGraph".into(),
+                "GNNLab".into(),
+                "Quiver".into(),
+                "Legion".into(),
+            ],
+            batch_size: 256,
+            fanouts: vec![25, 10],
+            seed: 42,
+        }
+    }
+}
+
+fn server_spec(name: &str) -> Option<ServerSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "dgx-v100" | "v100" => Some(ServerSpec::dgx_v100()),
+        "siton" => Some(ServerSpec::siton()),
+        "dgx-a100" | "a100" => Some(ServerSpec::dgx_a100()),
+        _ => None,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let config: Config = match arg.as_deref() {
+        None => Config::default(),
+        Some(path) if path.starts_with('@') => {
+            let body = std::fs::read_to_string(&path[1..])
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", &path[1..]));
+            serde_json::from_str(&body).expect("invalid JSON config")
+        }
+        Some(json) => serde_json::from_str(json).expect("invalid JSON config"),
+    };
+    let Some(base) = server_spec(&config.server) else {
+        eprintln!(
+            "unknown server '{}': use dgx-v100 | siton | dgx-a100",
+            config.server
+        );
+        std::process::exit(2);
+    };
+    let Some(spec) = legion_graph::dataset::spec_by_name(&config.dataset) else {
+        eprintln!(
+            "unknown dataset '{}': use PR|PA|CO|UKS|UKL|CL",
+            config.dataset
+        );
+        std::process::exit(2);
+    };
+    println!(
+        "simctl: {} /{}x on {} (systems: {:?})",
+        config.dataset, config.divisor, base.name, config.systems
+    );
+    let dataset = spec.instantiate(config.divisor, config.seed);
+    let scaled = scaled_server(&base, config.divisor);
+    let legion_config = LegionConfig {
+        fanouts: config.fanouts.clone(),
+        batch_size: config.batch_size,
+        seed: config.seed,
+        ..Default::default()
+    };
+    println!(
+        "{:<10} {:>12} {:>14} {:>14} {:>10}",
+        "system", "epoch (s)", "PCIe txns", "max/GPU txns", "hit rate"
+    );
+    for system in &config.systems {
+        let server = scaled.build();
+        let ctx = legion_config.build_context(&dataset, &server);
+        let setup = match system.as_str() {
+            "DGL" => dgl::setup(&ctx),
+            "PaGraph" => pagraph::setup(&ctx),
+            "PaGraph-plus" => pagraph::setup_plus(&ctx),
+            "GNNLab" => gnnlab::setup(&ctx, (scaled.num_gpus / 4).max(1)),
+            "Quiver" => quiver::setup(&ctx, quiver::QuiverHotness::Presampling),
+            "Legion" => legion_setup_with_plans(&ctx, &legion_config).map(|(s, plans)| {
+                println!(
+                    "  [legion] auto cache plan: alpha = {:.2}, clique budget {} MiB",
+                    plans[0].alpha,
+                    plans[0].budget >> 20
+                );
+                s
+            }),
+            other => {
+                eprintln!("unknown system '{other}', skipping");
+                continue;
+            }
+        };
+        match setup {
+            Ok(s) => {
+                let r = run_epoch(&s, &ctx, &legion_config);
+                println!(
+                    "{:<10} {:>12.5} {:>14} {:>14} {:>9.1}%",
+                    system,
+                    r.epoch_seconds,
+                    r.pcie_total,
+                    r.pcie_max_gpu,
+                    r.feature_hit_rate() * 100.0
+                );
+            }
+            Err(e) => println!("{system:<10} {:>12}  ({e})", "x"),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table 3: partitioning cost vs. epoch cost.
+
+use legion_bench::{banner, divisors, save_json};
+use legion_core::experiments::table03;
+use legion_core::LegionConfig;
+
+fn main() {
+    let (small, large) = divisors();
+    let config = LegionConfig::default();
+    banner(&format!(
+        "Table 3: partitioning cost (PA/{small}x on DGX-V100, UKL/{large}x on Siton)"
+    ));
+    let cols = table03::run(small, large, &config);
+    println!("{:<28} {:>14} {:>14}", "", cols[0].dataset, cols[1].dataset);
+    let row = |label: &str, f: &dyn Fn(&table03::Table3Column) -> String| {
+        println!("{label:<28} {:>14} {:>14}", f(&cols[0]), f(&cols[1]));
+    };
+    row("Graph partition (s)", &|c| {
+        format!("{:.2}", c.partition_seconds)
+    });
+    row("Data loading (s)", &|c| format!("{:.2}", c.loading_seconds));
+    row("NC epoch (s)", &|c| format!("{:.4}", c.nc_epoch_seconds));
+    row("LP epoch (s)", &|c| format!("{:.2}", c.lp_epoch_seconds));
+    row("Partition edge fraction", &|c| {
+        format!("{:.0}%", c.partition_edge_fraction * 100.0)
+    });
+    save_json("table03", &cols);
+}

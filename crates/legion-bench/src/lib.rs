@@ -1,0 +1,109 @@
+//! Shared output helpers for the figure/table regeneration binaries.
+//!
+//! Every `fig*` / `table*` binary prints a human-readable table in the
+//! paper's layout and, when `LEGION_RESULTS_DIR` is set, also writes the
+//! raw rows as JSON for post-processing.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Default dataset scale divisor for the mid-size datasets (PA/CO/UKS).
+/// Override with `LEGION_SMALL_DIVISOR`.
+pub const DEFAULT_SMALL_DIVISOR: u64 = 500;
+
+/// Default divisor for the billion-scale datasets (UKL/CL). Override
+/// with `LEGION_LARGE_DIVISOR`.
+pub const DEFAULT_LARGE_DIVISOR: u64 = 4000;
+
+/// Default divisor for Products (PR). PR is the smallest Table 2 graph,
+/// so it gets the gentlest divisor — keeping the per-batch sampling
+/// footprint well below |V| preserves the access skew that cache
+/// policies exploit. Override with `LEGION_PR_DIVISOR`.
+pub const DEFAULT_PR_DIVISOR: u64 = 50;
+
+/// Reads a divisor from the environment with a default.
+pub fn divisor_from_env(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&d| d > 0)
+        .unwrap_or(default)
+}
+
+/// The `(small, large)` divisors for this run.
+pub fn divisors() -> (u64, u64) {
+    (
+        divisor_from_env("LEGION_SMALL_DIVISOR", DEFAULT_SMALL_DIVISOR),
+        divisor_from_env("LEGION_LARGE_DIVISOR", DEFAULT_LARGE_DIVISOR),
+    )
+}
+
+/// The scale divisor for a given dataset short name, honoring the
+/// `LEGION_PR_DIVISOR` / `LEGION_SMALL_DIVISOR` / `LEGION_LARGE_DIVISOR`
+/// environment overrides.
+pub fn dataset_divisor(name: &str) -> u64 {
+    let (small, large) = divisors();
+    match name.to_ascii_uppercase().as_str() {
+        "PR" => divisor_from_env("LEGION_PR_DIVISOR", DEFAULT_PR_DIVISOR),
+        "UKL" | "CL" => large,
+        _ => small,
+    }
+}
+
+/// Writes `rows` as JSON under `$LEGION_RESULTS_DIR/<name>.json` when the
+/// environment variable is set; silently skips otherwise.
+pub fn save_json<T: Serialize>(name: &str, rows: &T) {
+    let Ok(dir) = std::env::var("LEGION_RESULTS_DIR") else {
+        return;
+    };
+    let mut path = PathBuf::from(dir);
+    if std::fs::create_dir_all(&path).is_err() {
+        eprintln!("warning: cannot create results dir {}", path.display());
+        return;
+    }
+    path.push(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let body = serde_json::to_string_pretty(rows).expect("serializable rows");
+            if f.write_all(body.as_bytes()).is_err() {
+                eprintln!("warning: failed writing {}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot create {}: {e}", path.display()),
+    }
+}
+
+/// Formats an `Option<f64>` cell, using "x" for OOM like the paper.
+pub fn cell(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "x".to_string(),
+    }
+}
+
+/// Prints a banner line for a figure.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_formats_oom() {
+        assert_eq!(cell(None, 2), "x");
+        assert_eq!(cell(Some(1.234), 2), "1.23");
+    }
+
+    #[test]
+    fn divisor_env_parsing() {
+        assert_eq!(divisor_from_env("LEGION_NO_SUCH_VAR", 7), 7);
+    }
+}

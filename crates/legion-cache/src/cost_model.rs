@@ -1,0 +1,408 @@
+//! The PCIe-traffic cost model (§4.3.2, Equations 2–8).
+//!
+//! Given a cache plan `(B, α)` for one NVLink clique, the model predicts
+//! the PCIe traffic of the training phase:
+//!
+//! * topology cache size `m_T = B * α`; walking the clique topology order
+//!   `Q_T` until Equation 3's cumulative CSR bytes reach `m_T` yields the
+//!   cached set; Equation 4 gives the hotness-weighted reduction `R_T`
+//!   and Equation 5 the residual sampling traffic
+//!   `N_T = N_TSUM * (1 - R_T)`;
+//! * feature cache size `m_F = B * (1 - α)`; Equations 6–8 give the
+//!   residual feature traffic
+//!   `N_F = ceil(D * s_float32 / CLS) * U_F`;
+//! * `N_total = N_T + N_F` (Equation 2).
+//!
+//! Following §4.3.3, the model precomputes inclusive prefix sums of
+//! per-vertex byte sizes (`S_Tsum`, `S_Fsum`) and hotness (`A_Tsum`,
+//! `A_Fsum`) along `Q_T` / `Q_F`, so evaluating one plan is two binary
+//! searches plus O(1) lookups.
+
+use legion_graph::{feature_bytes_for_dim, topology_bytes_for_degree, CsrGraph, VertexId};
+
+/// Immutable per-clique cost model, built once per pre-sampling round.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Inclusive prefix sums of Equation 3 byte sizes along `Q_T`.
+    topo_bytes_prefix: Vec<u64>,
+    /// Inclusive prefix sums of topology hotness along `Q_T`.
+    topo_hotness_prefix: Vec<u64>,
+    /// Inclusive prefix sums of Equation 6 byte sizes along `Q_F`.
+    feat_bytes_prefix: Vec<u64>,
+    /// Inclusive prefix sums of feature hotness along `Q_F`.
+    feat_hotness_prefix: Vec<u64>,
+    /// `N_TSUM`: PCIe transactions measured by PCM during pre-sampling.
+    n_tsum: u64,
+    /// Equation 8's per-vertex feature transaction count
+    /// `ceil(D * s_float32 / CLS)`.
+    feat_tx_per_vertex: u64,
+}
+
+/// The prediction for one cache plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEvaluation {
+    /// Topology share of the budget.
+    pub alpha: f64,
+    /// Topology cache bytes `m_T`.
+    pub m_t: u64,
+    /// Feature cache bytes `m_F`.
+    pub m_f: u64,
+    /// Number of vertices whose topology fits (`|V_Tcache|`, a prefix of
+    /// `Q_T`).
+    pub topo_cached_vertices: usize,
+    /// Number of vertices whose features fit (`|V_Fcache|`).
+    pub feat_cached_vertices: usize,
+    /// Predicted sampling PCIe transactions `N_T` (Equation 5).
+    pub n_t: f64,
+    /// Predicted feature PCIe transactions `N_F` (Equation 8).
+    pub n_f: f64,
+}
+
+impl PlanEvaluation {
+    /// `N_total` (Equation 2).
+    pub fn n_total(&self) -> f64 {
+        self.n_t + self.n_f
+    }
+}
+
+impl CostModel {
+    /// Builds the model for one clique.
+    ///
+    /// * `graph` — the full graph (for `nc(v)`),
+    /// * `q_t` / `q_f` — clique-level cache orders from CSLP,
+    /// * `a_t` / `a_f` — accumulated hotness vectors indexed by vertex,
+    /// * `n_tsum` — PCM-measured sampling transactions during
+    ///   pre-sampling,
+    /// * `feature_dim` — `D`,
+    /// * `cls` — transferred cache line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if order/hotness lengths are inconsistent with the graph or
+    /// `cls == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        graph: &CsrGraph,
+        q_t: &[VertexId],
+        a_t: &[u64],
+        q_f: &[VertexId],
+        a_f: &[u64],
+        n_tsum: u64,
+        feature_dim: usize,
+        cls: u64,
+    ) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(a_t.len(), n, "topology hotness length mismatch");
+        assert_eq!(a_f.len(), n, "feature hotness length mismatch");
+        assert!(q_t.len() <= n && q_f.len() <= n, "order longer than graph");
+        assert!(cls > 0, "cache line size must be positive");
+
+        let mut topo_bytes_prefix = Vec::with_capacity(q_t.len());
+        let mut topo_hotness_prefix = Vec::with_capacity(q_t.len());
+        let mut bytes_acc = 0u64;
+        let mut hot_acc = 0u64;
+        for &v in q_t {
+            bytes_acc += topology_bytes_for_degree(graph.degree(v));
+            hot_acc += a_t[v as usize];
+            topo_bytes_prefix.push(bytes_acc);
+            topo_hotness_prefix.push(hot_acc);
+        }
+
+        let row_bytes = feature_bytes_for_dim(feature_dim as u64);
+        let mut feat_bytes_prefix = Vec::with_capacity(q_f.len());
+        let mut feat_hotness_prefix = Vec::with_capacity(q_f.len());
+        let mut fbytes_acc = 0u64;
+        let mut fhot_acc = 0u64;
+        for &v in q_f {
+            fbytes_acc += row_bytes;
+            fhot_acc += a_f[v as usize];
+            feat_bytes_prefix.push(fbytes_acc);
+            feat_hotness_prefix.push(fhot_acc);
+        }
+
+        Self {
+            topo_bytes_prefix,
+            topo_hotness_prefix,
+            feat_bytes_prefix,
+            feat_hotness_prefix,
+            n_tsum,
+            feat_tx_per_vertex: row_bytes.div_ceil(cls),
+        }
+    }
+
+    /// Total feature hotness `sum_{v in V} a_F(v)` — but restricted to the
+    /// vertices present in `Q_F` (which CSLP makes all of `V`).
+    fn total_feat_hotness(&self) -> u64 {
+        *self.feat_hotness_prefix.last().unwrap_or(&0)
+    }
+
+    fn total_topo_hotness(&self) -> u64 {
+        *self.topo_hotness_prefix.last().unwrap_or(&0)
+    }
+
+    /// `N_TSUM` as provided at construction.
+    pub fn n_tsum(&self) -> u64 {
+        self.n_tsum
+    }
+
+    /// Equation 8's per-vertex transaction factor.
+    pub fn feature_transactions_per_vertex(&self) -> u64 {
+        self.feat_tx_per_vertex
+    }
+
+    /// Largest prefix of `prefix_bytes` fitting in `budget` (binary
+    /// search on the inclusive prefix-sum array).
+    fn boundary(prefix_bytes: &[u64], budget: u64) -> usize {
+        prefix_bytes.partition_point(|&b| b <= budget)
+    }
+
+    /// Evaluates one cache plan `(budget, alpha)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn evaluate(&self, budget: u64, alpha: f64) -> PlanEvaluation {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        let m_t = (budget as f64 * alpha).floor() as u64;
+        let m_f = budget - m_t;
+        // Topology side: Equations 3-5.
+        let t_boundary = Self::boundary(&self.topo_bytes_prefix, m_t);
+        let cached_t_hot = if t_boundary == 0 {
+            0
+        } else {
+            self.topo_hotness_prefix[t_boundary - 1]
+        };
+        let total_t = self.total_topo_hotness();
+        let r_t = if total_t == 0 {
+            0.0
+        } else {
+            cached_t_hot as f64 / total_t as f64
+        };
+        let n_t = self.n_tsum as f64 * (1.0 - r_t);
+        // Feature side: Equations 6-8.
+        let f_boundary = Self::boundary(&self.feat_bytes_prefix, m_f);
+        let cached_f_hot = if f_boundary == 0 {
+            0
+        } else {
+            self.feat_hotness_prefix[f_boundary - 1]
+        };
+        let u_f = self.total_feat_hotness() - cached_f_hot;
+        let n_f = (self.feat_tx_per_vertex * u_f) as f64;
+        PlanEvaluation {
+            alpha,
+            m_t,
+            m_f,
+            topo_cached_vertices: t_boundary,
+            feat_cached_vertices: f_boundary,
+            n_t,
+            n_f,
+        }
+    }
+
+    /// Sweeps `alpha` from 0 to 1 in steps of `delta_alpha` (§4.3.3; the
+    /// paper's default interval is 0.01) and returns every evaluation.
+    ///
+    /// The sweep is embarrassingly parallel; chunks are evaluated on
+    /// scoped worker threads, mirroring the paper's parallel search.
+    pub fn sweep(&self, budget: u64, delta_alpha: f64) -> Vec<PlanEvaluation> {
+        assert!(
+            delta_alpha > 0.0 && delta_alpha <= 1.0,
+            "delta alpha must be in (0, 1]"
+        );
+        let steps: Vec<f64> = {
+            let mut s: Vec<f64> = Vec::new();
+            let mut a = 0.0f64;
+            while a < 1.0 + 1e-12 {
+                s.push(a.min(1.0));
+                a += delta_alpha;
+            }
+            if *s.last().expect("at least alpha=0") < 1.0 {
+                s.push(1.0);
+            }
+            s
+        };
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(steps.len().max(1));
+        let chunk = steps.len().div_ceil(workers);
+        let mut out: Vec<PlanEvaluation> = Vec::with_capacity(steps.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = steps
+                .chunks(chunk)
+                .map(|alphas| {
+                    scope.spawn(move |_| {
+                        alphas
+                            .iter()
+                            .map(|&a| self.evaluate(budget, a))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("sweep worker panicked"));
+            }
+        })
+        .expect("sweep scope");
+        out
+    }
+
+    /// The plan with minimal predicted `N_total` over the sweep. Ties
+    /// break toward the smaller `alpha` (less topology cache).
+    pub fn best_plan(&self, budget: u64, delta_alpha: f64) -> PlanEvaluation {
+        self.sweep(budget, delta_alpha)
+            .into_iter()
+            .min_by(|a, b| {
+                a.n_total()
+                    .partial_cmp(&b.n_total())
+                    .expect("traffic is finite")
+                    .then(a.alpha.partial_cmp(&b.alpha).expect("alpha finite"))
+            })
+            .expect("sweep is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::GraphBuilder;
+
+    /// A small fixture: star-ish graph, hotness concentrated on vertex 0.
+    fn fixture() -> (CsrGraph, Vec<VertexId>, Vec<u64>, Vec<VertexId>, Vec<u64>) {
+        let mut b = GraphBuilder::new(6);
+        for v in 1..6 {
+            b.push_edge(0, v);
+        }
+        b.push_edge(1, 2);
+        let g = b.build();
+        // Hotness: v0 very hot, then decreasing.
+        let a_t = vec![100, 40, 20, 10, 5, 1];
+        let a_f = vec![90, 50, 25, 10, 5, 2];
+        let q: Vec<VertexId> = vec![0, 1, 2, 3, 4, 5];
+        (g, q.clone(), a_t, q, a_f)
+    }
+
+    fn model() -> CostModel {
+        let (g, q_t, a_t, q_f, a_f) = fixture();
+        CostModel::new(&g, &q_t, &a_t, &q_f, &a_f, 1000, 4, 64)
+    }
+
+    #[test]
+    fn alpha_zero_means_feature_only() {
+        let m = model();
+        let e = m.evaluate(1000, 0.0);
+        assert_eq!(e.m_t, 0);
+        assert_eq!(e.topo_cached_vertices, 0);
+        // No topology cache: all N_TSUM remains.
+        assert_eq!(e.n_t, 1000.0);
+        assert!(e.feat_cached_vertices > 0);
+    }
+
+    #[test]
+    fn alpha_one_means_topology_only() {
+        let m = model();
+        let e = m.evaluate(1000, 1.0);
+        assert_eq!(e.m_f, 0);
+        assert_eq!(e.feat_cached_vertices, 0);
+        // All feature hotness must cross PCIe: U_F = 182, tx/vertex = 1
+        // (D=4 floats = 16 bytes, CLS=64 -> ceil=1).
+        assert_eq!(e.n_f, 182.0);
+    }
+
+    #[test]
+    fn huge_budget_caches_everything() {
+        let m = model();
+        let e = m.evaluate(1 << 30, 0.5);
+        assert_eq!(e.topo_cached_vertices, 6);
+        assert_eq!(e.feat_cached_vertices, 6);
+        assert_eq!(e.n_t, 0.0);
+        assert_eq!(e.n_f, 0.0);
+        assert_eq!(e.n_total(), 0.0);
+    }
+
+    #[test]
+    fn equation3_boundary_is_exact() {
+        let (g, q_t, a_t, q_f, a_f) = fixture();
+        let m = CostModel::new(&g, &q_t, &a_t, &q_f, &a_f, 100, 4, 64);
+        // Vertex 0 costs 5*4 + 8 = 28 bytes; vertex 1 costs 1*4 + 8 = 12.
+        // A 28-byte topology budget caches exactly vertex 0.
+        let e = m.evaluate(28, 1.0);
+        assert_eq!(e.topo_cached_vertices, 1);
+        // 27 bytes caches nothing; 40 caches v0 and v1.
+        assert_eq!(m.evaluate(27, 1.0).topo_cached_vertices, 0);
+        assert_eq!(m.evaluate(40, 1.0).topo_cached_vertices, 2);
+    }
+
+    #[test]
+    fn equation5_uses_hotness_ratio() {
+        let m = model();
+        // Cache exactly vertex 0's topology: R_T = 100/176.
+        let e = m.evaluate(28, 1.0);
+        let expected = 1000.0 * (1.0 - 100.0 / 176.0);
+        assert!((e.n_t - expected).abs() < 1e-9, "n_t {}", e.n_t);
+    }
+
+    #[test]
+    fn equation8_transaction_factor() {
+        let (g, q_t, a_t, q_f, a_f) = fixture();
+        // D = 128 floats = 512 bytes -> 8 transactions per vertex.
+        let m = CostModel::new(&g, &q_t, &a_t, &q_f, &a_f, 0, 128, 64);
+        assert_eq!(m.feature_transactions_per_vertex(), 8);
+        let e = m.evaluate(0, 0.0);
+        assert_eq!(e.n_f, 8.0 * 182.0);
+    }
+
+    #[test]
+    fn n_t_monotone_nonincreasing_in_alpha() {
+        let m = model();
+        let evals = m.sweep(200, 0.05);
+        for w in evals.windows(2) {
+            assert!(w[1].n_t <= w[0].n_t + 1e-9);
+            assert!(w[1].n_f + 1e-9 >= w[0].n_f);
+        }
+    }
+
+    #[test]
+    fn sweep_includes_endpoints_and_matches_evaluate() {
+        let m = model();
+        let evals = m.sweep(100, 0.25);
+        assert_eq!(evals.first().map(|e| e.alpha), Some(0.0));
+        assert_eq!(evals.last().map(|e| e.alpha), Some(1.0));
+        for e in &evals {
+            let direct = m.evaluate(100, e.alpha);
+            assert_eq!(e, &direct);
+        }
+    }
+
+    #[test]
+    fn best_plan_minimizes_total() {
+        let m = model();
+        let best = m.best_plan(120, 0.01);
+        for e in m.sweep(120, 0.01) {
+            assert!(best.n_total() <= e.n_total() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_budget_all_traffic_remains() {
+        let m = model();
+        let e = m.evaluate(0, 0.5);
+        assert_eq!(e.n_t, 1000.0);
+        assert_eq!(e.n_f, 182.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn evaluate_rejects_bad_alpha() {
+        let _ = model().evaluate(10, 1.5);
+    }
+
+    #[test]
+    fn empty_graph_model() {
+        let g = CsrGraph::empty(0);
+        let m = CostModel::new(&g, &[], &[], &[], &[], 5, 4, 64);
+        let e = m.evaluate(100, 0.5);
+        assert_eq!(e.n_t, 5.0);
+        assert_eq!(e.n_f, 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Algorithm 1 — Complete Sharing with Local Preference (CSLP).
+//!
+//! CSLP turns one hotness matrix into (a) the clique-level accumulated
+//! hotness vector `A`, (b) the clique-level descending hotness order `Q`,
+//! and (c) per-GPU priority queues `G` where each vertex is assigned to
+//! the GPU with the highest local hotness. The feature and topology
+//! matrices are processed independently (the paper runs the loop once for
+//! `Q_T` and once for `Q_F`).
+
+use legion_graph::VertexId;
+
+use crate::hotness::HotnessMatrix;
+
+/// CSLP output for one hotness matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CslpOutput {
+    /// Accumulated vertex-wise hotness (`A_T` / `A_F`), indexed by vertex.
+    pub accumulated: Vec<u64>,
+    /// Clique-level order (`Q_T` / `Q_F`): vertex ids sorted by descending
+    /// accumulated hotness (ties: ascending vertex id, for determinism).
+    pub clique_order: Vec<VertexId>,
+    /// Per-GPU orders (`G_T` / `G_F`): `per_gpu[g]` lists the vertices
+    /// assigned to GPU `g`, in clique-order priority.
+    pub per_gpu: Vec<Vec<VertexId>>,
+    /// The GPU slot each vertex was assigned to (same info as `per_gpu`,
+    /// indexed by vertex).
+    pub owner: Vec<u32>,
+}
+
+/// Runs CSLP on one hotness matrix.
+pub fn cslp(h: &HotnessMatrix) -> CslpOutput {
+    let n = h.num_vertices();
+    let kg = h.num_gpus();
+    // Step 1: accumulate each vertex's hotness from the K_g GPUs.
+    let accumulated = h.column_wise_sum();
+    // Step 2: sort vertices by descending hotness.
+    let mut clique_order: Vec<VertexId> = (0..n as VertexId).collect();
+    clique_order.sort_by(|&a, &b| {
+        accumulated[b as usize]
+            .cmp(&accumulated[a as usize])
+            .then(a.cmp(&b))
+    });
+    // Step 3: assign each vertex to the GPU with the highest local hotness.
+    let mut per_gpu: Vec<Vec<VertexId>> = vec![Vec::new(); kg];
+    let mut owner = vec![0u32; n];
+    for &v in &clique_order {
+        let g = h.argmax_gpu(v);
+        per_gpu[g].push(v);
+        owner[v as usize] = g as u32;
+    }
+    CslpOutput {
+        accumulated,
+        clique_order,
+        per_gpu,
+        owner,
+    }
+}
+
+impl CslpOutput {
+    /// Total accumulated hotness (`sum_{v in V} a(v)`, the denominator of
+    /// Equation 4).
+    pub fn total_hotness(&self) -> u64 {
+        self.accumulated.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> HotnessMatrix {
+        // 2 GPUs, 4 vertices.
+        //        v0  v1  v2  v3
+        // gpu0 [  5,  0,  2,  1 ]
+        // gpu1 [  1,  7,  2,  0 ]
+        let mut h = HotnessMatrix::new(2, 4);
+        h.add(0, 0, 5);
+        h.add(0, 2, 2);
+        h.add(0, 3, 1);
+        h.add(1, 0, 1);
+        h.add(1, 1, 7);
+        h.add(1, 2, 2);
+        h
+    }
+
+    #[test]
+    fn accumulates_and_sorts() {
+        let out = cslp(&example());
+        assert_eq!(out.accumulated, vec![6, 7, 4, 1]);
+        assert_eq!(out.clique_order, vec![1, 0, 2, 3]);
+        assert_eq!(out.total_hotness(), 18);
+    }
+
+    #[test]
+    fn assigns_to_locally_hottest_gpu() {
+        let out = cslp(&example());
+        // v0 hotter on gpu0; v1 on gpu1; v2 tie -> gpu0; v3 -> gpu0.
+        assert_eq!(out.owner, vec![0, 1, 0, 0]);
+        assert_eq!(out.per_gpu[0], vec![0, 2, 3]);
+        assert_eq!(out.per_gpu[1], vec![1]);
+    }
+
+    #[test]
+    fn per_gpu_queues_partition_all_vertices() {
+        let out = cslp(&example());
+        let total: usize = out.per_gpu.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 4);
+        let mut all: Vec<VertexId> = out.per_gpu.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn per_gpu_order_respects_clique_priority() {
+        let out = cslp(&example());
+        // Within each GPU queue, vertices appear in clique-order.
+        for q in &out.per_gpu {
+            let positions: Vec<usize> = q
+                .iter()
+                .map(|v| out.clique_order.iter().position(|c| c == v).unwrap())
+                .collect();
+            assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn single_gpu_gets_everything_in_order() {
+        let mut h = HotnessMatrix::new(1, 3);
+        h.add(0, 2, 10);
+        h.add(0, 0, 5);
+        let out = cslp(&h);
+        assert_eq!(out.per_gpu.len(), 1);
+        assert_eq!(out.per_gpu[0], vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn all_zero_hotness_is_deterministic() {
+        let h = HotnessMatrix::new(2, 3);
+        let out = cslp(&h);
+        assert_eq!(out.clique_order, vec![0, 1, 2]);
+        assert!(out.owner.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let h = HotnessMatrix::new(2, 0);
+        let out = cslp(&h);
+        assert!(out.clique_order.is_empty());
+        assert_eq!(out.total_hotness(), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Cache initialization and fill-up (§4.2.2 S3).
+//!
+//! "Guided by this mechanism, Legion allocates memory for both the
+//! topology and feature cache (TC and FC) of each GPU, and fetches the
+//! corresponding topology and feature data from CPU memory to fill up each
+//! GPU cache according to the corresponding cache orders in `G_T` and
+//! `G_F`."
+//!
+//! The fill allocates real (simulated) device memory on the
+//! [`MultiGpuServer`], so an over-committed plan fails with the same
+//! out-of-memory error a CUDA allocation would raise.
+
+use legion_graph::{topology_bytes_for_degree, CsrGraph, FeatureTable, VertexId};
+use legion_hw::{GpuId, HwError, MultiGpuServer};
+
+use crate::cslp::CslpOutput;
+use crate::planner::CachePlan;
+use crate::unified::CliqueCache;
+
+/// Builds and fills the unified cache of one NVLink clique.
+///
+/// Per-GPU budgets are the clique plan divided evenly among the clique's
+/// GPUs (the tablets are hash-balanced, so even shares match the paper's
+/// "randomly sliced and averagely allocated" wording). Each GPU consumes
+/// its own CSLP queue (`G_T[gpu]`, `G_F[gpu]`) in priority order until its
+/// budget share is exhausted.
+///
+/// # Errors
+///
+/// Returns [`HwError::OutOfMemory`] if a GPU cannot hold its share on the
+/// simulated server.
+pub fn build_clique_cache(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    clique_gpus: &[GpuId],
+    topo_order: &CslpOutput,
+    feat_order: &CslpOutput,
+    plan: &CachePlan,
+    server: &MultiGpuServer,
+) -> Result<CliqueCache, HwError> {
+    let kg = clique_gpus.len();
+    assert!(kg > 0, "clique must have GPUs");
+    assert_eq!(
+        topo_order.per_gpu.len(),
+        kg,
+        "topology order shape mismatch"
+    );
+    assert_eq!(feat_order.per_gpu.len(), kg, "feature order shape mismatch");
+
+    let topo_share = plan.topology_bytes() / kg as u64;
+    let feat_share = plan.feature_bytes() / kg as u64;
+    let mut cache = CliqueCache::new(clique_gpus.to_vec(), graph.num_vertices(), features.dim());
+
+    for (slot, &gpu) in clique_gpus.iter().enumerate() {
+        // Topology fill-up in G_T order.
+        let mut used = 0u64;
+        let mut to_insert_topo: Vec<VertexId> = Vec::new();
+        for &v in &topo_order.per_gpu[slot] {
+            let cost = topology_bytes_for_degree(graph.degree(v));
+            if used + cost > topo_share {
+                break;
+            }
+            used += cost;
+            to_insert_topo.push(v);
+        }
+        server.alloc(gpu, used)?;
+        for v in to_insert_topo {
+            cache.insert_topology(slot, v, graph.neighbors(v));
+        }
+        // Feature fill-up in G_F order.
+        let row_bytes = features.row_bytes();
+        let capacity_rows = feat_share.checked_div(row_bytes).unwrap_or(0) as usize;
+        let rows = feat_order.per_gpu[slot]
+            .iter()
+            .take(capacity_rows)
+            .copied()
+            .collect::<Vec<_>>();
+        server.alloc(gpu, rows.len() as u64 * row_bytes)?;
+        for v in rows {
+            cache.insert_feature(slot, v, features.row(v));
+        }
+    }
+    Ok(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_model::CostModel;
+    use crate::cslp::cslp;
+    use crate::hotness::HotnessMatrix;
+    
+    use legion_graph::generate::ChungLuConfig;
+    use legion_hw::ServerSpec;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CsrGraph, FeatureTable, CslpOutput, CslpOutput) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = ChungLuConfig {
+            num_vertices: 500,
+            num_edges: 5000,
+            exponent: 0.8,
+            shuffle_ids: false,
+            ..Default::default()
+        }
+        .generate(&mut rng);
+        let f = FeatureTable::random(500, 16, &mut rng);
+        // Synthetic hotness: proportional to degree with per-GPU noise.
+        let mut h_t = HotnessMatrix::new(2, 500);
+        let mut h_f = HotnessMatrix::new(2, 500);
+        for v in 0..500u32 {
+            for gpu in 0..2 {
+                let base = g.degree(v) + 1;
+                h_t.add(gpu, v, base + rng.gen_range(0..3));
+                h_f.add(gpu, v, base * 2 + rng.gen_range(0..3));
+            }
+        }
+        (g, f, cslp(&h_t), cslp(&h_f))
+    }
+
+    fn plan_for(
+        budget: u64,
+        alpha: f64,
+        setup: &(CsrGraph, FeatureTable, CslpOutput, CslpOutput),
+    ) -> CachePlan {
+        let (g, f, t, fo) = setup;
+        let model = CostModel::new(
+            g,
+            &t.clique_order,
+            &t.accumulated,
+            &fo.clique_order,
+            &fo.accumulated,
+            1000,
+            f.dim(),
+            64,
+        );
+        CachePlan {
+            budget,
+            alpha,
+            evaluation: model.evaluate(budget, alpha),
+        }
+    }
+
+    #[test]
+    fn fill_respects_budget_and_allocates_memory() {
+        let s = setup();
+        let server = ServerSpec::custom(2, 1 << 20, 2).build();
+        let plan = plan_for(64 * 1024, 0.5, &s);
+        let cache = build_clique_cache(&s.0, &s.1, &[0, 1], &s.2, &s.3, &plan, &server).unwrap();
+        // Per-GPU shares respected.
+        for slot in 0..2 {
+            assert!(cache.cache(slot).topology_bytes() <= plan.topology_bytes() / 2);
+            assert!(cache.cache(slot).feature_bytes() <= plan.feature_bytes() / 2);
+        }
+        // Device memory was actually consumed.
+        let total_alloc = server.allocated_bytes(0) + server.allocated_bytes(1);
+        assert_eq!(
+            total_alloc,
+            cache.total_topology_bytes() + cache.total_feature_bytes()
+        );
+        assert!(cache.total_feature_bytes() > 0);
+        assert!(cache.total_topology_bytes() > 0);
+    }
+
+    #[test]
+    fn fill_follows_priority_order() {
+        let s = setup();
+        let server = ServerSpec::custom(2, 1 << 20, 2).build();
+        let plan = plan_for(16 * 1024, 0.0, &s);
+        let cache = build_clique_cache(&s.0, &s.1, &[0, 1], &s.2, &s.3, &plan, &server).unwrap();
+        // Every cached feature vertex must be a prefix of its GPU's G_F.
+        for slot in 0..2 {
+            let q = &s.3.per_gpu[slot];
+            let cached = cache.cache(slot).feature_entries();
+            for (i, &v) in q.iter().enumerate() {
+                assert_eq!(
+                    cache.cache(slot).feature(v).is_some(),
+                    i < cached,
+                    "vertex {v} at priority {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn over_committed_plan_returns_oom() {
+        let s = setup();
+        // Tiny GPUs: 1 KiB each, plan wants 64 KiB.
+        let server = ServerSpec::custom(2, 1024, 2).build();
+        let plan = plan_for(64 * 1024, 0.5, &s);
+        let err = build_clique_cache(&s.0, &s.1, &[0, 1], &s.2, &s.3, &plan, &server);
+        assert!(matches!(err, Err(HwError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn zero_budget_builds_empty_cache() {
+        let s = setup();
+        let server = ServerSpec::custom(2, 1 << 20, 2).build();
+        let plan = plan_for(0, 0.5, &s);
+        let cache = build_clique_cache(&s.0, &s.1, &[0, 1], &s.2, &s.3, &plan, &server).unwrap();
+        assert_eq!(cache.total_topology_bytes(), 0);
+        assert_eq!(cache.total_feature_bytes(), 0);
+        assert_eq!(server.allocated_bytes(0), 0);
+    }
+
+    #[test]
+    fn alpha_one_caches_no_features() {
+        let s = setup();
+        let server = ServerSpec::custom(2, 1 << 20, 2).build();
+        let plan = plan_for(32 * 1024, 1.0, &s);
+        let cache = build_clique_cache(&s.0, &s.1, &[0, 1], &s.2, &s.3, &plan, &server).unwrap();
+        assert_eq!(cache.total_feature_bytes(), 0);
+        assert!(cache.total_topology_bytes() > 0);
+    }
+}

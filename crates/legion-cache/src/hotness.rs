@@ -1,0 +1,181 @@
+//! Hotness matrices `H_T` and `H_F` (§4.2.2, Figure 6).
+//!
+//! "Each matrix's row represents the GPU IDs within an NVLink clique, the
+//! column represents the vertex IDs, and the element `H_ij` of either
+//! matrix represents the hotness of the j-th vertex in the i-th GPU."
+
+use legion_graph::VertexId;
+
+/// Row-major `(gpus-in-clique) x (vertices)` hotness counter matrix.
+///
+/// # Examples
+///
+/// ```
+/// use legion_cache::HotnessMatrix;
+///
+/// let mut h = HotnessMatrix::new(2, 4);
+/// h.add(0, 1, 3);
+/// h.add(1, 1, 2);
+/// assert_eq!(h.get(0, 1), 3);
+/// assert_eq!(h.column_wise_sum()[1], 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotnessMatrix {
+    num_gpus: usize,
+    num_vertices: usize,
+    data: Vec<u64>,
+}
+
+impl HotnessMatrix {
+    /// A zeroed matrix for `num_gpus` rows over `num_vertices` columns.
+    pub fn new(num_gpus: usize, num_vertices: usize) -> Self {
+        Self {
+            num_gpus,
+            num_vertices,
+            data: vec![0; num_gpus * num_vertices],
+        }
+    }
+
+    /// Number of GPU rows.
+    #[inline]
+    pub fn num_gpus(&self) -> usize {
+        self.num_gpus
+    }
+
+    /// Number of vertex columns.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Increments `H[gpu][v]` by `amount`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` or `v` is out of range.
+    #[inline]
+    pub fn add(&mut self, gpu: usize, v: VertexId, amount: u64) {
+        assert!(gpu < self.num_gpus, "gpu row {gpu} out of range");
+        self.data[gpu * self.num_vertices + v as usize] += amount;
+    }
+
+    /// Reads `H[gpu][v]`.
+    #[inline]
+    pub fn get(&self, gpu: usize, v: VertexId) -> u64 {
+        self.data[gpu * self.num_vertices + v as usize]
+    }
+
+    /// One GPU's full hotness row.
+    pub fn row(&self, gpu: usize) -> &[u64] {
+        &self.data[gpu * self.num_vertices..(gpu + 1) * self.num_vertices]
+    }
+
+    /// Column-wise sum — the accumulated clique-level hotness vector
+    /// (`A_T` / `A_F`, Algorithm 1 step 1).
+    pub fn column_wise_sum(&self) -> Vec<u64> {
+        let mut acc = vec![0u64; self.num_vertices];
+        for gpu in 0..self.num_gpus {
+            for (a, &h) in acc.iter_mut().zip(self.row(gpu)) {
+                *a += h;
+            }
+        }
+        acc
+    }
+
+    /// Index of the GPU row with the highest hotness for vertex `v`
+    /// (Algorithm 1 step 3: "assign each vertex to the GPU with the
+    /// highest local hotness"). Ties break toward the lower GPU index.
+    pub fn argmax_gpu(&self, v: VertexId) -> usize {
+        let mut best = 0usize;
+        let mut best_h = self.get(0, v);
+        for gpu in 1..self.num_gpus {
+            let h = self.get(gpu, v);
+            if h > best_h {
+                best = gpu;
+                best_h = h;
+            }
+        }
+        best
+    }
+
+    /// Merges another matrix into this one (element-wise add). Used when
+    /// several pre-sampling workers contribute to the same clique.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn merge(&mut self, other: &HotnessMatrix) {
+        assert_eq!(self.num_gpus, other.num_gpus, "gpu count mismatch");
+        assert_eq!(
+            self.num_vertices, other.num_vertices,
+            "vertex count mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut h = HotnessMatrix::new(3, 5);
+        h.add(2, 4, 7);
+        h.add(2, 4, 1);
+        assert_eq!(h.get(2, 4), 8);
+        assert_eq!(h.get(0, 4), 0);
+    }
+
+    #[test]
+    fn column_sum_accumulates_all_rows() {
+        let mut h = HotnessMatrix::new(2, 3);
+        h.add(0, 0, 1);
+        h.add(1, 0, 2);
+        h.add(1, 2, 5);
+        assert_eq!(h.column_wise_sum(), vec![3, 0, 5]);
+    }
+
+    #[test]
+    fn argmax_prefers_highest_then_lowest_index() {
+        let mut h = HotnessMatrix::new(3, 2);
+        h.add(1, 0, 9);
+        h.add(2, 0, 4);
+        assert_eq!(h.argmax_gpu(0), 1);
+        // All-zero column: lowest GPU wins.
+        assert_eq!(h.argmax_gpu(1), 0);
+        // Tie: lower index wins.
+        h.add(0, 1, 3);
+        h.add(2, 1, 3);
+        assert_eq!(h.argmax_gpu(1), 0);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = HotnessMatrix::new(1, 2);
+        a.add(0, 0, 1);
+        let mut b = HotnessMatrix::new(1, 2);
+        b.add(0, 0, 2);
+        b.add(0, 1, 3);
+        a.merge(&b);
+        assert_eq!(a.get(0, 0), 3);
+        assert_eq!(a.get(0, 1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = HotnessMatrix::new(1, 2);
+        let b = HotnessMatrix::new(2, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_rejects_bad_gpu() {
+        let mut h = HotnessMatrix::new(1, 1);
+        h.add(1, 0, 1);
+    }
+}

@@ -1,0 +1,342 @@
+//! The unified cache structure (§4.2.1).
+//!
+//! "The topology cache maintains out-edge neighbor IDs for each selected
+//! hot vertex in the format of a compressed sparse row (CSR). As for the
+//! feature cache, Legion stores the feature vectors of selected hot
+//! vertices in the format of a 2D array... the selected vertices in the
+//! topology and feature caches could be different."
+//!
+//! [`GpuUnifiedCache`] is one GPU's cache; [`CliqueCache`] groups the
+//! caches of an NVLink clique and resolves lookups to *local hit*, *peer
+//! (NVLink) hit* or *miss* — the classification the traffic accounting in
+//! `legion-sampling` turns into PCIe/NVLink transactions.
+
+use std::collections::HashMap;
+
+use legion_graph::{topology_bytes_for_degree, VertexId};
+use legion_hw::GpuId;
+
+/// Where a cached item was found within a clique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheHit {
+    /// In the requesting GPU's own cache.
+    Local,
+    /// In an NVLink peer's cache (the returned GPU id).
+    Peer(GpuId),
+}
+
+/// One GPU's topology + feature cache.
+#[derive(Debug, Clone)]
+pub struct GpuUnifiedCache {
+    gpu: GpuId,
+    feature_dim: usize,
+    // Topology cache: CSR over the cached vertices only.
+    topo_map: HashMap<VertexId, u32>,
+    topo_offsets: Vec<u64>,
+    topo_cols: Vec<VertexId>,
+    // Feature cache: 2-D array over the cached vertices only.
+    feat_map: HashMap<VertexId, u32>,
+    feat_data: Vec<f32>,
+}
+
+impl GpuUnifiedCache {
+    /// An empty cache for `gpu` holding `feature_dim`-wide feature rows.
+    pub fn new(gpu: GpuId, feature_dim: usize) -> Self {
+        Self {
+            gpu,
+            feature_dim,
+            topo_map: HashMap::new(),
+            topo_offsets: vec![0],
+            topo_cols: Vec::new(),
+            feat_map: HashMap::new(),
+            feat_data: Vec::new(),
+        }
+    }
+
+    /// The owning GPU.
+    pub fn gpu(&self) -> GpuId {
+        self.gpu
+    }
+
+    /// Inserts `v`'s adjacency into the topology cache. Re-inserting an
+    /// already cached vertex is a no-op.
+    pub fn insert_topology(&mut self, v: VertexId, neighbors: &[VertexId]) {
+        if self.topo_map.contains_key(&v) {
+            return;
+        }
+        let slot = self.topo_offsets.len() as u32 - 1;
+        self.topo_cols.extend_from_slice(neighbors);
+        self.topo_offsets.push(self.topo_cols.len() as u64);
+        self.topo_map.insert(v, slot);
+    }
+
+    /// Inserts `v`'s feature row. Re-inserting is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != feature_dim`.
+    pub fn insert_feature(&mut self, v: VertexId, row: &[f32]) {
+        assert_eq!(row.len(), self.feature_dim, "feature dim mismatch");
+        if self.feat_map.contains_key(&v) {
+            return;
+        }
+        let slot = (self.feat_data.len() / self.feature_dim.max(1)) as u32;
+        self.feat_data.extend_from_slice(row);
+        self.feat_map.insert(v, slot);
+    }
+
+    /// Cached adjacency of `v`, if present.
+    pub fn topology(&self, v: VertexId) -> Option<&[VertexId]> {
+        self.topo_map.get(&v).map(|&slot| {
+            let lo = self.topo_offsets[slot as usize] as usize;
+            let hi = self.topo_offsets[slot as usize + 1] as usize;
+            &self.topo_cols[lo..hi]
+        })
+    }
+
+    /// Cached feature row of `v`, if present.
+    pub fn feature(&self, v: VertexId) -> Option<&[f32]> {
+        self.feat_map.get(&v).map(|&slot| {
+            let lo = slot as usize * self.feature_dim;
+            &self.feat_data[lo..lo + self.feature_dim]
+        })
+    }
+
+    /// Number of vertices in the topology cache.
+    pub fn topology_entries(&self) -> usize {
+        self.topo_map.len()
+    }
+
+    /// Number of vertices in the feature cache.
+    pub fn feature_entries(&self) -> usize {
+        self.feat_map.len()
+    }
+
+    /// Bytes of topology payload cached, per Equation 3 accounting.
+    pub fn topology_bytes(&self) -> u64 {
+        self.topo_map.len() as u64 * legion_graph::ROW_OFFSET_BYTES
+            + self.topo_cols.len() as u64 * legion_graph::COL_INDEX_BYTES
+    }
+
+    /// Bytes of feature payload cached, per Equation 6 accounting.
+    pub fn feature_bytes(&self) -> u64 {
+        self.feat_map.len() as u64 * legion_graph::feature_bytes_for_dim(self.feature_dim as u64)
+    }
+
+    /// Bytes `v`'s adjacency would add to this cache.
+    pub fn topology_cost(degree: u64) -> u64 {
+        topology_bytes_for_degree(degree)
+    }
+}
+
+/// The caches of one NVLink clique, with owner maps for O(1) clique-level
+/// lookup.
+#[derive(Debug, Clone)]
+pub struct CliqueCache {
+    /// GPU ids of the clique members, in slot order.
+    gpus: Vec<GpuId>,
+    /// One cache per clique slot.
+    caches: Vec<GpuUnifiedCache>,
+    /// `topo_owner[v]` = clique slot caching `v`'s topology, or `NONE`.
+    topo_owner: Vec<u8>,
+    /// `feat_owner[v]` = clique slot caching `v`'s features, or `NONE`.
+    feat_owner: Vec<u8>,
+}
+
+const NONE: u8 = u8::MAX;
+
+impl CliqueCache {
+    /// Empty clique cache for the given GPU members over a graph with
+    /// `num_vertices` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clique is empty or has more than 255 GPUs.
+    pub fn new(gpus: Vec<GpuId>, num_vertices: usize, feature_dim: usize) -> Self {
+        assert!(!gpus.is_empty(), "clique must have at least one GPU");
+        assert!(gpus.len() < NONE as usize, "clique too large");
+        let caches = gpus
+            .iter()
+            .map(|&g| GpuUnifiedCache::new(g, feature_dim))
+            .collect();
+        Self {
+            gpus,
+            caches,
+            topo_owner: vec![NONE; num_vertices],
+            feat_owner: vec![NONE; num_vertices],
+        }
+    }
+
+    /// The clique's GPU ids in slot order.
+    pub fn gpus(&self) -> &[GpuId] {
+        &self.gpus
+    }
+
+    /// The clique slot of a GPU id, if it belongs to this clique.
+    pub fn slot_of(&self, gpu: GpuId) -> Option<usize> {
+        self.gpus.iter().position(|&g| g == gpu)
+    }
+
+    /// Access to a slot's cache.
+    pub fn cache(&self, slot: usize) -> &GpuUnifiedCache {
+        &self.caches[slot]
+    }
+
+    /// Inserts `v`'s topology into `slot`'s cache and records ownership.
+    pub fn insert_topology(&mut self, slot: usize, v: VertexId, neighbors: &[VertexId]) {
+        self.caches[slot].insert_topology(v, neighbors);
+        self.topo_owner[v as usize] = slot as u8;
+    }
+
+    /// Inserts `v`'s features into `slot`'s cache and records ownership.
+    pub fn insert_feature(&mut self, slot: usize, v: VertexId, row: &[f32]) {
+        self.caches[slot].insert_feature(v, row);
+        self.feat_owner[v as usize] = slot as u8;
+    }
+
+    /// Resolves a topology lookup from `from_slot`: local hit, peer hit,
+    /// or `None` (CPU fallback).
+    pub fn lookup_topology(
+        &self,
+        from_slot: usize,
+        v: VertexId,
+    ) -> Option<(CacheHit, &[VertexId])> {
+        let owner = self.topo_owner[v as usize];
+        if owner == NONE {
+            return None;
+        }
+        let owner = owner as usize;
+        let data = self.caches[owner]
+            .topology(v)
+            .expect("owner map and cache agree");
+        let hit = if owner == from_slot {
+            CacheHit::Local
+        } else {
+            CacheHit::Peer(self.gpus[owner])
+        };
+        Some((hit, data))
+    }
+
+    /// Resolves a feature lookup from `from_slot`.
+    pub fn lookup_feature(&self, from_slot: usize, v: VertexId) -> Option<(CacheHit, &[f32])> {
+        let owner = self.feat_owner[v as usize];
+        if owner == NONE {
+            return None;
+        }
+        let owner = owner as usize;
+        let data = self.caches[owner]
+            .feature(v)
+            .expect("owner map and cache agree");
+        let hit = if owner == from_slot {
+            CacheHit::Local
+        } else {
+            CacheHit::Peer(self.gpus[owner])
+        };
+        Some((hit, data))
+    }
+
+    /// Whether `v`'s topology is cached anywhere in the clique.
+    pub fn has_topology(&self, v: VertexId) -> bool {
+        self.topo_owner[v as usize] != NONE
+    }
+
+    /// Whether `v`'s features are cached anywhere in the clique.
+    pub fn has_feature(&self, v: VertexId) -> bool {
+        self.feat_owner[v as usize] != NONE
+    }
+
+    /// Total topology bytes cached across the clique.
+    pub fn total_topology_bytes(&self) -> u64 {
+        self.caches.iter().map(|c| c.topology_bytes()).sum()
+    }
+
+    /// Total feature bytes cached across the clique.
+    pub fn total_feature_bytes(&self) -> u64 {
+        self.caches.iter().map(|c| c.feature_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_cache_topology_roundtrip() {
+        let mut c = GpuUnifiedCache::new(0, 2);
+        c.insert_topology(5, &[1, 2, 3]);
+        c.insert_topology(9, &[]);
+        assert_eq!(c.topology(5), Some(&[1, 2, 3][..]));
+        assert_eq!(c.topology(9), Some(&[][..]));
+        assert_eq!(c.topology(1), None);
+        assert_eq!(c.topology_entries(), 2);
+        // 2 row offsets + 3 cols.
+        assert_eq!(c.topology_bytes(), 2 * 8 + 3 * 4);
+    }
+
+    #[test]
+    fn gpu_cache_feature_roundtrip() {
+        let mut c = GpuUnifiedCache::new(0, 3);
+        c.insert_feature(7, &[1.0, 2.0, 3.0]);
+        assert_eq!(c.feature(7), Some(&[1.0, 2.0, 3.0][..]));
+        assert_eq!(c.feature(8), None);
+        assert_eq!(c.feature_bytes(), 12);
+    }
+
+    #[test]
+    fn reinsert_is_noop() {
+        let mut c = GpuUnifiedCache::new(0, 1);
+        c.insert_topology(1, &[0]);
+        c.insert_topology(1, &[0, 0, 0]);
+        assert_eq!(c.topology(1), Some(&[0][..]));
+        c.insert_feature(1, &[4.0]);
+        c.insert_feature(1, &[9.0]);
+        assert_eq!(c.feature(1), Some(&[4.0][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn feature_dim_enforced() {
+        let mut c = GpuUnifiedCache::new(0, 2);
+        c.insert_feature(0, &[1.0]);
+    }
+
+    #[test]
+    fn clique_lookup_local_and_peer() {
+        let mut cc = CliqueCache::new(vec![4, 5], 10, 1);
+        cc.insert_topology(0, 3, &[1]);
+        cc.insert_feature(1, 3, &[0.5]);
+        // Topology: local from slot 0, peer from slot 1.
+        assert_eq!(
+            cc.lookup_topology(0, 3).map(|(h, _)| h),
+            Some(CacheHit::Local)
+        );
+        assert_eq!(
+            cc.lookup_topology(1, 3).map(|(h, _)| h),
+            Some(CacheHit::Peer(4))
+        );
+        // Feature: owned by slot 1 (GPU 5).
+        assert_eq!(
+            cc.lookup_feature(0, 3).map(|(h, _)| h),
+            Some(CacheHit::Peer(5))
+        );
+        assert!(cc.lookup_feature(0, 9).is_none());
+        assert!(cc.has_topology(3));
+        assert!(!cc.has_feature(9));
+    }
+
+    #[test]
+    fn clique_totals() {
+        let mut cc = CliqueCache::new(vec![0, 1], 4, 2);
+        cc.insert_topology(0, 0, &[1, 2]);
+        cc.insert_topology(1, 1, &[3]);
+        cc.insert_feature(0, 2, &[1.0, 2.0]);
+        assert_eq!(cc.total_topology_bytes(), (8 + 2 * 4) + (8 + 4));
+        assert_eq!(cc.total_feature_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn empty_clique_rejected() {
+        let _ = CliqueCache::new(vec![], 4, 1);
+    }
+}

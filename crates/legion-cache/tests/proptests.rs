@@ -1,0 +1,178 @@
+//! Property-based tests for CSLP and the cost model — including the
+//! §4.3.3 parallel-search machinery checked against a brute-force
+//! reference implementation of Equations 2-8.
+
+use proptest::prelude::*;
+
+use legion_cache::{cslp, CostModel, HotnessMatrix};
+use legion_graph::builder::from_edges;
+use legion_graph::{feature_bytes_for_dim, topology_bytes_for_degree, CsrGraph, VertexId};
+
+fn hotness_strategy() -> impl Strategy<Value = HotnessMatrix> {
+    (1usize..5, 1usize..40).prop_flat_map(|(gpus, n)| {
+        proptest::collection::vec(0u64..1000, gpus * n).prop_map(move |vals| {
+            let mut h = HotnessMatrix::new(gpus, n);
+            for g in 0..gpus {
+                for v in 0..n {
+                    h.add(g, v as VertexId, vals[g * n + v]);
+                }
+            }
+            h
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cslp_clique_order_is_a_hotness_sorted_permutation(h in hotness_strategy()) {
+        let out = cslp(&h);
+        let n = h.num_vertices();
+        // Permutation of all vertices.
+        let mut sorted = out.clique_order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as VertexId).collect::<Vec<_>>());
+        // Descending accumulated hotness.
+        for w in out.clique_order.windows(2) {
+            prop_assert!(
+                out.accumulated[w[0] as usize] >= out.accumulated[w[1] as usize]
+            );
+        }
+        // Per-GPU queues partition the vertex set.
+        let total: usize = out.per_gpu.iter().map(|q| q.len()).sum();
+        prop_assert_eq!(total, n);
+        // Local preference: each vertex sits on its argmax GPU.
+        for v in 0..n as VertexId {
+            let owner = out.owner[v as usize] as usize;
+            for g in 0..h.num_gpus() {
+                prop_assert!(h.get(owner, v) >= h.get(g, v) || owner < g);
+            }
+        }
+    }
+}
+
+/// Brute-force re-implementation of Equations 3-8 by walking the order
+/// linearly (no prefix sums, no binary search).
+#[allow(clippy::too_many_arguments)]
+fn brute_force_n_total(
+    graph: &CsrGraph,
+    q_t: &[VertexId],
+    a_t: &[u64],
+    q_f: &[VertexId],
+    a_f: &[u64],
+    n_tsum: u64,
+    dim: usize,
+    cls: u64,
+    budget: u64,
+    alpha: f64,
+) -> (f64, f64) {
+    let m_t = (budget as f64 * alpha).floor() as u64;
+    let m_f = budget - m_t;
+    // Equation 3.
+    let mut used = 0u64;
+    let mut cached_t_hot = 0u64;
+    for &v in q_t {
+        let cost = topology_bytes_for_degree(graph.degree(v));
+        if used + cost > m_t {
+            break;
+        }
+        used += cost;
+        cached_t_hot += a_t[v as usize];
+    }
+    let total_t: u64 = a_t.iter().sum();
+    let r_t = if total_t == 0 {
+        0.0
+    } else {
+        cached_t_hot as f64 / total_t as f64
+    };
+    let n_t = n_tsum as f64 * (1.0 - r_t);
+    // Equations 6-8.
+    let row = feature_bytes_for_dim(dim as u64);
+    let mut fused = 0u64;
+    let mut cached_f_hot = 0u64;
+    for &v in q_f {
+        if fused + row > m_f {
+            break;
+        }
+        fused += row;
+        cached_f_hot += a_f[v as usize];
+    }
+    let total_f: u64 = q_f.iter().map(|&v| a_f[v as usize]).sum();
+    let u_f = total_f - cached_f_hot;
+    let n_f = (row.div_ceil(cls) * u_f) as f64;
+    (n_t, n_f)
+}
+
+fn model_inputs() -> impl Strategy<Value = (CsrGraph, Vec<VertexId>, Vec<u64>, Vec<u64>, u64, usize)>
+{
+    (4usize..32).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..128),
+            proptest::collection::vec(0u64..500, n),
+            proptest::collection::vec(0u64..500, n),
+            0u64..100_000,
+            1usize..64,
+        )
+            .prop_map(move |(edges, a_t, a_f, n_tsum, dim)| {
+                let g = from_edges(n, &edges);
+                // A hotness-sorted order, as CSLP would produce.
+                let mut q: Vec<VertexId> = (0..n as VertexId).collect();
+                q.sort_by(|&x, &y| a_t[y as usize].cmp(&a_t[x as usize]));
+                (g, q, a_t, a_f, n_tsum, dim)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prefix_sum_model_matches_brute_force(
+        (g, q, a_t, a_f, n_tsum, dim) in model_inputs(),
+        budget in 0u64..100_000,
+        alpha_pct in 0u32..=100,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        // Feature order: sorted by feature hotness.
+        let mut q_f: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        q_f.sort_by(|&x, &y| a_f[y as usize].cmp(&a_f[x as usize]));
+        let model = CostModel::new(&g, &q, &a_t, &q_f, &a_f, n_tsum, dim, 64);
+        let eval = model.evaluate(budget, alpha);
+        let (bf_n_t, bf_n_f) =
+            brute_force_n_total(&g, &q, &a_t, &q_f, &a_f, n_tsum, dim, 64, budget, alpha);
+        prop_assert!((eval.n_t - bf_n_t).abs() < 1e-6, "N_T {} vs {}", eval.n_t, bf_n_t);
+        prop_assert!((eval.n_f - bf_n_f).abs() < 1e-6, "N_F {} vs {}", eval.n_f, bf_n_f);
+    }
+
+    #[test]
+    fn traffic_is_monotone_in_budget(
+        (g, q, a_t, a_f, n_tsum, dim) in model_inputs(),
+        alpha_pct in 0u32..=100,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let mut q_f: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        q_f.sort_by(|&x, &y| a_f[y as usize].cmp(&a_f[x as usize]));
+        let model = CostModel::new(&g, &q, &a_t, &q_f, &a_f, n_tsum, dim, 64);
+        let mut prev = f64::INFINITY;
+        for budget in [0u64, 100, 1000, 10_000, 100_000, 1_000_000] {
+            let total = model.evaluate(budget, alpha).n_total();
+            prop_assert!(total <= prev + 1e-9, "traffic grew with budget");
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn best_plan_is_global_minimum_of_sweep(
+        (g, q, a_t, a_f, n_tsum, dim) in model_inputs(),
+        budget in 1u64..50_000,
+    ) {
+        let mut q_f: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        q_f.sort_by(|&x, &y| a_f[y as usize].cmp(&a_f[x as usize]));
+        let model = CostModel::new(&g, &q, &a_t, &q_f, &a_f, n_tsum, dim, 64);
+        let best = model.best_plan(budget, 0.05);
+        for e in model.sweep(budget, 0.05) {
+            prop_assert!(best.n_total() <= e.n_total() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 2 — multi-GPU cache scalability.
+//!
+//! "Comparing the cache scalability of cache-based GNN systems using the
+//! Products dataset and 2-hop GraphSAGE model in terms of normalized
+//! CPU-GPU PCIe transactions. The cache ratio is set to 5% |V| on every
+//! GPU. The tested platforms are Siton (a) and DGX-V100 (b)."
+//!
+//! Expected shape: GNNLab and PaGraph barely improve with more GPUs;
+//! Quiver improves until the clique size then flat-lines; Legion keeps
+//! improving near-linearly.
+
+use serde::Serialize;
+
+use legion_hw::ServerSpec;
+
+use crate::config::LegionConfig;
+use crate::experiments::policies::{build_policy, CachePolicy};
+use crate::experiments::rows_for_ratio;
+use crate::runner::run_epoch;
+
+/// One measurement point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    /// Server name (Siton / DGX-V100).
+    pub server: String,
+    /// Cache policy name.
+    pub system: String,
+    /// Number of GPUs used.
+    pub gpus: usize,
+    /// Feature-side CPU→GPU PCIe transactions for one epoch.
+    pub pcie_feature_transactions: u64,
+    /// Normalized to this system's single-GPU value.
+    pub normalized: f64,
+}
+
+/// Runs the sweep on one server preset.
+pub fn run_on_server(
+    base: &ServerSpec,
+    dataset: &legion_graph::Dataset,
+    config: &LegionConfig,
+    gpu_counts: &[usize],
+) -> Vec<Fig2Row> {
+    let rows_per_gpu = rows_for_ratio(dataset, 0.05);
+    let max_gpus = gpu_counts.iter().copied().max().unwrap_or(1);
+    let mut cfg = config.clone();
+    cfg.batch_size = crate::experiments::policy_batch_size(dataset, max_gpus, config);
+    let config = &cfg;
+    let mut out = Vec::new();
+    for policy in CachePolicy::fig2_set() {
+        let mut baseline: Option<u64> = None;
+        for &g in gpu_counts {
+            let spec = base.truncated(g);
+            let server = spec.build();
+            let ctx = config.build_context(dataset, &server);
+            let setup = match build_policy(policy, &ctx, config, rows_per_gpu) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let report = run_epoch(&setup, &ctx, config);
+            let tx = report.pcie_feature;
+            let base_tx = *baseline.get_or_insert(tx);
+            out.push(Fig2Row {
+                server: base.name.to_string(),
+                system: policy.name().to_string(),
+                gpus: g,
+                pcie_feature_transactions: tx,
+                normalized: tx as f64 / base_tx.max(1) as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Full Figure 2: Siton and DGX-V100, scaled by `divisor`.
+pub fn run(divisor: u64, config: &LegionConfig) -> Vec<Fig2Row> {
+    let dataset = legion_graph::dataset::spec_by_name("PR")
+        .expect("PR registered")
+        .instantiate(divisor, config.seed);
+    let mut out = Vec::new();
+    for base in [ServerSpec::siton(), ServerSpec::dgx_v100()] {
+        let scaled = crate::experiments::scaled_server(&base, divisor);
+        out.extend(run_on_server(&scaled, &dataset, config, &[1, 2, 4, 8]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::dataset::spec_by_name;
+
+    #[test]
+    fn legion_scales_better_than_gnnlab() {
+        let ds = spec_by_name("PR").unwrap().instantiate(500, 17);
+        let config = LegionConfig::small();
+        let spec = ServerSpec::custom(8, 1 << 30, 2); // Siton-like NV2.
+        let rows = run_on_server(&spec, &ds, &config, &[1, 8]);
+        let get = |sys: &str, g: usize| -> f64 {
+            rows.iter()
+                .find(|r| r.system == sys && r.gpus == g)
+                .map(|r| r.normalized)
+                .unwrap_or(f64::NAN)
+        };
+        let legion8 = get("Legion", 8);
+        let gnnlab8 = get("GNNLab", 8);
+        // GNNLab's replicated cache barely improves; Legion's partitioned
+        // cache keeps shrinking traffic with more GPUs.
+        assert!(
+            legion8 < 0.8 * gnnlab8,
+            "legion {legion8} vs gnnlab {gnnlab8}"
+        );
+        // Single-GPU points are normalized to 1.
+        assert!((get("Legion", 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiver_flatlines_beyond_clique_size() {
+        let ds = spec_by_name("PR").unwrap().instantiate(500, 17);
+        let config = LegionConfig::small();
+        let spec = ServerSpec::custom(8, 1 << 30, 2); // Cliques of 2.
+        let rows = run_on_server(&spec, &ds, &config, &[2, 4, 8]);
+        let q = |g: usize| {
+            rows.iter()
+                .find(|r| r.system == "Quiver-plus" && r.gpus == g)
+                .unwrap()
+                .pcie_feature_transactions
+        };
+        // Doubling GPUs beyond K_g = 2 leaves per-epoch transactions
+        // roughly flat (the cache content is just replicated).
+        let ratio = q(8) as f64 / q(2) as f64;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "Quiver should flatline, got ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 3 — per-GPU cache hit-rate balance.
+//!
+//! "Cache hit rates of different systems in a server with 8 GPUs. The
+//! cache ratio is set to 5% |V| on every GPU... 'NVx' means utilizing
+//! NVLink clique with x GPUs." PaGraph-plus shows up to 17% hit-rate
+//! spread across GPUs; Legion's hierarchical partitioning keeps the
+//! spread small.
+
+use serde::Serialize;
+
+use legion_hw::ServerSpec;
+
+use crate::config::LegionConfig;
+use crate::experiments::policies::{build_policy, CachePolicy};
+use crate::experiments::rows_for_ratio;
+use crate::runner::run_epoch;
+
+/// Hit rates of one system on one topology.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Row {
+    /// System / strategy label.
+    pub system: String,
+    /// NVLink clique size used (1 = noNV).
+    pub clique_size: usize,
+    /// Feature-cache hit rate per GPU.
+    pub per_gpu_hit_rate: Vec<f64>,
+    /// Max minus min hit rate (the imbalance the paper highlights).
+    pub spread: f64,
+}
+
+fn spread(rates: &[f64]) -> f64 {
+    let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+    let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+    max - min
+}
+
+/// Runs the Figure 3 comparison on an 8-GPU server with the given clique
+/// size (2 = Siton, 4 = DGX-V100, 8 = DGX-A100).
+pub fn run_with_clique_size(
+    dataset: &legion_graph::Dataset,
+    config: &LegionConfig,
+    clique_size: usize,
+) -> Vec<Fig3Row> {
+    let rows_per_gpu = rows_for_ratio(dataset, 0.05);
+    let mut cfg = config.clone();
+    cfg.batch_size = crate::experiments::policy_batch_size(dataset, 8, config);
+    let config = &cfg;
+    let mut out = Vec::new();
+    for policy in CachePolicy::fig3_set() {
+        // GNNLab and PaGraph-plus ignore NVLink (noNV); Quiver and Legion
+        // use the clique structure.
+        let spec = ServerSpec::custom(8, 1 << 40, clique_size);
+        let server = spec.build();
+        let ctx = config.build_context(dataset, &server);
+        let setup = match build_policy(policy, &ctx, config, rows_per_gpu) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let report = run_epoch(&setup, &ctx, config);
+        let rates = report.per_gpu_hit_rates();
+        out.push(Fig3Row {
+            system: policy.name().to_string(),
+            clique_size,
+            spread: spread(&rates),
+            per_gpu_hit_rate: rates,
+        });
+    }
+    out
+}
+
+/// Full Figure 3: all three NVLink arrangements.
+pub fn run(divisor: u64, config: &LegionConfig) -> Vec<Fig3Row> {
+    let dataset = legion_graph::dataset::spec_by_name("PR")
+        .expect("PR registered")
+        .instantiate(divisor, config.seed);
+    let mut out = Vec::new();
+    for k in [2usize, 4, 8] {
+        out.extend(run_with_clique_size(&dataset, config, k));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::dataset::spec_by_name;
+
+    #[test]
+    fn legion_hit_rates_are_balanced_and_high() {
+        let ds = spec_by_name("PR").unwrap().instantiate(500, 23);
+        let config = LegionConfig::small();
+        let rows = run_with_clique_size(&ds, &config, 2);
+        let legion = rows.iter().find(|r| r.system == "Legion").unwrap();
+        let gnnlab = rows.iter().find(|r| r.system == "GNNLab").unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        // Legion's mean hit rate beats the replicated cache.
+        assert!(
+            mean(&legion.per_gpu_hit_rate) > mean(&gnnlab.per_gpu_hit_rate),
+            "legion {:?} gnnlab {:?}",
+            legion.per_gpu_hit_rate,
+            gnnlab.per_gpu_hit_rate
+        );
+        // And the spread across GPUs stays moderate.
+        assert!(legion.spread < 0.25, "spread {}", legion.spread);
+    }
+
+    #[test]
+    fn pagraph_plus_is_less_balanced_than_legion() {
+        let ds = spec_by_name("PR").unwrap().instantiate(500, 23);
+        let config = LegionConfig::small();
+        let rows = run_with_clique_size(&ds, &config, 4);
+        let legion = rows.iter().find(|r| r.system == "Legion").unwrap();
+        let pplus = rows.iter().find(|r| r.system == "PaGraph-plus").unwrap();
+        assert!(
+            legion.spread <= pplus.spread + 0.05,
+            "legion spread {} pagraph-plus spread {}",
+            legion.spread,
+            pplus.spread
+        );
+    }
+}

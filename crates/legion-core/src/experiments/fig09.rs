@@ -1,0 +1,164 @@
+//! Figure 9 — effect of graph partition strategies on the multi-GPU
+//! cache hit rate, across cache ratios and NVLink arrangements.
+//!
+//! Strategies: NoPart+noNV (GNNLab), NoPart+NVx (Quiver-plus),
+//! Edge-cut+noNV (PaGraph-plus), Hierarchical+NVx (Legion); all with the
+//! pre-sampling hotness metric. "For the case of NV8 ... hierarchical
+//! partitioning turns into hash partitioning among all the GPUs, which is
+//! identical to Quiver-plus."
+
+use serde::Serialize;
+
+use crate::config::LegionConfig;
+use crate::experiments::policies::{build_policy, CachePolicy};
+use crate::experiments::rows_for_ratio;
+use crate::runner::run_epoch;
+use legion_hw::ServerSpec;
+
+/// One (strategy, clique size, cache ratio) point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Row {
+    /// Dataset short name.
+    pub dataset: String,
+    /// Strategy label in the paper's naming.
+    pub strategy: String,
+    /// NVLink clique size (1 = noNV).
+    pub clique_size: usize,
+    /// Per-GPU cache ratio (fraction of |V|).
+    pub cache_ratio: f64,
+    /// Aggregate feature-cache hit rate.
+    pub hit_rate: f64,
+}
+
+fn strategy_label(policy: CachePolicy, clique_size: usize) -> String {
+    match policy {
+        CachePolicy::GnnLabReplicated => "NoPart+noNV".to_string(),
+        CachePolicy::QuiverPlus => format!("NoPart+NV{clique_size}"),
+        CachePolicy::PaGraphPlus => "Edge-cut+noNV".to_string(),
+        CachePolicy::Legion => format!("Hierarchical+NV{clique_size}"),
+        CachePolicy::PaGraph => "PaGraph".to_string(),
+    }
+}
+
+/// Runs the sweep for one dataset on an 8-GPU server with the given
+/// clique size.
+pub fn run_for_dataset(
+    dataset: &legion_graph::Dataset,
+    dataset_name: &str,
+    config: &LegionConfig,
+    clique_size: usize,
+    ratios: &[f64],
+) -> Vec<Fig9Row> {
+    let mut cfg = config.clone();
+    cfg.batch_size = crate::experiments::policy_batch_size(dataset, 8, config);
+    let config = &cfg;
+    let mut out = Vec::new();
+    for policy in CachePolicy::fig3_set() {
+        for &ratio in ratios {
+            let rows = rows_for_ratio(dataset, ratio);
+            let spec = ServerSpec::custom(8, 1 << 40, clique_size);
+            let server = spec.build();
+            let ctx = config.build_context(dataset, &server);
+            let setup = match build_policy(policy, &ctx, config, rows) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let report = run_epoch(&setup, &ctx, config);
+            out.push(Fig9Row {
+                dataset: dataset_name.to_string(),
+                strategy: strategy_label(policy, clique_size),
+                clique_size,
+                cache_ratio: ratio,
+                hit_rate: report.feature_hit_rate(),
+            });
+        }
+    }
+    out
+}
+
+/// Full Figure 9: PR and CO at 1.25–10%, UKL and CL at 1.25–5%, for
+/// NV2 / NV4 / NV8. `divisor_for` maps dataset names to scale divisors.
+pub fn run(divisor_for: &dyn Fn(&str) -> u64, config: &LegionConfig) -> Vec<Fig9Row> {
+    let mut out = Vec::new();
+    let sets: [(&str, &[f64]); 4] = [
+        ("PR", &[0.0125, 0.025, 0.05, 0.10]),
+        ("CO", &[0.0125, 0.025, 0.05, 0.10]),
+        ("UKL", &[0.0125, 0.025, 0.05]),
+        ("CL", &[0.0125, 0.025, 0.05]),
+    ];
+    for (name, ratios) in sets {
+        let dataset = legion_graph::dataset::spec_by_name(name)
+            .expect("registered dataset")
+            .instantiate(divisor_for(name), config.seed);
+        for k in [2usize, 4, 8] {
+            out.extend(run_for_dataset(&dataset, name, config, k, ratios));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::dataset::spec_by_name;
+
+    #[test]
+    fn legion_has_highest_hit_rate_on_nv2() {
+        let ds = spec_by_name("PR").unwrap().instantiate(500, 31);
+        let config = LegionConfig::small();
+        let rows = run_for_dataset(&ds, "PR", &config, 2, &[0.05]);
+        let get = |s: &str| rows.iter().find(|r| r.strategy == s).map(|r| r.hit_rate);
+        let legion = get("Hierarchical+NV2").unwrap();
+        let gnnlab = get("NoPart+noNV").unwrap();
+        let quiver = get("NoPart+NV2").unwrap();
+        assert!(legion > gnnlab, "legion {legion} gnnlab {gnnlab}");
+        assert!(legion >= quiver - 0.02, "legion {legion} quiver {quiver}");
+    }
+
+    #[test]
+    fn hit_rate_grows_with_cache_ratio() {
+        let ds = spec_by_name("PR").unwrap().instantiate(500, 31);
+        let config = LegionConfig::small();
+        let rows = run_for_dataset(&ds, "PR", &config, 2, &[0.0125, 0.10]);
+        for strategy in ["NoPart+noNV", "Hierarchical+NV2"] {
+            let small = rows
+                .iter()
+                .find(|r| r.strategy == strategy && r.cache_ratio == 0.0125)
+                .unwrap();
+            let big = rows
+                .iter()
+                .find(|r| r.strategy == strategy && r.cache_ratio == 0.10)
+                .unwrap();
+            assert!(
+                big.hit_rate > small.hit_rate,
+                "{strategy}: {} !> {}",
+                big.hit_rate,
+                small.hit_rate
+            );
+        }
+    }
+
+    #[test]
+    fn nv8_legion_equals_quiver_plus() {
+        // With one clique of 8, hierarchical partitioning degenerates to
+        // hash partitioning — the same mechanism as Quiver-plus, so hit
+        // rates should be close.
+        let ds = spec_by_name("PR").unwrap().instantiate(500, 31);
+        let config = LegionConfig::small();
+        let rows = run_for_dataset(&ds, "PR", &config, 8, &[0.05]);
+        let legion = rows
+            .iter()
+            .find(|r| r.strategy == "Hierarchical+NV8")
+            .unwrap()
+            .hit_rate;
+        let quiver = rows
+            .iter()
+            .find(|r| r.strategy == "NoPart+NV8")
+            .unwrap()
+            .hit_rate;
+        assert!(
+            (legion - quiver).abs() < 0.1,
+            "legion {legion} quiver {quiver}"
+        );
+    }
+}

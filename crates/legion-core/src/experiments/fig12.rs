@@ -1,0 +1,172 @@
+//! Figure 12 — the impact of the unified topology+feature cache.
+//!
+//! Three placements under the *same* GPU memory volume:
+//!
+//! * **TopoCPU** — all topology stays in CPU memory; the whole GPU budget
+//!   goes to the feature cache (α forced to 0),
+//! * **TopoGPU** — the full topology is replicated in every GPU; features
+//!   get whatever is left (OOM when the topology alone exceeds a GPU),
+//! * **Unified** — Legion's cost model splits the budget automatically.
+//!
+//! "The unified cache outperforms the other two baselines for all
+//! graphs."
+
+use serde::Serialize;
+
+use legion_baselines::SystemError;
+use legion_hw::ServerSpec;
+use legion_sampling::access::TopologyPlacement;
+
+use crate::config::LegionConfig;
+use crate::experiments::scaled_server;
+use crate::runner::run_epoch;
+use crate::system::{legion_setup_forced_alpha, legion_setup_with_plans};
+
+/// One (dataset, placement) outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Row {
+    /// Server name.
+    pub server: String,
+    /// Dataset short name.
+    pub dataset: String,
+    /// "TopoCPU", "TopoGPU" or "Unified".
+    pub placement: String,
+    /// Modeled epoch seconds; `None` when OOM.
+    pub epoch_seconds: Option<f64>,
+    /// Chosen/implied topology share of the cache budget.
+    pub alpha: Option<f64>,
+    /// OOM description.
+    pub error: Option<String>,
+}
+
+/// Runs the three placements for one dataset on one server.
+pub fn run_for_dataset(
+    base: &ServerSpec,
+    dataset: &legion_graph::Dataset,
+    dataset_name: &str,
+    config: &LegionConfig,
+) -> Vec<Fig12Row> {
+    let mut out = Vec::new();
+    for placement in ["TopoCPU", "TopoGPU", "Unified"] {
+        let server = base.build();
+        let ctx = config.build_context(dataset, &server);
+        let result: Result<(f64, f64), SystemError> = (|| {
+            match placement {
+                "TopoCPU" => {
+                    let (setup, plans) = legion_setup_forced_alpha(&ctx, config, 0.0)?;
+                    let report = run_epoch(&setup, &ctx, config);
+                    Ok((report.epoch_seconds, plans[0].alpha))
+                }
+                "TopoGPU" => {
+                    // Replicate the topology on every GPU up front...
+                    let topo = dataset.topology_bytes();
+                    for g in 0..server.num_gpus() {
+                        server.alloc(g, topo).map_err(SystemError::GpuOom)?;
+                    }
+                    // ...then give the remaining memory to features. The
+                    // planner sees the smaller free space through an
+                    // inflated reservation.
+                    let shrunk = legion_baselines::BuildContext {
+                        reserved_per_gpu: ctx.reserved_per_gpu + topo,
+                        ..config.build_context(dataset, &server)
+                    };
+                    let (mut setup, plans) = legion_setup_forced_alpha(&shrunk, config, 0.0)?;
+                    setup.topology_placement = TopologyPlacement::ReplicatedGpu;
+                    let report = run_epoch(&setup, &shrunk, config);
+                    Ok((report.epoch_seconds, plans[0].alpha))
+                }
+                _ => {
+                    let (setup, plans) = legion_setup_with_plans(&ctx, config)?;
+                    let report = run_epoch(&setup, &ctx, config);
+                    Ok((report.epoch_seconds, plans[0].alpha))
+                }
+            }
+        })();
+        match result {
+            Ok((secs, alpha)) => out.push(Fig12Row {
+                server: base.name.to_string(),
+                dataset: dataset_name.to_string(),
+                placement: placement.to_string(),
+                epoch_seconds: Some(secs),
+                alpha: Some(alpha),
+                error: None,
+            }),
+            Err(e) => out.push(Fig12Row {
+                server: base.name.to_string(),
+                dataset: dataset_name.to_string(),
+                placement: placement.to_string(),
+                epoch_seconds: None,
+                alpha: None,
+                error: Some(e.to_string()),
+            }),
+        }
+    }
+    out
+}
+
+/// Full Figure 12: PA/CO/UKS on DGX-V100, UKL/CL on DGX-A100.
+/// `divisor_for` maps dataset names to scale divisors.
+pub fn run(divisor_for: &dyn Fn(&str) -> u64, config: &LegionConfig) -> Vec<Fig12Row> {
+    let mut out = Vec::new();
+    let plan: [(&str, &str); 5] = [
+        ("DGX-V100", "PA"),
+        ("DGX-V100", "CO"),
+        ("DGX-V100", "UKS"),
+        ("DGX-A100", "UKL"),
+        ("DGX-A100", "CL"),
+    ];
+    for (server_name, ds_name) in plan {
+        let divisor = divisor_for(ds_name);
+        let base = match server_name {
+            "DGX-V100" => ServerSpec::dgx_v100(),
+            _ => ServerSpec::dgx_a100(),
+        };
+        let dataset = legion_graph::dataset::spec_by_name(ds_name)
+            .expect("registered dataset")
+            .instantiate(divisor, config.seed);
+        out.extend(run_for_dataset(
+            &scaled_server(&base, divisor),
+            &dataset,
+            ds_name,
+            config,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::dataset::spec_by_name;
+
+    #[test]
+    fn unified_cache_is_never_worse() {
+        let divisor = 2000;
+        let ds = spec_by_name("PA").unwrap().instantiate(divisor, 37);
+        let spec = scaled_server(&ServerSpec::dgx_v100(), divisor);
+        let config = LegionConfig::small();
+        let rows = run_for_dataset(&spec, &ds, "PA", &config);
+        let get = |p: &str| rows.iter().find(|r| r.placement == p).unwrap();
+        let unified = get("Unified").epoch_seconds.expect("unified runs");
+        if let Some(cpu) = get("TopoCPU").epoch_seconds {
+            assert!(unified <= cpu * 1.01, "unified {unified} topocpu {cpu}");
+        }
+        if let Some(gpu) = get("TopoGPU").epoch_seconds {
+            assert!(unified <= gpu * 1.01, "unified {unified} topogpu {gpu}");
+        }
+    }
+
+    #[test]
+    fn topo_gpu_ooms_when_topology_exceeds_gpu() {
+        let divisor = 2000;
+        // UKS topology (~22 GB in the paper) exceeds a scaled 16 GB V100.
+        let ds = spec_by_name("UKS").unwrap().instantiate(divisor, 37);
+        let spec = scaled_server(&ServerSpec::dgx_v100(), divisor);
+        let config = LegionConfig::small();
+        let rows = run_for_dataset(&spec, &ds, "UKS", &config);
+        let topogpu = rows.iter().find(|r| r.placement == "TopoGPU").unwrap();
+        assert!(topogpu.error.is_some(), "expected OOM, got {topogpu:?}");
+        let unified = rows.iter().find(|r| r.placement == "Unified").unwrap();
+        assert!(unified.epoch_seconds.is_some(), "{:?}", unified.error);
+    }
+}

@@ -1,0 +1,489 @@
+//! The shared epoch runner: executes one training epoch of any
+//! [`SystemSetup`] on the simulated server, metering PCIe transactions,
+//! traffic matrices and cache hits, and deriving the epoch time through
+//! the §5 pipeline model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_baselines::{ScheduleKind, SystemSetup};
+use legion_gnn::{GnnModel, ModelKind};
+use legion_hw::pcm::TrafficKind;
+use legion_pipeline::{
+    epoch_time_factored, epoch_time_pipelined, epoch_time_serial, BatchCost, TimeModel,
+};
+use legion_sampling::access::AccessEngine;
+use legion_sampling::extract::{extract_features, feature_hit_stats, HitStats};
+use legion_sampling::{BatchGenerator, KHopSampler};
+
+use legion_baselines::BuildContext;
+
+use crate::config::LegionConfig;
+
+/// Everything measured over one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// System name.
+    pub name: String,
+    /// Modeled wall-clock epoch time in seconds.
+    pub epoch_seconds: f64,
+    /// Total CPU→GPU PCIe transactions (PCM).
+    pub pcie_total: u64,
+    /// Maximum per-GPU PCIe transactions.
+    pub pcie_max_gpu: u64,
+    /// Maximum per-socket PCIe transactions — the metric the paper's
+    /// Figure 8 reports from PCM (§6.2).
+    pub pcie_max_socket: u64,
+    /// Sampling-side PCIe transactions.
+    pub pcie_topology: u64,
+    /// Feature-side PCIe transactions.
+    pub pcie_feature: u64,
+    /// Total CPU→GPU bytes.
+    pub cpu_bytes: u64,
+    /// Total GPU↔GPU (NVLink) bytes.
+    pub peer_bytes: u64,
+    /// Per-GPU feature-cache hit statistics.
+    pub per_gpu_hits: Vec<HitStats>,
+    /// Figure 10-style traffic snapshot (`rows[dst] = [src..., cpu]`).
+    pub traffic: Vec<Vec<u64>>,
+    /// Aggregate per-stage seconds (pre-overlap).
+    pub sample_seconds: f64,
+    /// Total feature-extraction seconds.
+    pub extract_seconds: f64,
+    /// Total training seconds.
+    pub train_seconds: f64,
+}
+
+impl EpochReport {
+    /// Overall feature-cache hit rate across GPUs.
+    pub fn feature_hit_rate(&self) -> f64 {
+        let mut agg = HitStats::default();
+        for h in &self.per_gpu_hits {
+            agg.merge(*h);
+        }
+        agg.hit_rate()
+    }
+
+    /// Per-GPU hit rates (0 for GPUs that trained nothing).
+    pub fn per_gpu_hit_rates(&self) -> Vec<f64> {
+        self.per_gpu_hits.iter().map(|h| h.hit_rate()).collect()
+    }
+}
+
+/// Runs one epoch of `setup` under `config`, returning the full report.
+///
+/// Counters are reset at entry, so the report covers exactly this epoch.
+/// Execution is sequential and fully deterministic for a fixed seed; the
+/// multi-GPU parallelism is reflected in the epoch-time model rather than
+/// host threads.
+pub fn run_epoch(
+    setup: &SystemSetup,
+    ctx: &BuildContext<'_>,
+    config: &LegionConfig,
+) -> EpochReport {
+    run_epoch_with_model(setup, ctx, config, ModelKind::GraphSage)
+}
+
+/// [`run_epoch`] with an explicit model kind (GraphSAGE or GCN).
+pub fn run_epoch_with_model(
+    setup: &SystemSetup,
+    ctx: &BuildContext<'_>,
+    config: &LegionConfig,
+    model_kind: ModelKind,
+) -> EpochReport {
+    let server = ctx.server;
+    server.pcm().reset();
+    server.traffic().reset();
+    let time_model = TimeModel::new(server.spec());
+    let engine = AccessEngine::new(
+        &ctx.dataset.graph,
+        &ctx.dataset.features,
+        &setup.layout,
+        server,
+        setup.topology_placement,
+    );
+    let sampler = KHopSampler::new(config.fanouts.clone());
+    // A throwaway model instance supplies the FLOP counts; its weights
+    // are never updated here.
+    let mut flops_rng = StdRng::seed_from_u64(config.seed);
+    let num_classes = 16usize;
+    let flops_model = GnnModel::new(
+        model_kind,
+        ctx.dataset.features.dim(),
+        config.hidden_dim,
+        num_classes,
+        config.fanouts.len(),
+        &mut flops_rng,
+    );
+
+    let n = server.num_gpus();
+    let mut per_gpu_hits = vec![HitStats::default(); n];
+    let mut per_gpu_costs: Vec<Vec<BatchCost>> = vec![Vec::new(); n];
+    let mut sample_seconds = 0.0;
+    let mut extract_seconds = 0.0;
+    let mut train_seconds = 0.0;
+
+    // Round-robin cursor over dedicated samplers (factored design).
+    let mut sampler_cursor = 0usize;
+    for gpu in 0..n {
+        if setup.tablets[gpu].is_empty() {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed ^ (gpu as u64).wrapping_mul(0x517c_c1b7));
+        let mut generator = BatchGenerator::new(setup.tablets[gpu].clone(), ctx.batch_size);
+        for batch in generator.epoch(&mut rng) {
+            let sampling_gpu = match &setup.schedule {
+                ScheduleKind::Factored { samplers, .. } => {
+                    let g = samplers[sampler_cursor % samplers.len()];
+                    sampler_cursor += 1;
+                    g
+                }
+                _ => gpu,
+            };
+            // Stage 1: neighbor sampling (charged to the sampling GPU).
+            let topo_tx_before = server.pcm().gpu_kind(sampling_gpu, TrafficKind::Topology);
+            let sample = sampler.sample_batch(&engine, sampling_gpu, &batch, &mut rng, None);
+            let topo_tx =
+                server.pcm().gpu_kind(sampling_gpu, TrafficKind::Topology) - topo_tx_before;
+            let edges = sample.total_edges() as u64;
+            let sample_t = match setup.schedule {
+                ScheduleKind::CpuSampling => time_model.cpu_sample_seconds(edges),
+                _ => time_model.sample_seconds(topo_tx, edges),
+            };
+            // Stage 2: feature extraction (charged to the trainer GPU).
+            let inputs = sample.input_vertices().to_vec();
+            per_gpu_hits[gpu].merge(feature_hit_stats(&engine, gpu, &inputs));
+            let feat_tx_before = server.pcm().gpu_kind(gpu, TrafficKind::Feature);
+            let peer_before: u64 = (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
+            let _ = extract_features(&engine, gpu, &inputs);
+            let feat_tx = server.pcm().gpu_kind(gpu, TrafficKind::Feature) - feat_tx_before;
+            let peer_after: u64 = (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
+            let extract_t = time_model.extract_seconds(feat_tx, peer_after - peer_before);
+            // Stage 3: training.
+            let train_t = time_model.train_seconds(flops_model.training_flops(&sample));
+
+            sample_seconds += sample_t;
+            extract_seconds += extract_t;
+            train_seconds += train_t;
+            let cost = match setup.schedule {
+                ScheduleKind::Serial => BatchCost::serial(sample_t, extract_t, train_t),
+                // Factored: samplers only sample; trainers extract + train
+                // (GNNLab's feature cache lives on the trainer GPUs).
+                ScheduleKind::Factored { .. } => BatchCost {
+                    prep: sample_t,
+                    train: extract_t + train_t,
+                },
+                _ => BatchCost::overlapped(sample_t, extract_t, train_t),
+            };
+            per_gpu_costs[gpu].push(cost);
+        }
+    }
+
+    let epoch_seconds = match &setup.schedule {
+        ScheduleKind::Pipelined | ScheduleKind::CpuSampling => per_gpu_costs
+            .iter()
+            .map(|c| epoch_time_pipelined(c))
+            .fold(0.0, f64::max),
+        ScheduleKind::Serial => per_gpu_costs
+            .iter()
+            .map(|c| epoch_time_serial(c))
+            .fold(0.0, f64::max),
+        ScheduleKind::Factored { samplers, trainers } => {
+            let all: Vec<BatchCost> = per_gpu_costs.iter().flatten().copied().collect();
+            epoch_time_factored(&all, samplers.len(), trainers.len())
+        }
+    };
+
+    EpochReport {
+        name: setup.name.clone(),
+        epoch_seconds,
+        pcie_total: server.pcm().total(),
+        pcie_max_gpu: server.pcm().max_gpu_total(),
+        pcie_max_socket: server.max_socket_transactions(),
+        pcie_topology: server.pcm().total_kind(TrafficKind::Topology),
+        pcie_feature: server.pcm().total_kind(TrafficKind::Feature),
+        cpu_bytes: server.traffic().total_cpu_bytes(),
+        peer_bytes: server.traffic().total_peer_bytes(),
+        per_gpu_hits,
+        traffic: server.traffic().snapshot(),
+        sample_seconds,
+        extract_seconds,
+        train_seconds,
+    }
+}
+
+/// Multi-threaded variant of [`run_epoch_with_model`]: one host thread
+/// per training GPU, mirroring the real system's concurrent execution.
+/// All counters are thread-safe; per-GPU stage timing remains exact
+/// because each GPU's PCM row is only written by its own worker.
+///
+/// Results are bit-identical to the sequential runner (same per-GPU RNG
+/// streams, commutative counter updates).
+///
+/// # Panics
+///
+/// Panics for factored schedules, whose shared sampler GPUs would race on
+/// per-stage counter snapshots — use the sequential runner for GNNLab.
+pub fn run_epoch_parallel(
+    setup: &SystemSetup,
+    ctx: &BuildContext<'_>,
+    config: &LegionConfig,
+    model_kind: ModelKind,
+) -> EpochReport {
+    assert!(
+        !matches!(setup.schedule, ScheduleKind::Factored { .. }),
+        "parallel runner does not support factored schedules"
+    );
+    let server = ctx.server;
+    server.pcm().reset();
+    server.traffic().reset();
+    let time_model = TimeModel::new(server.spec());
+    let engine = AccessEngine::new(
+        &ctx.dataset.graph,
+        &ctx.dataset.features,
+        &setup.layout,
+        server,
+        setup.topology_placement,
+    );
+    let mut flops_rng = StdRng::seed_from_u64(config.seed);
+    let flops_model = GnnModel::new(
+        model_kind,
+        ctx.dataset.features.dim(),
+        config.hidden_dim,
+        16,
+        config.fanouts.len(),
+        &mut flops_rng,
+    );
+    let n = server.num_gpus();
+
+    struct GpuResult {
+        gpu: usize,
+        hits: HitStats,
+        costs: Vec<BatchCost>,
+        sample_s: f64,
+        extract_s: f64,
+        train_s: f64,
+    }
+
+    let results: Vec<GpuResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .filter(|&gpu| !setup.tablets[gpu].is_empty())
+            .map(|gpu| {
+                let engine = &engine;
+                let time_model = &time_model;
+                let flops_model = &flops_model;
+                let tablet = setup.tablets[gpu].clone();
+                let schedule = setup.schedule.clone();
+                scope.spawn(move |_| {
+                    let sampler = KHopSampler::new(config.fanouts.clone());
+                    let mut rng =
+                        StdRng::seed_from_u64(config.seed ^ (gpu as u64).wrapping_mul(0x517c_c1b7));
+                    let mut generator = BatchGenerator::new(tablet, ctx.batch_size);
+                    let mut result = GpuResult {
+                        gpu,
+                        hits: HitStats::default(),
+                        costs: Vec::new(),
+                        sample_s: 0.0,
+                        extract_s: 0.0,
+                        train_s: 0.0,
+                    };
+                    for batch in generator.epoch(&mut rng) {
+                        let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
+                        let sample = sampler.sample_batch(engine, gpu, &batch, &mut rng, None);
+                        let topo_tx =
+                            server.pcm().gpu_kind(gpu, TrafficKind::Topology) - topo_before;
+                        let edges = sample.total_edges() as u64;
+                        let sample_t = match schedule {
+                            ScheduleKind::CpuSampling => time_model.cpu_sample_seconds(edges),
+                            _ => time_model.sample_seconds(topo_tx, edges),
+                        };
+                        let inputs = sample.input_vertices().to_vec();
+                        result.hits.merge(feature_hit_stats(engine, gpu, &inputs));
+                        let feat_before = server.pcm().gpu_kind(gpu, TrafficKind::Feature);
+                        let peer_before: u64 =
+                            (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
+                        let _ = extract_features(engine, gpu, &inputs);
+                        let feat_tx =
+                            server.pcm().gpu_kind(gpu, TrafficKind::Feature) - feat_before;
+                        let peer_after: u64 =
+                            (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
+                        let extract_t =
+                            time_model.extract_seconds(feat_tx, peer_after - peer_before);
+                        let train_t = time_model.train_seconds(flops_model.training_flops(&sample));
+                        result.sample_s += sample_t;
+                        result.extract_s += extract_t;
+                        result.train_s += train_t;
+                        result.costs.push(match schedule {
+                            ScheduleKind::Serial => BatchCost::serial(sample_t, extract_t, train_t),
+                            _ => BatchCost::overlapped(sample_t, extract_t, train_t),
+                        });
+                    }
+                    result
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("GPU worker panicked"))
+            .collect()
+    })
+    .expect("epoch scope");
+
+    let mut per_gpu_hits = vec![HitStats::default(); n];
+    let mut per_gpu_costs: Vec<Vec<BatchCost>> = vec![Vec::new(); n];
+    let mut sample_seconds = 0.0;
+    let mut extract_seconds = 0.0;
+    let mut train_seconds = 0.0;
+    for r in results {
+        per_gpu_hits[r.gpu] = r.hits;
+        per_gpu_costs[r.gpu] = r.costs;
+        sample_seconds += r.sample_s;
+        extract_seconds += r.extract_s;
+        train_seconds += r.train_s;
+    }
+    let epoch_seconds = match setup.schedule {
+        ScheduleKind::Serial => per_gpu_costs
+            .iter()
+            .map(|c| epoch_time_serial(c))
+            .fold(0.0, f64::max),
+        _ => per_gpu_costs
+            .iter()
+            .map(|c| epoch_time_pipelined(c))
+            .fold(0.0, f64::max),
+    };
+    EpochReport {
+        name: setup.name.clone(),
+        epoch_seconds,
+        pcie_total: server.pcm().total(),
+        pcie_max_gpu: server.pcm().max_gpu_total(),
+        pcie_max_socket: server.max_socket_transactions(),
+        pcie_topology: server.pcm().total_kind(TrafficKind::Topology),
+        pcie_feature: server.pcm().total_kind(TrafficKind::Feature),
+        cpu_bytes: server.traffic().total_cpu_bytes(),
+        peer_bytes: server.traffic().total_peer_bytes(),
+        per_gpu_hits,
+        traffic: server.traffic().snapshot(),
+        sample_seconds,
+        extract_seconds,
+        train_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::legion_setup;
+    use legion_baselines::dgl;
+    use legion_graph::dataset::spec_by_name;
+    use legion_hw::ServerSpec;
+
+    #[test]
+    fn legion_beats_dgl_on_pcie_and_epoch_time() {
+        let ds = spec_by_name("PR").unwrap().instantiate(2000, 3);
+        let config = LegionConfig::small();
+
+        let server = ServerSpec::custom(4, 32 << 20, 2).build();
+        let ctx = config.build_context(&ds, &server);
+        let legion = legion_setup(&ctx, &config).unwrap();
+        let legion_report = run_epoch(&legion, &ctx, &config);
+
+        let server2 = ServerSpec::custom(4, 32 << 20, 2).build();
+        let ctx2 = config.build_context(&ds, &server2);
+        let dgl_setup = dgl::setup(&ctx2).unwrap();
+        let dgl_report = run_epoch(&dgl_setup, &ctx2, &config);
+
+        assert!(
+            legion_report.pcie_total < dgl_report.pcie_total / 2,
+            "legion {} dgl {}",
+            legion_report.pcie_total,
+            dgl_report.pcie_total
+        );
+        assert!(
+            legion_report.epoch_seconds < dgl_report.epoch_seconds,
+            "legion {} dgl {}",
+            legion_report.epoch_seconds,
+            dgl_report.epoch_seconds
+        );
+        assert!(legion_report.feature_hit_rate() > 0.3);
+        assert_eq!(dgl_report.feature_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let ds = spec_by_name("PR").unwrap().instantiate(4000, 3);
+        let config = LegionConfig::small();
+        let server = ServerSpec::custom(2, 32 << 20, 2).build();
+        let ctx = config.build_context(&ds, &server);
+        let setup = dgl::setup(&ctx).unwrap();
+        let report = run_epoch(&setup, &ctx, &config);
+        assert_eq!(
+            report.pcie_total,
+            report.pcie_topology + report.pcie_feature
+        );
+        assert!(report.pcie_max_gpu <= report.pcie_total);
+        assert!(report.cpu_bytes > 0);
+        // DGL uses no NVLink.
+        assert_eq!(report.peer_bytes, 0);
+        // Traffic snapshot row sums match CPU bytes.
+        let snap_cpu: u64 = report.traffic.iter().map(|r| r[r.len() - 1]).sum();
+        assert_eq!(snap_cpu, report.cpu_bytes);
+        // Stage times are positive.
+        assert!(report.sample_seconds > 0.0);
+        assert!(report.extract_seconds > 0.0);
+        assert!(report.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let ds = spec_by_name("PR").unwrap().instantiate(4000, 3);
+        let config = LegionConfig::small();
+        let server = ServerSpec::custom(2, 32 << 20, 2).build();
+        let ctx = config.build_context(&ds, &server);
+        let setup = dgl::setup(&ctx).unwrap();
+        let a = run_epoch(&setup, &ctx, &config);
+        let b = run_epoch(&setup, &ctx, &config);
+        assert_eq!(a.pcie_total, b.pcie_total);
+        assert_eq!(a.epoch_seconds, b.epoch_seconds);
+    }
+
+    #[test]
+    fn parallel_runner_matches_sequential() {
+        let ds = spec_by_name("PR").unwrap().instantiate(2000, 3);
+        let config = LegionConfig::small();
+        let server = ServerSpec::custom(4, 32 << 20, 2).build();
+        let ctx = config.build_context(&ds, &server);
+        let setup = legion_setup(&ctx, &config).unwrap();
+        let seq = run_epoch_with_model(&setup, &ctx, &config, ModelKind::GraphSage);
+        let par = run_epoch_parallel(&setup, &ctx, &config, ModelKind::GraphSage);
+        assert_eq!(seq.pcie_total, par.pcie_total);
+        assert_eq!(seq.pcie_max_gpu, par.pcie_max_gpu);
+        assert_eq!(seq.cpu_bytes, par.cpu_bytes);
+        assert_eq!(seq.peer_bytes, par.peer_bytes);
+        assert_eq!(seq.epoch_seconds, par.epoch_seconds);
+        assert_eq!(seq.per_gpu_hit_rates(), par.per_gpu_hit_rates());
+    }
+
+    #[test]
+    #[should_panic(expected = "factored")]
+    fn parallel_runner_rejects_factored() {
+        let ds = spec_by_name("PR").unwrap().instantiate(2000, 3);
+        let config = LegionConfig::small();
+        let server = ServerSpec::custom(4, 1 << 30, 2).build();
+        let ctx = config.build_context(&ds, &server);
+        let setup = legion_baselines::gnnlab::setup(&ctx, 1).unwrap();
+        let _ = run_epoch_parallel(&setup, &ctx, &config, ModelKind::GraphSage);
+    }
+
+    #[test]
+    fn gcn_and_sage_have_different_train_times() {
+        let ds = spec_by_name("PR").unwrap().instantiate(4000, 3);
+        let config = LegionConfig::small();
+        let server = ServerSpec::custom(2, 32 << 20, 2).build();
+        let ctx = config.build_context(&ds, &server);
+        let setup = dgl::setup(&ctx).unwrap();
+        let sage = run_epoch_with_model(&setup, &ctx, &config, ModelKind::GraphSage);
+        let gcn = run_epoch_with_model(&setup, &ctx, &config, ModelKind::Gcn);
+        // SAGE weights are twice as wide -> more FLOPs.
+        assert!(sage.train_seconds > gcn.train_seconds);
+    }
+}

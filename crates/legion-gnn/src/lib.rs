@@ -1,0 +1,20 @@
+//! GraphSAGE and GCN models over sampled mini-batches.
+//!
+//! The paper trains "two sampling-based GNN models: GraphSAGE and GCN,
+//! which both adopt a 2-hop random neighbor sampling. The sampling
+//! fan-outs are 25 and 10. The dimension of the hidden layers in both
+//! models is set to 256" (§6.1). This crate implements both models over
+//! the message-flow blocks produced by `legion-sampling`, with real
+//! gradients via `legion-tensor`, plus the training/evaluation loops the
+//! convergence experiment (Figure 11) needs.
+
+pub mod link_prediction;
+pub mod model;
+pub mod trainer;
+
+pub use link_prediction::{auc, sample_link_batch, LinkBatch};
+pub use model::{GnnModel, ModelKind};
+pub use trainer::{evaluate_accuracy, train_epoch, EpochMetrics, TrainerConfig};
+
+/// The paper's hidden dimension for both models (§6.1).
+pub const PAPER_HIDDEN_DIM: usize = 256;

@@ -1,0 +1,242 @@
+//! Binary (de)serialization of graphs and datasets.
+//!
+//! An open-source release of Legion needs to persist preprocessed data:
+//! the paper amortizes its partitioning cost because "we only partition
+//! the graph once but can use the partitioning results for multiple GNN
+//! training jobs" (§6.6) — which requires writing artifacts to disk. The
+//! format is a simple little-endian container:
+//!
+//! ```text
+//! magic "LGN1" | num_vertices u64 | num_edges u64 | feature_dim u64 |
+//! has_labels u8 | num_train u64 |
+//! row_offsets  (num_vertices + 1) x u64 |
+//! col_indices  num_edges x u32 |
+//! features     num_vertices * feature_dim x f32 |
+//! labels       (num_vertices x u32, if has_labels) |
+//! train        num_train x u32
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::csr::CsrGraph;
+use crate::dataset::Dataset;
+use crate::features::FeatureTable;
+use crate::VertexId;
+
+const MAGIC: &[u8; 4] = b"LGN1";
+
+/// Errors from loading a serialized dataset.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected magic.
+    BadMagic,
+    /// Structural invariants failed after decoding.
+    Corrupt(String),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::BadMagic => write!(f, "not a Legion dataset file"),
+            IoError::Corrupt(why) => write!(f, "corrupt dataset: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_u32_slice<W: Write>(w: &mut W, vs: &[u32]) -> io::Result<()> {
+    for &v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32_vec<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u32>> {
+    let mut buf = vec![0u8; n * 4];
+    r.read_exact(&mut buf)?;
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Serializes a dataset to a writer.
+pub fn write_dataset<W: Write>(w: &mut W, dataset: &Dataset) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let g = &dataset.graph;
+    write_u64(w, g.num_vertices() as u64)?;
+    write_u64(w, g.num_edges() as u64)?;
+    write_u64(w, dataset.features.dim() as u64)?;
+    w.write_all(&[dataset.labels.is_some() as u8])?;
+    write_u64(w, dataset.train_vertices.len() as u64)?;
+    for &o in g.row_offsets() {
+        write_u64(w, o)?;
+    }
+    write_u32_slice(w, g.col_indices())?;
+    for &x in dataset.features.as_slice() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    if let Some(labels) = &dataset.labels {
+        write_u32_slice(w, labels)?;
+    }
+    write_u32_slice(w, &dataset.train_vertices)?;
+    Ok(())
+}
+
+/// Deserializes a dataset from a reader.
+pub fn read_dataset<R: Read>(r: &mut R, name: &str) -> Result<Dataset, IoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let n = read_u64(r)? as usize;
+    let m = read_u64(r)? as usize;
+    let dim = read_u64(r)? as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let has_labels = flag[0] != 0;
+    let num_train = read_u64(r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(r)?);
+    }
+    let cols = read_u32_vec(r, m)?;
+    let graph = CsrGraph::from_parts(offsets, cols)
+        .map_err(|e| IoError::Corrupt(format!("invalid CSR: {e}")))?;
+    let mut fbuf = vec![0u8; n * dim * 4];
+    r.read_exact(&mut fbuf)?;
+    let feats: Vec<f32> = fbuf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let features = FeatureTable::from_flat(feats, dim.max(1));
+    let labels = if has_labels {
+        Some(read_u32_vec(r, n)?)
+    } else {
+        None
+    };
+    let train_vertices: Vec<VertexId> = read_u32_vec(r, num_train)?;
+    for &v in &train_vertices {
+        if v as usize >= n {
+            return Err(IoError::Corrupt(format!("train vertex {v} out of range")));
+        }
+    }
+    Ok(Dataset {
+        name: name.to_string(),
+        graph,
+        features,
+        labels,
+        train_vertices,
+    })
+}
+
+/// Writes a dataset to a file path.
+pub fn save_dataset<P: AsRef<Path>>(path: P, dataset: &Dataset) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_dataset(&mut f, dataset)
+}
+
+/// Reads a dataset from a file path.
+pub fn load_dataset<P: AsRef<Path>>(path: P) -> Result<Dataset, IoError> {
+    let name = path
+        .as_ref()
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset")
+        .to_string();
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_dataset(&mut f, &name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::spec_by_name;
+
+    fn roundtrip(dataset: &Dataset) -> Dataset {
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, dataset).unwrap();
+        read_dataset(&mut io::Cursor::new(buf), "roundtrip").unwrap()
+    }
+
+    #[test]
+    fn labeled_dataset_roundtrips() {
+        let ds = spec_by_name("PR").unwrap().instantiate(2000, 5);
+        let back = roundtrip(&ds);
+        assert_eq!(back.graph, ds.graph);
+        assert_eq!(back.features.as_slice(), ds.features.as_slice());
+        assert_eq!(back.labels, ds.labels);
+        assert_eq!(back.train_vertices, ds.train_vertices);
+    }
+
+    #[test]
+    fn unlabeled_dataset_roundtrips() {
+        let ds = spec_by_name("PA").unwrap().instantiate(4000, 5);
+        assert!(ds.labels.is_none());
+        let back = roundtrip(&ds);
+        assert_eq!(back.graph, ds.graph);
+        assert!(back.labels.is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_dataset(&mut io::Cursor::new(b"NOPE....".to_vec()), "x").unwrap_err();
+        assert!(matches!(err, IoError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let ds = spec_by_name("PR").unwrap().instantiate(2000, 5);
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = read_dataset(&mut io::Cursor::new(buf), "x").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+    }
+
+    #[test]
+    fn corrupt_csr_detected() {
+        let ds = spec_by_name("PR").unwrap().instantiate(2000, 5);
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds).unwrap();
+        // Smash a row offset (bytes 29..37 are within the offsets array).
+        for b in &mut buf[40..48] {
+            *b = 0xFF;
+        }
+        let err = read_dataset(&mut io::Cursor::new(buf), "x").unwrap_err();
+        assert!(matches!(err, IoError::Corrupt(_) | IoError::Io(_)));
+    }
+
+    #[test]
+    fn file_save_load_roundtrip() {
+        let ds = spec_by_name("PR").unwrap().instantiate(2000, 6);
+        let path = std::env::temp_dir().join("legion_io_test.lgn");
+        save_dataset(&path, &ds).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.graph, ds.graph);
+        assert_eq!(back.name, "legion_io_test");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,206 @@
+//! Vertex relabeling (graph reordering).
+//!
+//! Production GNN systems reorder vertices so hot vertices get dense, low
+//! ids — it compacts hotness metadata, improves memory locality of CSR
+//! scans, and lets a cache be addressed by an id range instead of a hash
+//! map. This module provides permutation plumbing with the invariant
+//! tests to make that safe: a reorder is a graph isomorphism, so every
+//! structural property must be preserved.
+
+use crate::csr::CsrGraph;
+use crate::dataset::Dataset;
+use crate::features::FeatureTable;
+use crate::VertexId;
+
+/// A vertex permutation: `new_id[old_id]` gives the relabeled id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_of_old: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// Builds from a `new_of_old` mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is not a permutation of `0..n`.
+    pub fn new(new_of_old: Vec<VertexId>) -> Self {
+        let n = new_of_old.len();
+        let mut seen = vec![false; n];
+        for &x in &new_of_old {
+            assert!((x as usize) < n, "mapping target {x} out of range");
+            assert!(!seen[x as usize], "duplicate mapping target {x}");
+            seen[x as usize] = true;
+        }
+        Self { new_of_old }
+    }
+
+    /// The identity permutation on `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            new_of_old: (0..n as VertexId).collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// True for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// New id of `old`.
+    #[inline]
+    pub fn apply(&self, old: VertexId) -> VertexId {
+        self.new_of_old[old as usize]
+    }
+
+    /// The inverse mapping (`old_of_new`).
+    pub fn inverse(&self) -> Permutation {
+        let mut old_of_new = vec![0 as VertexId; self.new_of_old.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            old_of_new[new as usize] = old as VertexId;
+        }
+        Permutation {
+            new_of_old: old_of_new,
+        }
+    }
+}
+
+/// Permutation sorting vertices by descending `score` (ties by ascending
+/// old id) — hotness- or degree-ordered relabeling.
+pub fn by_descending_score(scores: &[u64]) -> Permutation {
+    let mut order: Vec<VertexId> = (0..scores.len() as VertexId).collect();
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    // `order[rank] = old` -> `new_of_old[old] = rank`.
+    let mut new_of_old = vec![0 as VertexId; scores.len()];
+    for (rank, &old) in order.iter().enumerate() {
+        new_of_old[old as usize] = rank as VertexId;
+    }
+    Permutation::new(new_of_old)
+}
+
+/// Relabels a graph under `perm`.
+///
+/// # Panics
+///
+/// Panics if `perm.len() != graph.num_vertices()`.
+pub fn reorder_graph(graph: &CsrGraph, perm: &Permutation) -> CsrGraph {
+    assert_eq!(perm.len(), graph.num_vertices(), "permutation size mismatch");
+    let mut builder = crate::GraphBuilder::new(graph.num_vertices())
+        .with_edge_capacity(graph.num_edges())
+        .keep_duplicates();
+    for (s, d) in graph.edges() {
+        builder.push_edge(perm.apply(s), perm.apply(d));
+    }
+    builder.build()
+}
+
+/// Relabels a whole dataset (graph, features, labels, training set).
+pub fn reorder_dataset(dataset: &Dataset, perm: &Permutation) -> Dataset {
+    let graph = reorder_graph(&dataset.graph, perm);
+    let n = dataset.graph.num_vertices();
+    let dim = dataset.features.dim();
+    let mut features = FeatureTable::zeros(n, dim);
+    for old in 0..n as VertexId {
+        features
+            .row_mut(perm.apply(old))
+            .copy_from_slice(dataset.features.row(old));
+    }
+    let labels = dataset.labels.as_ref().map(|ls| {
+        let mut out = vec![0u32; n];
+        for (old, &l) in ls.iter().enumerate() {
+            out[perm.apply(old as VertexId) as usize] = l;
+        }
+        out
+    });
+    let mut train_vertices: Vec<VertexId> =
+        dataset.train_vertices.iter().map(|&v| perm.apply(v)).collect();
+    train_vertices.sort_unstable();
+    Dataset {
+        name: format!("{}+reordered", dataset.name),
+        graph,
+        features,
+        labels,
+        train_vertices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::spec_by_name;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn permutation_validation() {
+        let p = Permutation::new(vec![2, 0, 1]);
+        assert_eq!(p.apply(0), 2);
+        let inv = p.inverse();
+        for v in 0..3 {
+            assert_eq!(inv.apply(p.apply(v)), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate mapping")]
+    fn rejects_non_permutation() {
+        let _ = Permutation::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn descending_score_gives_rank_zero_to_hottest() {
+        let p = by_descending_score(&[5, 100, 7]);
+        assert_eq!(p.apply(1), 0);
+        assert_eq!(p.apply(2), 1);
+        assert_eq!(p.apply(0), 2);
+    }
+
+    #[test]
+    fn reorder_preserves_structure() {
+        let ds = spec_by_name("PR").unwrap().instantiate(2000, 13);
+        let degrees: Vec<u64> = (0..ds.graph.num_vertices() as VertexId)
+            .map(|v| ds.graph.degree(v))
+            .collect();
+        let perm = by_descending_score(&degrees);
+        let re = reorder_dataset(&ds, &perm);
+        // Same vertex/edge counts; same degree multiset.
+        assert_eq!(re.graph.num_vertices(), ds.graph.num_vertices());
+        assert_eq!(re.graph.num_edges(), ds.graph.num_edges());
+        assert_eq!(degree_stats(&re.graph), degree_stats(&ds.graph));
+        // Vertex 0 is now the max-degree vertex.
+        let max_deg = degrees.iter().max().copied().unwrap();
+        assert_eq!(re.graph.degree(0), max_deg);
+        // Every relabeled edge maps back to an original edge.
+        let inv = perm.inverse();
+        for (s, d) in re.graph.edges().take(2000) {
+            let (os, od) = (inv.apply(s), inv.apply(d));
+            assert!(ds.graph.neighbors(os).contains(&od));
+        }
+        // Features and labels follow their vertices.
+        for old in (0..ds.graph.num_vertices() as VertexId).step_by(97) {
+            assert_eq!(re.features.row(perm.apply(old)), ds.features.row(old));
+            if let (Some(a), Some(b)) = (&re.labels, &ds.labels) {
+                assert_eq!(a[perm.apply(old) as usize], b[old as usize]);
+            }
+        }
+        // Training set is the same set of (relabeled) vertices.
+        assert_eq!(re.train_vertices.len(), ds.train_vertices.len());
+    }
+
+    #[test]
+    fn identity_reorder_is_noop() {
+        let ds = spec_by_name("PA").unwrap().instantiate(4000, 13);
+        let re = reorder_dataset(&ds, &Permutation::identity(ds.graph.num_vertices()));
+        assert_eq!(re.graph, ds.graph);
+        assert_eq!(re.features.as_slice(), ds.features.as_slice());
+        assert_eq!(re.train_vertices, ds.train_vertices);
+    }
+}

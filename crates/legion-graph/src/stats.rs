@@ -1,0 +1,134 @@
+//! Degree statistics and skew metrics used by experiment drivers and tests.
+
+use crate::csr::CsrGraph;
+
+/// Summary of an out-degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: u64,
+    /// Maximum out-degree.
+    pub max: u64,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Fraction of edges owned by the top 10% highest-degree vertices.
+    pub top10_edge_share: f64,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+///
+/// # Panics
+///
+/// Panics if the graph has no vertices.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    assert!(g.num_vertices() > 0, "graph must have vertices");
+    let mut degrees: Vec<u64> = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+    let min = *degrees.iter().min().expect("non-empty");
+    let max = *degrees.iter().max().expect("non-empty");
+    let total: u64 = degrees.iter().sum();
+    let mean = total as f64 / degrees.len() as f64;
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let head = degrees.len().div_ceil(10);
+    let head_sum: u64 = degrees[..head].iter().sum();
+    let top10_edge_share = if total == 0 {
+        0.0
+    } else {
+        head_sum as f64 / total as f64
+    };
+    DegreeStats {
+        min,
+        max,
+        mean,
+        top10_edge_share,
+    }
+}
+
+/// Gini coefficient of the out-degree distribution — 0 for perfectly
+/// uniform, approaching 1 for extreme skew. Used to check that synthetic
+/// stand-ins match the target dataset's skew class.
+pub fn degree_gini(g: &CsrGraph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut degrees: Vec<u64> = (0..n as u32).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    let total: u64 = degrees.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut weighted = 0.0f64;
+    for (i, &d) in degrees.iter().enumerate() {
+        weighted += (i as f64 + 1.0) * d as f64;
+    }
+    (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+/// Number of edges whose endpoints fall in different parts of `assignment`
+/// (the edge-cut a partitioner minimizes), counting each directed edge once.
+pub fn edge_cut(g: &CsrGraph, assignment: &[u32]) -> usize {
+    assert_eq!(assignment.len(), g.num_vertices());
+    g.edges()
+        .filter(|&(s, d)| assignment[s as usize] != assignment[d as usize])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_on_star_graph() {
+        // Vertex 0 points at everyone else.
+        let mut b = GraphBuilder::new(11);
+        for v in 1..11 {
+            b.push_edge(0, v);
+        }
+        let g = b.build();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 10);
+        assert!((s.mean - 10.0 / 11.0).abs() < 1e-12);
+        // Top 10% (2 vertices) hold all edges.
+        assert_eq!(s.top10_edge_share, 1.0);
+    }
+
+    #[test]
+    fn gini_zero_for_regular_graph() {
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build();
+        assert!(degree_gini(&g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_high_for_star() {
+        let mut b = GraphBuilder::new(50);
+        for v in 1..50 {
+            b.push_edge(0, v);
+        }
+        let g = b.build();
+        assert!(degree_gini(&g) > 0.9);
+    }
+
+    #[test]
+    fn gini_zero_for_empty_graph() {
+        assert_eq!(degree_gini(&CsrGraph::empty(4)), 0.0);
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_edges() {
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build();
+        // Parts {0,1} and {2,3}: only 1 -> 2 crosses.
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 1);
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0);
+        assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 3);
+    }
+}

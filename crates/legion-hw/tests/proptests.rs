@@ -1,0 +1,69 @@
+//! Property-based tests for the hardware model invariants.
+
+use proptest::prelude::*;
+
+use legion_hw::{GpuDevice, NvLinkTopology, PcieGeneration, PcieModel};
+
+proptest! {
+    #[test]
+    fn device_accounting_never_goes_negative_or_over(
+        capacity in 1u64..1_000_000,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..100_000), 0..64),
+    ) {
+        let mut gpu = GpuDevice::new(0, capacity);
+        for (is_alloc, bytes) in ops {
+            if is_alloc {
+                let before = gpu.allocated_bytes();
+                match gpu.alloc(bytes) {
+                    Ok(()) => prop_assert_eq!(gpu.allocated_bytes(), before + bytes),
+                    Err(_) => prop_assert_eq!(gpu.allocated_bytes(), before),
+                }
+            } else {
+                let before = gpu.allocated_bytes();
+                match gpu.free(bytes) {
+                    Ok(()) => prop_assert_eq!(gpu.allocated_bytes(), before - bytes),
+                    Err(_) => prop_assert_eq!(gpu.allocated_bytes(), before),
+                }
+            }
+            prop_assert!(gpu.allocated_bytes() <= gpu.capacity());
+            prop_assert_eq!(gpu.free_bytes(), gpu.capacity() - gpu.allocated_bytes());
+        }
+    }
+
+    #[test]
+    fn pcie_transactions_cover_payload(
+        payload in 0u64..1_000_000,
+        cls_pow in 4u32..10,
+    ) {
+        let cls = 1u64 << cls_pow;
+        let model = PcieModel::new(PcieGeneration::Gen3x16).with_cls(cls);
+        let tx = model.transactions_for_payload(payload);
+        // Lines cover the payload with less than one line of slack.
+        prop_assert!(tx * cls >= payload);
+        prop_assert!(tx * cls < payload + cls);
+    }
+
+    #[test]
+    fn effective_bandwidth_monotone_and_bounded(
+        p1 in 1.0f64..1e6,
+        p2 in 1.0f64..1e6,
+    ) {
+        let model = PcieModel::new(PcieGeneration::Gen4x16);
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(model.effective_bandwidth(lo) <= model.effective_bandwidth(hi) + 1e-9);
+        prop_assert!(model.effective_bandwidth(hi) <= model.peak_bandwidth());
+    }
+
+    #[test]
+    fn clique_presets_are_symmetric(n_half in 1usize..5, size_pow in 0u32..3) {
+        let size = 1usize << size_pow;
+        let n = n_half * 2 * size;
+        let t = NvLinkTopology::disjoint_cliques(n, size);
+        for a in 0..n {
+            prop_assert!(!t.connected(a, a));
+            for b in 0..n {
+                prop_assert_eq!(t.connected(a, b), t.connected(b, a));
+            }
+        }
+    }
+}

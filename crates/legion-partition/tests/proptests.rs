@@ -1,0 +1,117 @@
+//! Property-based tests for the partitioners and clique detection.
+
+use proptest::prelude::*;
+
+use legion_graph::builder::from_edges;
+use legion_hw::NvLinkTopology;
+use legion_partition::quality::{balance, part_sizes};
+use legion_partition::{
+    detect_cliques, hierarchical_partition, HashPartitioner, LdgPartitioner, MultilevelPartitioner,
+    Partitioner,
+};
+
+fn graph_strategy() -> impl Strategy<Value = legion_graph::CsrGraph> {
+    (8usize..64).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..256)
+            .prop_map(move |edges| from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_partitioner_outputs_valid_assignment(g in graph_strategy(), k in 1usize..6) {
+        let partitioners: [&dyn Partitioner; 3] = [
+            &HashPartitioner,
+            &LdgPartitioner::default(),
+            &MultilevelPartitioner::default(),
+        ];
+        for p in partitioners {
+            let a = p.partition(&g, k);
+            prop_assert_eq!(a.len(), g.num_vertices(), "{} length", p.name());
+            prop_assert!(a.iter().all(|&x| (x as usize) < k), "{} range", p.name());
+        }
+    }
+
+    #[test]
+    fn ldg_respects_capacity_slack(g in graph_strategy(), k in 2usize..5) {
+        let p = LdgPartitioner { passes: 2, capacity_slack: 1.10 };
+        let a = p.partition(&g, k);
+        let sizes = part_sizes(&a, k);
+        let cap = (1.10 * g.num_vertices() as f64 / k as f64).max(1.0);
+        for &s in &sizes {
+            // One unit of slop for the all-full fallback path.
+            prop_assert!(s as f64 <= cap + 1.0, "size {s} cap {cap}");
+        }
+    }
+
+    #[test]
+    fn multilevel_balance_is_bounded(g in graph_strategy(), k in 2usize..5) {
+        let p = MultilevelPartitioner::default();
+        let a = p.partition(&g, k);
+        if g.num_vertices() >= 4 * k {
+            // Tolerance plus coarsening granularity slop.
+            prop_assert!(
+                balance(&a, k) <= p.balance_tolerance + 0.5,
+                "balance {}",
+                balance(&a, k)
+            );
+        }
+    }
+
+    #[test]
+    fn clique_cover_is_a_partition_of_gpus(n in 1usize..10, links in proptest::collection::vec((0usize..10, 0usize..10), 0..20)) {
+        let mut adj = vec![false; n * n];
+        for (a, b) in links {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                adj[a * n + b] = true;
+                adj[b * n + a] = true;
+            }
+        }
+        let topo = NvLinkTopology::from_matrix(n, adj);
+        let cliques = detect_cliques(&topo);
+        // Disjoint cover of all GPUs.
+        let mut seen = vec![false; n];
+        for clique in &cliques {
+            for &g in clique {
+                prop_assert!(!seen[g], "GPU {g} in two cliques");
+                seen[g] = true;
+            }
+            // Every pair in a clique is connected.
+            for &a in clique {
+                for &b in clique {
+                    if a != b {
+                        prop_assert!(topo.connected(a, b));
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "uncovered GPU");
+    }
+
+    #[test]
+    fn hierarchical_tablets_partition_training_set(
+        g in graph_strategy(),
+        clique_size in prop_oneof![Just(1usize), Just(2), Just(4)],
+        train_mask in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        let train: Vec<u32> = (0..g.num_vertices() as u32)
+            .filter(|&v| train_mask.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        let topo = NvLinkTopology::disjoint_cliques(4.max(clique_size), clique_size);
+        let plan = hierarchical_partition(&g, &train, &topo, &HashPartitioner);
+        let mut all: Vec<u32> = plan.tablets.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut expected = train.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(all, expected);
+        // GPU-to-clique map is consistent with the clique lists.
+        for (ci, clique) in plan.cliques.iter().enumerate() {
+            for &gpu in clique {
+                prop_assert_eq!(plan.gpu_clique[gpu] as usize, ci);
+            }
+        }
+    }
+}

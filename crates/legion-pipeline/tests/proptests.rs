@@ -1,0 +1,66 @@
+//! Property-based tests for the pipeline schedules.
+
+use proptest::prelude::*;
+
+use legion_pipeline::{
+    epoch_time_factored, epoch_time_pipelined, epoch_time_serial, BatchCost,
+};
+
+fn batches_strategy() -> impl Strategy<Value = Vec<BatchCost>> {
+    proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..40)
+        .prop_map(|v| v.into_iter().map(|(prep, train)| BatchCost { prep, train }).collect())
+}
+
+proptest! {
+    #[test]
+    fn pipelined_bounded_by_bottleneck_and_serial(batches in batches_strategy()) {
+        let pipe = epoch_time_pipelined(&batches);
+        let serial = epoch_time_serial(&batches);
+        let prep: f64 = batches.iter().map(|b| b.prep).sum();
+        let train: f64 = batches.iter().map(|b| b.train).sum();
+        // Can never beat the slower stage's total work...
+        prop_assert!(pipe + 1e-9 >= prep.max(train));
+        // ...and never exceeds fully serial execution.
+        prop_assert!(pipe <= serial + 1e-9);
+    }
+
+    #[test]
+    fn more_trainers_never_slow_a_factored_epoch(
+        batches in batches_strategy(),
+        samplers in 1usize..5,
+        trainers in 1usize..5,
+    ) {
+        let t1 = epoch_time_factored(&batches, samplers, trainers);
+        let t2 = epoch_time_factored(&batches, samplers, trainers + 1);
+        prop_assert!(t2 <= t1 + 1e-9, "{t2} > {t1}");
+        let t3 = epoch_time_factored(&batches, samplers + 1, trainers);
+        prop_assert!(t3 <= t1 + 1e-9, "{t3} > {t1}");
+    }
+
+    #[test]
+    fn factored_dominates_its_own_aggregate_work(
+        batches in batches_strategy(),
+        samplers in 1usize..4,
+        trainers in 1usize..4,
+    ) {
+        let t = epoch_time_factored(&batches, samplers, trainers);
+        let prep: f64 = batches.iter().map(|b| b.prep).sum();
+        let train: f64 = batches.iter().map(|b| b.train).sum();
+        prop_assert!(t + 1e-9 >= (prep / samplers as f64).max(train / trainers as f64));
+    }
+
+    #[test]
+    fn scaling_all_costs_scales_all_schedules(batches in batches_strategy(), k in 1.0f64..5.0) {
+        let scaled: Vec<BatchCost> = batches
+            .iter()
+            .map(|b| BatchCost { prep: b.prep * k, train: b.train * k })
+            .collect();
+        let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs() + b.abs());
+        prop_assert!(rel(epoch_time_pipelined(&scaled), k * epoch_time_pipelined(&batches)));
+        prop_assert!(rel(epoch_time_serial(&scaled), k * epoch_time_serial(&batches)));
+        prop_assert!(rel(
+            epoch_time_factored(&scaled, 2, 2),
+            k * epoch_time_factored(&batches, 2, 2)
+        ));
+    }
+}

@@ -1,0 +1,349 @@
+//! Cache-aware, traffic-metered memory accesses.
+//!
+//! [`AccessEngine`] is the seam between algorithms (sampling, extraction)
+//! and the simulated hardware: it resolves every read against the cache
+//! layout and books the resulting traffic on the server's PCM counters and
+//! traffic matrix. This is where the paper's access-pattern observations
+//! are encoded:
+//!
+//! * sampling reads are "random and fine-grained" (§3.2): a CPU (UVA)
+//!   neighbor sample books one transaction for the row offset plus one
+//!   4-byte transaction per sampled edge;
+//! * feature reads move whole rows: a CPU read books
+//!   `ceil(D * 4 / CLS)` transactions (Equation 8).
+
+use rand::Rng;
+
+use legion_cache::unified::CacheHit;
+use legion_cache::CliqueCache;
+use legion_graph::{CsrGraph, FeatureTable, VertexId};
+use legion_hw::pcm::TrafficKind;
+use legion_hw::traffic::Source;
+use legion_hw::{GpuId, MultiGpuServer};
+
+/// Where the full graph topology lives (§3.2's "coarse-grained" options
+/// plus Legion's unified cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyPlacement {
+    /// Entire topology in CPU memory, accessed over UVA (DGL, Quiver-CPU,
+    /// Legion's fallback path for uncached vertices).
+    CpuUva,
+    /// Entire topology replicated in every GPU (GNNLab-style TopoGPU).
+    /// Sampling is then PCIe-free, but the replica consumes GPU memory.
+    ReplicatedGpu,
+}
+
+/// Maps each GPU to its clique cache (if any).
+#[derive(Debug, Clone, Default)]
+pub struct CacheLayout {
+    /// One cache per clique.
+    pub cliques: Vec<CliqueCache>,
+    /// `gpu_slot[gpu] = Some((clique_index, slot))`.
+    pub gpu_slot: Vec<Option<(usize, usize)>>,
+}
+
+impl CacheLayout {
+    /// A layout with no caches for `num_gpus` GPUs.
+    pub fn none(num_gpus: usize) -> Self {
+        Self {
+            cliques: Vec::new(),
+            gpu_slot: vec![None; num_gpus],
+        }
+    }
+
+    /// Builds the layout from clique caches, inferring GPU→slot mapping.
+    pub fn from_cliques(num_gpus: usize, cliques: Vec<CliqueCache>) -> Self {
+        let mut gpu_slot = vec![None; num_gpus];
+        for (ci, cc) in cliques.iter().enumerate() {
+            for (slot, &g) in cc.gpus().iter().enumerate() {
+                assert!(gpu_slot[g].is_none(), "GPU {g} in two cliques");
+                gpu_slot[g] = Some((ci, slot));
+            }
+        }
+        Self { cliques, gpu_slot }
+    }
+
+    /// The cache and slot serving `gpu`, if any.
+    pub fn for_gpu(&self, gpu: GpuId) -> Option<(&CliqueCache, usize)> {
+        self.gpu_slot
+            .get(gpu)
+            .copied()
+            .flatten()
+            .map(|(ci, slot)| (&self.cliques[ci], slot))
+    }
+}
+
+/// The metered read path used by samplers and extractors.
+pub struct AccessEngine<'a> {
+    graph: &'a CsrGraph,
+    features: &'a FeatureTable,
+    layout: &'a CacheLayout,
+    server: &'a MultiGpuServer,
+    topology_placement: TopologyPlacement,
+}
+
+impl<'a> AccessEngine<'a> {
+    /// Creates an engine over the CPU-resident graph/features, the cache
+    /// layout, and the server whose counters will be charged.
+    pub fn new(
+        graph: &'a CsrGraph,
+        features: &'a FeatureTable,
+        layout: &'a CacheLayout,
+        server: &'a MultiGpuServer,
+        topology_placement: TopologyPlacement,
+    ) -> Self {
+        Self {
+            graph,
+            features,
+            layout,
+            server,
+            topology_placement,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// The underlying feature table.
+    pub fn features(&self) -> &FeatureTable {
+        self.features
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.dim()
+    }
+
+    /// Samples up to `fanout` distinct neighbors of `v` on behalf of
+    /// `gpu`, booking the traffic of the topology read. Returns the
+    /// sampled neighbor ids (all neighbors when `degree <= fanout`).
+    pub fn sample_neighbors<R: Rng + ?Sized>(
+        &self,
+        gpu: GpuId,
+        v: VertexId,
+        fanout: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        let neighbors = self.read_topology(gpu, v, fanout);
+        sample_from(neighbors, fanout, rng)
+    }
+
+    /// Resolves a topology read for `v` from `gpu`, charging traffic for
+    /// `sampled` edge reads, and returns the adjacency slice.
+    fn read_topology(&self, gpu: GpuId, v: VertexId, fanout: usize) -> &[VertexId] {
+        let degree = self.graph.degree(v) as usize;
+        let edges_read = degree.min(fanout) as u64;
+        if self.topology_placement == TopologyPlacement::ReplicatedGpu {
+            // Local replica: no interconnect traffic at all.
+            return self.graph.neighbors(v);
+        }
+        if let Some((cache, slot)) = self.layout.for_gpu(gpu) {
+            if let Some((hit, data)) = cache.lookup_topology(slot, v) {
+                if let CacheHit::Peer(owner) = hit {
+                    // NVLink bytes: sampled edge ids + the offset pair.
+                    self.server
+                        .traffic()
+                        .add(gpu, Source::Gpu(owner), edges_read * 4 + 8);
+                }
+                return data;
+            }
+        }
+        // CPU fallback over UVA: fine-grained reads. One transaction for
+        // the row offsets, one 4-byte transaction per sampled edge.
+        self.server
+            .pcm()
+            .add(gpu, TrafficKind::Topology, 1 + edges_read);
+        self.server
+            .traffic()
+            .add(gpu, Source::Cpu, edges_read * 4 + 8);
+        self.graph.neighbors(v)
+    }
+
+    /// Reads `v`'s feature row on behalf of `gpu`, booking traffic.
+    pub fn read_feature(&self, gpu: GpuId, v: VertexId) -> &[f32] {
+        let row_bytes = self.features.row_bytes();
+        if let Some((cache, slot)) = self.layout.for_gpu(gpu) {
+            if let Some((hit, data)) = cache.lookup_feature(slot, v) {
+                if let CacheHit::Peer(owner) = hit {
+                    self.server
+                        .traffic()
+                        .add(gpu, Source::Gpu(owner), row_bytes);
+                }
+                return data;
+            }
+        }
+        let tx = self.server.pcie().transactions_for_payload(row_bytes);
+        self.server.pcm().add(gpu, TrafficKind::Feature, tx);
+        self.server.traffic().add(gpu, Source::Cpu, row_bytes);
+        self.features.row(v)
+    }
+
+    /// Whether `v`'s feature read from `gpu` would hit the cache (local or
+    /// peer). Used for hit-rate reporting without charging traffic.
+    pub fn feature_would_hit(&self, gpu: GpuId, v: VertexId) -> bool {
+        self.layout
+            .for_gpu(gpu)
+            .map(|(cache, _)| cache.has_feature(v))
+            .unwrap_or(false)
+    }
+
+    /// Whether a topology read of `v` from `gpu` avoids PCIe.
+    pub fn topology_would_hit(&self, gpu: GpuId, v: VertexId) -> bool {
+        if self.topology_placement == TopologyPlacement::ReplicatedGpu {
+            return true;
+        }
+        self.layout
+            .for_gpu(gpu)
+            .map(|(cache, _)| cache.has_topology(v))
+            .unwrap_or(false)
+    }
+}
+
+/// Uniformly samples `min(fanout, neighbors.len())` distinct entries.
+/// Matches DGL's fixed-fanout neighbor sampling: when the degree is at
+/// most the fanout, all neighbors are taken.
+pub fn sample_from<R: Rng + ?Sized>(
+    neighbors: &[VertexId],
+    fanout: usize,
+    rng: &mut R,
+) -> Vec<VertexId> {
+    if neighbors.len() <= fanout {
+        return neighbors.to_vec();
+    }
+    // Floyd's algorithm for distinct indices.
+    let n = neighbors.len();
+    let mut chosen: Vec<usize> = Vec::with_capacity(fanout);
+    for j in n - fanout..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen.into_iter().map(|i| neighbors[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::GraphBuilder;
+    use legion_hw::ServerSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(40);
+        for v in 1..40 {
+            b.push_edge(0, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sample_from_small_degree_returns_all() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_from(&[1, 2, 3], 10, &mut rng), vec![1, 2, 3]);
+        assert!(sample_from(&[], 5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_from_large_degree_returns_distinct_fanout() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool: Vec<VertexId> = (0..100).collect();
+        let s = sample_from(&pool, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10, "samples must be distinct");
+    }
+
+    #[test]
+    fn cpu_topology_read_charges_per_edge_transactions() {
+        let g = star_graph();
+        let f = FeatureTable::zeros(40, 16);
+        let layout = CacheLayout::none(2);
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = engine.sample_neighbors(0, 0, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        // 1 offset + 10 edge transactions on GPU 0's topology counter.
+        assert_eq!(server.pcm().gpu_kind(0, TrafficKind::Topology), 11);
+        assert_eq!(server.traffic().cpu_to_gpu(0), 10 * 4 + 8);
+    }
+
+    #[test]
+    fn replicated_gpu_topology_is_free() {
+        let g = star_graph();
+        let f = FeatureTable::zeros(40, 16);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::ReplicatedGpu);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = engine.sample_neighbors(0, 0, 10, &mut rng);
+        assert_eq!(server.pcm().total(), 0);
+        assert_eq!(server.traffic().total_cpu_bytes(), 0);
+    }
+
+    #[test]
+    fn cached_topology_local_hit_is_free_peer_hit_uses_nvlink() {
+        let g = star_graph();
+        let f = FeatureTable::zeros(40, 16);
+        let mut cc = CliqueCache::new(vec![0, 1], 40, 16);
+        cc.insert_topology(0, 0, g.neighbors(0));
+        let layout = CacheLayout::from_cliques(2, vec![cc]);
+        let server = ServerSpec::custom(2, 1 << 30, 2).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Local hit from GPU 0.
+        let _ = engine.sample_neighbors(0, 0, 5, &mut rng);
+        assert_eq!(server.pcm().total(), 0);
+        assert_eq!(server.traffic().total_peer_bytes(), 0);
+        // Peer hit from GPU 1: NVLink bytes, still no PCIe.
+        let _ = engine.sample_neighbors(1, 0, 5, &mut rng);
+        assert_eq!(server.pcm().total(), 0);
+        assert_eq!(server.traffic().gpu_to_gpu(0, 1), 5 * 4 + 8);
+    }
+
+    #[test]
+    fn feature_reads_charge_equation8_transactions() {
+        let g = star_graph();
+        // 128-dim rows: 512 bytes = 8 transactions at CLS 64.
+        let f = FeatureTable::zeros(40, 128);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let _ = engine.read_feature(0, 7);
+        assert_eq!(server.pcm().gpu_kind(0, TrafficKind::Feature), 8);
+        assert_eq!(server.traffic().cpu_to_gpu(0), 512);
+    }
+
+    #[test]
+    fn cached_feature_hits() {
+        let g = star_graph();
+        let f = FeatureTable::zeros(40, 4);
+        let mut cc = CliqueCache::new(vec![0, 1], 40, 4);
+        cc.insert_feature(1, 3, f.row(3));
+        let layout = CacheLayout::from_cliques(2, vec![cc]);
+        let server = ServerSpec::custom(2, 1 << 30, 2).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        // Peer hit: NVLink row bytes.
+        let _ = engine.read_feature(0, 3);
+        assert_eq!(server.pcm().total(), 0);
+        assert_eq!(server.traffic().gpu_to_gpu(1, 0), 16);
+        // Local hit: nothing at all.
+        server.reset();
+        let _ = engine.read_feature(1, 3);
+        assert_eq!(server.pcm().total(), 0);
+        assert_eq!(server.traffic().total_peer_bytes(), 0);
+        // Miss: PCIe.
+        let _ = engine.read_feature(0, 5);
+        assert_eq!(server.traffic().cpu_to_gpu(0), 16);
+        assert!(engine.feature_would_hit(0, 3));
+        assert!(!engine.feature_would_hit(0, 5));
+    }
+}

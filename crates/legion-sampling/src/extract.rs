@@ -1,0 +1,129 @@
+//! The feature extractor operator (§5, operator 3).
+//!
+//! Gathers the feature rows of every vertex in a sampled mini-batch into a
+//! dense matrix, charging each row's transfer through the access engine
+//! (local hit / NVLink peer / CPU PCIe).
+
+use legion_graph::{FeatureTable, VertexId};
+use legion_hw::GpuId;
+
+use crate::access::AccessEngine;
+
+/// Gathers features for `vertices` on behalf of `gpu`.
+///
+/// Returns the dense `(len, D)` matrix in `vertices` order. Traffic is
+/// booked per row on the engine's server.
+pub fn extract_features(
+    engine: &AccessEngine<'_>,
+    gpu: GpuId,
+    vertices: &[VertexId],
+) -> FeatureTable {
+    let dim = engine.feature_dim();
+    let mut out = FeatureTable::zeros(vertices.len(), dim);
+    for (i, &v) in vertices.iter().enumerate() {
+        let row = engine.read_feature(gpu, v);
+        out.row_mut(i as VertexId).copy_from_slice(row);
+    }
+    out
+}
+
+/// Hit statistics for a hypothetical extraction, without charging traffic.
+/// Used by the Figure 3 / Figure 9 cache hit-rate experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitStats {
+    /// Reads served from the clique cache (local or NVLink peer).
+    pub hits: u64,
+    /// Reads that would fall through to CPU memory.
+    pub misses: u64,
+}
+
+impl HitStats {
+    /// Hit rate in `[0, 1]`; 0 for no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another batch's stats.
+    pub fn merge(&mut self, other: HitStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Counts cache hits/misses for a feature gather without performing it.
+pub fn feature_hit_stats(engine: &AccessEngine<'_>, gpu: GpuId, vertices: &[VertexId]) -> HitStats {
+    let mut stats = HitStats::default();
+    for &v in vertices {
+        if engine.feature_would_hit(gpu, v) {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{CacheLayout, TopologyPlacement};
+    use legion_cache::CliqueCache;
+    use legion_graph::{CsrGraph, FeatureTable};
+    use legion_hw::ServerSpec;
+
+    #[test]
+    fn extract_gathers_in_order() {
+        let g = CsrGraph::empty(4);
+        let f = FeatureTable::from_flat((0..8).map(|x| x as f32).collect(), 2);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let out = extract_features(&engine, 0, &[3, 0]);
+        assert_eq!(out.row(0), &[6.0, 7.0]);
+        assert_eq!(out.row(1), &[0.0, 1.0]);
+        // Two uncached rows of 8 bytes: 1 transaction each.
+        assert_eq!(server.pcm().total(), 2);
+    }
+
+    #[test]
+    fn hit_stats_reflect_cache_contents() {
+        let g = CsrGraph::empty(4);
+        let f = FeatureTable::zeros(4, 2);
+        let mut cc = CliqueCache::new(vec![0], 4, 2);
+        cc.insert_feature(0, 1, f.row(1));
+        cc.insert_feature(0, 2, f.row(2));
+        let layout = CacheLayout::from_cliques(1, vec![cc]);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let stats = feature_hit_stats(&engine, 0, &[0, 1, 2, 3]);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // Stats collection charges nothing.
+        assert_eq!(server.pcm().total(), 0);
+    }
+
+    #[test]
+    fn empty_gather() {
+        let g = CsrGraph::empty(1);
+        let f = FeatureTable::zeros(1, 3);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let out = extract_features(&engine, 0, &[]);
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(feature_hit_stats(&engine, 0, &[]).hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = HitStats { hits: 1, misses: 3 };
+        a.merge(HitStats { hits: 2, misses: 0 });
+        assert_eq!(a, HitStats { hits: 3, misses: 3 });
+    }
+}

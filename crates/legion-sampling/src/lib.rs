@@ -1,0 +1,54 @@
+//! GPU-style neighbor sampling over the simulated memory hierarchy.
+//!
+//! In the paper every GPU runs graph sampling, feature extraction and
+//! training (§5). Here the same algorithms run on the host, but every
+//! topology and feature access goes through an [`access::AccessEngine`]
+//! that resolves it against the unified cache and *meters* it: local GPU
+//! hits are free, NVLink peer hits add to the GPU↔GPU traffic matrix, and
+//! CPU fallbacks add PCM PCIe transactions plus CPU→GPU bytes — exactly
+//! the quantities the paper's figures report.
+//!
+//! * [`access`] — cache-aware, traffic-metered topology/feature reads,
+//! * [`batch`] — local/global shuffling and mini-batch generation,
+//! * [`sampler`] — the L-hop fixed-fanout neighbor sampler producing
+//!   message-flow blocks (Figure 1's workflow),
+//! * [`extract`] — the feature extractor operator, and
+//! * [`presample`] — the pre-sampling phase that fills `H_T`, `H_F` and
+//!   measures `N_TSUM` (§4.2.2 S1, Figure 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use legion_graph::{FeatureTable, GraphBuilder};
+//! use legion_hw::ServerSpec;
+//! use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
+//! use legion_sampling::KHopSampler;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let g = GraphBuilder::new(4).edge(0, 1).edge(0, 2).edge(1, 3).build();
+//! let f = FeatureTable::zeros(4, 8);
+//! let layout = CacheLayout::none(1);
+//! let server = ServerSpec::custom(1, 1 << 30, 1).build();
+//! let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+//! let sampler = KHopSampler::new(vec![2, 2]);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let sample = sampler.sample_batch(&engine, 0, &[0], &mut rng, None);
+//! // Every uncached topology read crossed (simulated) PCIe.
+//! assert!(server.pcm().total() > 0);
+//! assert!(sample.all_vertices.contains(&0));
+//! ```
+
+pub mod access;
+pub mod batch;
+pub mod extract;
+pub mod presample;
+pub mod sampler;
+
+pub use access::{AccessEngine, CacheLayout, TopologyPlacement};
+pub use batch::BatchGenerator;
+pub use presample::{presample, PresampleOutput};
+pub use sampler::{Block, KHopSampler, MiniBatchSample};
+
+/// The paper's GraphSAGE/GCN sampling fan-outs: "The sampling fan-outs are
+/// 25 and 10" for 2-hop models (§6.1).
+pub const PAPER_FANOUTS: [usize; 2] = [25, 10];

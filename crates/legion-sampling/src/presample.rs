@@ -1,0 +1,269 @@
+//! The pre-sampling phase (§4.2.2 S1, Figure 6).
+//!
+//! "Each GPU conducts a local shuffle on its own training vertex tablet to
+//! generate seeds for mini-batches, performs graph sampling for each
+//! mini-batch, and updates the corresponding row in `H_T` and `H_F`. For
+//! `H_T`, whenever an edge is traversed during sampling, the hotness of
+//! its source vertex is incremented by 1. For `H_F`, the hotness for each
+//! vertex that appears in the sample results of the mini-batch is
+//! incremented by 1."
+//!
+//! During pre-sampling "graph topology is stored in the CPU memory"
+//! (footnote 2), so every topology read crosses PCIe; the resulting PCM
+//! tally is the paper's `N_TSUM`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_cache::HotnessMatrix;
+use legion_graph::{CsrGraph, FeatureTable, VertexId};
+use legion_hw::pcm::TrafficKind;
+use legion_hw::{GpuId, MultiGpuServer};
+
+use crate::access::{AccessEngine, CacheLayout, TopologyPlacement};
+use crate::batch::BatchGenerator;
+use crate::sampler::KHopSampler;
+
+/// Pre-sampling output for one NVLink clique.
+#[derive(Debug, Clone)]
+pub struct PresampleOutput {
+    /// Topology hotness matrix `H_T` (rows = clique slots).
+    pub h_t: HotnessMatrix,
+    /// Feature hotness matrix `H_F`.
+    pub h_f: HotnessMatrix,
+    /// `N_TSUM`: summed sampling PCIe transactions of the clique's GPUs
+    /// during pre-sampling.
+    pub n_tsum: u64,
+}
+
+/// Runs pre-sampling for one clique.
+///
+/// * `clique_gpus` — the clique's GPU ids (slot order),
+/// * `tablets` — one training tablet per slot,
+/// * `epochs` — pre-sampling epochs (GNNLab and Legion use one).
+///
+/// The server's PCM counters are reset before the run so `n_tsum` is
+/// exactly this phase's traffic; Legion resets the counters again after
+/// collection so the training-phase measurements start clean.
+#[allow(clippy::too_many_arguments)]
+pub fn presample(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    clique_gpus: &[GpuId],
+    tablets: &[Vec<VertexId>],
+    sampler: &KHopSampler,
+    batch_size: usize,
+    epochs: usize,
+    seed: u64,
+) -> PresampleOutput {
+    assert_eq!(
+        clique_gpus.len(),
+        tablets.len(),
+        "one tablet per clique GPU"
+    );
+    let kg = clique_gpus.len();
+    let n = graph.num_vertices();
+    let mut h_t = HotnessMatrix::new(kg, n);
+    let mut h_f = HotnessMatrix::new(kg, n);
+    let layout = CacheLayout::none(server.num_gpus());
+    let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva);
+
+    server.pcm().reset();
+    for (slot, (&gpu, tablet)) in clique_gpus.iter().zip(tablets).enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (gpu as u64).wrapping_mul(0x9E37_79B9));
+        let mut generator = BatchGenerator::new(tablet.clone(), batch_size);
+        for _ in 0..epochs {
+            for batch in generator.epoch(&mut rng) {
+                let mut on_edge = |src: VertexId| h_t.add(slot, src, 1);
+                let sample =
+                    sampler.sample_batch(&engine, gpu, &batch, &mut rng, Some(&mut on_edge));
+                for &v in &sample.all_vertices {
+                    h_f.add(slot, v, 1);
+                }
+            }
+        }
+    }
+    let n_tsum = server
+        .pcm()
+        .clique_total(clique_gpus, TrafficKind::Topology);
+    server.pcm().reset();
+    PresampleOutput { h_t, h_f, n_tsum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::generate::ChungLuConfig;
+    use legion_hw::ServerSpec;
+    use rand::Rng;
+
+    fn fixture() -> (CsrGraph, FeatureTable, Vec<Vec<VertexId>>) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = ChungLuConfig {
+            num_vertices: 400,
+            num_edges: 4000,
+            exponent: 0.9,
+            shuffle_ids: false,
+            ..Default::default()
+        }
+        .generate(&mut rng);
+        let f = FeatureTable::zeros(400, 8);
+        let train: Vec<VertexId> = (0..400).filter(|_| rng.gen::<f64>() < 0.2).collect();
+        let tablets = vec![
+            train.iter().copied().filter(|v| v % 2 == 0).collect(),
+            train.iter().copied().filter(|v| v % 2 == 1).collect(),
+        ];
+        (g, f, tablets)
+    }
+
+    #[test]
+    fn hotness_rows_match_tablets() {
+        let (g, f, tablets) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 2).build();
+        let out = presample(
+            &g,
+            &f,
+            &server,
+            &[0, 1],
+            &tablets,
+            &KHopSampler::new(vec![5, 5]),
+            32,
+            1,
+            9,
+        );
+        // Every seed appears in its own GPU's H_F row.
+        for (slot, tablet) in tablets.iter().enumerate() {
+            for &v in tablet {
+                assert!(out.h_f.get(slot, v) >= 1, "seed {v} missing on slot {slot}");
+            }
+        }
+        assert!(out.n_tsum > 0);
+    }
+
+    #[test]
+    fn topology_hotness_tracks_sampled_sources() {
+        let (g, f, tablets) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 2).build();
+        let out = presample(
+            &g,
+            &f,
+            &server,
+            &[0, 1],
+            &tablets,
+            &KHopSampler::new(vec![5, 5]),
+            32,
+            1,
+            9,
+        );
+        // Total H_T increments == total traversed edges; each traversed
+        // edge also contributed exactly one 4-byte PCIe transaction, plus
+        // one offset transaction per topology read. So N_TSUM must be
+        // strictly larger than the H_T total but by less than 2x.
+        let ht_total: u64 = out.h_t.column_wise_sum().iter().sum();
+        assert!(ht_total > 0);
+        assert!(out.n_tsum > ht_total);
+        assert!(out.n_tsum < 2 * ht_total + 1);
+    }
+
+    #[test]
+    fn counters_reset_after_presampling() {
+        let (g, f, tablets) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 2).build();
+        let _ = presample(
+            &g,
+            &f,
+            &server,
+            &[0, 1],
+            &tablets,
+            &KHopSampler::new(vec![3]),
+            16,
+            1,
+            1,
+        );
+        assert_eq!(server.pcm().total(), 0, "PCM must be clean for training");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (g, f, tablets) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 2).build();
+        let a = presample(
+            &g,
+            &f,
+            &server,
+            &[0, 1],
+            &tablets,
+            &KHopSampler::new(vec![4]),
+            16,
+            1,
+            5,
+        );
+        server.reset();
+        let b = presample(
+            &g,
+            &f,
+            &server,
+            &[0, 1],
+            &tablets,
+            &KHopSampler::new(vec![4]),
+            16,
+            1,
+            5,
+        );
+        assert_eq!(a.h_t, b.h_t);
+        assert_eq!(a.h_f, b.h_f);
+        assert_eq!(a.n_tsum, b.n_tsum);
+    }
+
+    #[test]
+    fn more_epochs_more_hotness() {
+        let (g, f, tablets) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 2).build();
+        let one = presample(
+            &g,
+            &f,
+            &server,
+            &[0, 1],
+            &tablets,
+            &KHopSampler::new(vec![4]),
+            16,
+            1,
+            5,
+        );
+        server.reset();
+        let three = presample(
+            &g,
+            &f,
+            &server,
+            &[0, 1],
+            &tablets,
+            &KHopSampler::new(vec![4]),
+            16,
+            3,
+            5,
+        );
+        let h1: u64 = one.h_f.column_wise_sum().iter().sum();
+        let h3: u64 = three.h_f.column_wise_sum().iter().sum();
+        assert!(h3 > 2 * h1);
+    }
+
+    #[test]
+    fn empty_tablets_produce_zero_hotness() {
+        let (g, f, _) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 2).build();
+        let out = presample(
+            &g,
+            &f,
+            &server,
+            &[0, 1],
+            &[vec![], vec![]],
+            &KHopSampler::new(vec![4]),
+            16,
+            1,
+            5,
+        );
+        assert_eq!(out.n_tsum, 0);
+        assert!(out.h_t.column_wise_sum().iter().all(|&h| h == 0));
+    }
+}

@@ -1,0 +1,277 @@
+//! L-hop fixed-fanout neighbor sampling (Figure 1's workflow, step 2) and
+//! message-flow-graph construction (the §5 "graph constructor" operator).
+
+use rand::Rng;
+
+use legion_graph::VertexId;
+use legion_hw::GpuId;
+
+use crate::access::AccessEngine;
+
+/// One hop's bipartite message block: edges from source vertices (the next
+/// hop's frontier) into destination vertices (this hop's frontier).
+///
+/// Layout convention (as in DGL's MFGs): the source vertex list of block
+/// `l` *starts with* the destination vertices, so destination `i` is also
+/// source `i` — self features are always available to the aggregator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Number of destination vertices (a prefix of `src_vertices`).
+    pub num_dst: usize,
+    /// Source vertex ids; `src_vertices[..num_dst]` are the destinations.
+    pub src_vertices: Vec<VertexId>,
+    /// Edge destinations as indices into `src_vertices[..num_dst]`.
+    pub edge_dst: Vec<u32>,
+    /// Edge sources as indices into `src_vertices`.
+    pub edge_src: Vec<u32>,
+}
+
+impl Block {
+    /// Number of edges in the block.
+    pub fn num_edges(&self) -> usize {
+        self.edge_dst.len()
+    }
+}
+
+/// A fully sampled mini-batch: the seeds, one block per hop (outermost
+/// hop last), and the union of all touched vertices for feature
+/// extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiniBatchSample {
+    /// The batch seeds (block 0's destinations).
+    pub seeds: Vec<VertexId>,
+    /// `blocks[l]` connects hop `l+1` sources into hop `l` destinations.
+    pub blocks: Vec<Block>,
+    /// Sorted, de-duplicated union of every vertex in the sample —
+    /// the set whose features the extractor fetches.
+    pub all_vertices: Vec<VertexId>,
+}
+
+impl MiniBatchSample {
+    /// Total sampled edges across all hops.
+    pub fn total_edges(&self) -> usize {
+        self.blocks.iter().map(|b| b.num_edges()).sum()
+    }
+
+    /// The input frontier of the deepest hop (the vertices whose raw
+    /// features feed layer 1 of the GNN).
+    pub fn input_vertices(&self) -> &[VertexId] {
+        &self.blocks.last().expect("at least one block").src_vertices
+    }
+}
+
+/// L-hop uniform neighbor sampler.
+#[derive(Debug, Clone)]
+pub struct KHopSampler {
+    /// Fan-out per hop, outermost first (the paper's `[25, 10]`).
+    pub fanouts: Vec<usize>,
+}
+
+impl KHopSampler {
+    /// A sampler with the given per-hop fan-outs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanouts` is empty or contains a zero.
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        assert!(!fanouts.is_empty(), "need at least one hop");
+        assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
+        Self { fanouts }
+    }
+
+    /// The paper's 2-hop `[25, 10]` sampler.
+    pub fn paper_default() -> Self {
+        Self::new(crate::PAPER_FANOUTS.to_vec())
+    }
+
+    /// Samples the multi-hop neighborhood of `seeds` on behalf of `gpu`,
+    /// charging all topology traffic through `engine`. Optionally records
+    /// per-edge-traversal hotness through `on_edge(source_vertex)`.
+    pub fn sample_batch<R: Rng + ?Sized>(
+        &self,
+        engine: &AccessEngine<'_>,
+        gpu: GpuId,
+        seeds: &[VertexId],
+        rng: &mut R,
+        mut on_edge: Option<&mut dyn FnMut(VertexId)>,
+    ) -> MiniBatchSample {
+        let mut blocks = Vec::with_capacity(self.fanouts.len());
+        let mut frontier: Vec<VertexId> = seeds.to_vec();
+        let mut all: Vec<VertexId> = seeds.to_vec();
+        for &fanout in &self.fanouts {
+            // Sample each destination's neighbors.
+            let mut src_vertices: Vec<VertexId> = frontier.clone();
+            let mut src_index: std::collections::HashMap<VertexId, u32> = src_vertices
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
+            let mut edge_dst = Vec::new();
+            let mut edge_src = Vec::new();
+            for (di, &dst) in frontier.iter().enumerate() {
+                let sampled = engine.sample_neighbors(gpu, dst, fanout, rng);
+                for s in sampled {
+                    if let Some(f) = on_edge.as_deref_mut() {
+                        f(dst);
+                    }
+                    let si = *src_index.entry(s).or_insert_with(|| {
+                        src_vertices.push(s);
+                        (src_vertices.len() - 1) as u32
+                    });
+                    edge_dst.push(di as u32);
+                    edge_src.push(si);
+                }
+            }
+            all.extend_from_slice(&src_vertices[frontier.len()..]);
+            let next_frontier = src_vertices.clone();
+            blocks.push(Block {
+                num_dst: frontier.len(),
+                src_vertices,
+                edge_dst,
+                edge_src,
+            });
+            frontier = next_frontier;
+        }
+        all.sort_unstable();
+        all.dedup();
+        MiniBatchSample {
+            seeds: seeds.to_vec(),
+            blocks,
+            all_vertices: all,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{CacheLayout, TopologyPlacement};
+    use legion_graph::{FeatureTable, GraphBuilder};
+    use legion_hw::ServerSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine_fixture() -> (
+        legion_graph::CsrGraph,
+        FeatureTable,
+        CacheLayout,
+        legion_hw::MultiGpuServer,
+    ) {
+        // A two-level tree: 0 -> {1, 2}, 1 -> {3, 4}, 2 -> {5, 6}.
+        let g = GraphBuilder::new(7)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(1, 4)
+            .edge(2, 5)
+            .edge(2, 6)
+            .build();
+        let f = FeatureTable::zeros(7, 4);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        (g, f, layout, server)
+    }
+
+    #[test]
+    fn two_hop_tree_sample_is_complete() {
+        let (g, f, layout, server) = engine_fixture();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let sampler = KHopSampler::new(vec![2, 2]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sampler.sample_batch(&engine, 0, &[0], &mut rng, None);
+        assert_eq!(s.blocks.len(), 2);
+        // Hop 1: seed 0 pulls both children.
+        assert_eq!(s.blocks[0].num_dst, 1);
+        assert_eq!(s.blocks[0].num_edges(), 2);
+        // Hop 2: frontier {0, 1, 2} pulls 2 + 2 (+0 from leaf-less 0's
+        // children already counted) -> vertices 3..6 appear.
+        assert_eq!(s.all_vertices, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(s.total_edges(), 2 + 6);
+    }
+
+    #[test]
+    fn block_destinations_prefix_sources() {
+        let (g, f, layout, server) = engine_fixture();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let sampler = KHopSampler::new(vec![2]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sampler.sample_batch(&engine, 0, &[0, 1], &mut rng, None);
+        let b = &s.blocks[0];
+        assert_eq!(&b.src_vertices[..b.num_dst], &[0, 1]);
+        // All edge indices are in range.
+        for (&d, &sr) in b.edge_dst.iter().zip(&b.edge_src) {
+            assert!((d as usize) < b.num_dst);
+            assert!((sr as usize) < b.src_vertices.len());
+        }
+    }
+
+    #[test]
+    fn edge_callback_counts_source_traversals() {
+        let (g, f, layout, server) = engine_fixture();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let sampler = KHopSampler::new(vec![2, 2]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 7];
+        let mut cb = |v: VertexId| counts[v as usize] += 1;
+        let _ = sampler.sample_batch(&engine, 0, &[0], &mut rng, Some(&mut cb));
+        // Vertex 0 is sampled at hop 1 (2 edges) and again at hop 2
+        // (2 edges, since 0 is in the hop-2 frontier).
+        assert_eq!(counts[0], 4);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[3], 0);
+    }
+
+    #[test]
+    fn fanout_caps_sampled_edges() {
+        let mut b = GraphBuilder::new(101);
+        for v in 1..101 {
+            b.push_edge(0, v);
+        }
+        let g = b.build();
+        let f = FeatureTable::zeros(101, 4);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let sampler = KHopSampler::new(vec![7]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sampler.sample_batch(&engine, 0, &[0], &mut rng, None);
+        assert_eq!(s.total_edges(), 7);
+        assert_eq!(s.input_vertices().len(), 8);
+    }
+
+    #[test]
+    fn isolated_seed_produces_empty_blocks() {
+        let g = GraphBuilder::new(3).build();
+        let f = FeatureTable::zeros(3, 4);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let sampler = KHopSampler::paper_default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = sampler.sample_batch(&engine, 0, &[1], &mut rng, None);
+        assert_eq!(s.total_edges(), 0);
+        assert_eq!(s.all_vertices, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_fanouts_rejected() {
+        let _ = KHopSampler::new(vec![]);
+    }
+
+    #[test]
+    fn duplicate_neighbors_get_single_src_slot() {
+        // Both seeds point at vertex 2; it should appear once as a source.
+        let g = GraphBuilder::new(3).edge(0, 2).edge(1, 2).build();
+        let f = FeatureTable::zeros(3, 4);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let sampler = KHopSampler::new(vec![4]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sampler.sample_batch(&engine, 0, &[0, 1], &mut rng, None);
+        let b = &s.blocks[0];
+        assert_eq!(b.src_vertices, vec![0, 1, 2]);
+        assert_eq!(b.num_edges(), 2);
+    }
+}

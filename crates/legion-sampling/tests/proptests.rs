@@ -1,0 +1,102 @@
+//! Property-based tests for the sampler and the traffic accounting.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_graph::builder::from_edges;
+use legion_graph::{FeatureTable, VertexId};
+use legion_hw::ServerSpec;
+use legion_sampling::access::{sample_from, AccessEngine, CacheLayout, TopologyPlacement};
+use legion_sampling::KHopSampler;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sample_from_is_a_distinct_subset(
+        pool in proptest::collection::vec(0u32..1000, 0..60),
+        fanout in 0usize..20,
+        seed in 0u64..1000,
+    ) {
+        // De-duplicate the pool so distinctness is well-defined.
+        let mut pool = pool;
+        pool.sort_unstable();
+        pool.dedup();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sample_from(&pool, fanout, &mut rng);
+        prop_assert_eq!(s.len(), pool.len().min(fanout));
+        // Subset.
+        for v in &s {
+            prop_assert!(pool.contains(v));
+        }
+        // Distinct.
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        prop_assert_eq!(d.len(), s.len());
+    }
+
+    #[test]
+    fn sampled_blocks_reference_real_edges(
+        n in 4usize..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 1..200),
+        seed in 0u64..1000,
+        fanout in 1usize..6,
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(s, d)| (s % n as u32, d % n as u32))
+            .collect();
+        let g = from_edges(n, &edges);
+        let f = FeatureTable::zeros(n, 4);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 40, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let sampler = KHopSampler::new(vec![fanout, fanout]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeds: Vec<VertexId> = vec![0, (n / 2) as u32];
+        let sample = sampler.sample_batch(&engine, 0, &seeds, &mut rng, None);
+        // Every sampled edge exists in the graph.
+        for block in &sample.blocks {
+            for (&di, &si) in block.edge_dst.iter().zip(&block.edge_src) {
+                let dst = block.src_vertices[di as usize];
+                let src = block.src_vertices[si as usize];
+                prop_assert!(
+                    g.neighbors(dst).contains(&src),
+                    "sampled non-edge {dst}->{src}"
+                );
+            }
+        }
+        // all_vertices is sorted, unique, includes the seeds.
+        prop_assert!(sample.all_vertices.windows(2).all(|w| w[0] < w[1]));
+        for s in &seeds {
+            prop_assert!(sample.all_vertices.binary_search(s).is_ok());
+        }
+    }
+
+    #[test]
+    fn pcm_transactions_match_sampled_edges_exactly(
+        n in 4usize..30,
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..150),
+        seed in 0u64..1000,
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(s, d)| (s % n as u32, d % n as u32))
+            .collect();
+        let g = from_edges(n, &edges);
+        let f = FeatureTable::zeros(n, 4);
+        let layout = CacheLayout::none(1);
+        let server = ServerSpec::custom(1, 1 << 40, 1).build();
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva);
+        let sampler = KHopSampler::new(vec![3]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeds: Vec<VertexId> = (0..n as u32).step_by(3).collect();
+        let sample = sampler.sample_batch(&engine, 0, &seeds, &mut rng, None);
+        // Uncached UVA sampling: 1 offset transaction per seed + 1 per
+        // sampled edge.
+        let expected = seeds.len() as u64 + sample.total_edges() as u64;
+        prop_assert_eq!(server.pcm().total(), expected);
+    }
+}

@@ -1,0 +1,82 @@
+//! The headline claim at simulation scale: Legion trains the Clue-web
+//! class of graphs (1B vertices / 42.5B edges in the paper, scaled here by
+//! `LEGION_DIVISOR`, default 4000) on a DGX-A100-class server while the
+//! baselines fall over.
+//!
+//! Run with: `cargo run --release -p legion-core --example billion_scale_scaled`
+
+use legion_baselines::{dgl, gnnlab, pagraph};
+use legion_core::experiments::scaled_server;
+use legion_core::runner::run_epoch;
+use legion_core::system::legion_setup_with_plans;
+use legion_core::LegionConfig;
+use legion_graph::dataset::spec_by_name;
+use legion_hw::ServerSpec;
+
+fn main() {
+    let divisor: u64 = std::env::var("LEGION_DIVISOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000);
+    println!("materializing CL (Clue-web stand-in) at 1/{divisor} scale...");
+    let dataset = spec_by_name("CL")
+        .expect("CL registered")
+        .instantiate(divisor, 7);
+    println!(
+        "  {} vertices, {} edges, topology {} MiB, features {} MiB",
+        dataset.graph.num_vertices(),
+        dataset.graph.num_edges(),
+        dataset.topology_bytes() >> 20,
+        dataset.feature_bytes() >> 20,
+    );
+
+    // DGX-A100 scaled by the same divisor, so every capacity ratio of the
+    // paper's Table 1 vs Table 2 is preserved.
+    let spec = scaled_server(&ServerSpec::dgx_a100(), divisor);
+    println!(
+        "server {}: {} GPUs x {} MiB, host {} MiB\n",
+        spec.name,
+        spec.num_gpus,
+        spec.gpu_memory >> 20,
+        spec.cpu_memory >> 20
+    );
+    let config = LegionConfig {
+        batch_size: 512,
+        ..Default::default()
+    };
+
+    // Baselines first.
+    for name in ["DGL", "PaGraph", "GNNLab"] {
+        let server = spec.build();
+        let ctx = config.build_context(&dataset, &server);
+        let result = match name {
+            "DGL" => dgl::setup(&ctx),
+            "PaGraph" => pagraph::setup(&ctx),
+            _ => gnnlab::setup(&ctx, 2),
+        };
+        match result {
+            Ok(setup) => {
+                let report = run_epoch(&setup, &ctx, &config);
+                println!(
+                    "{name:<8} epoch {:.3}s, PCIe {} transactions",
+                    report.epoch_seconds, report.pcie_total
+                );
+            }
+            Err(e) => println!("{name:<8} FAILS: {e}"),
+        }
+    }
+
+    // Legion.
+    let server = spec.build();
+    let ctx = config.build_context(&dataset, &server);
+    let (setup, plans) = legion_setup_with_plans(&ctx, &config).expect("legion handles CL");
+    let report = run_epoch(&setup, &ctx, &config);
+    println!(
+        "{:<8} epoch {:.3}s, PCIe {} transactions, hit rate {:.1}%, alpha = {:.2}",
+        "Legion",
+        report.epoch_seconds,
+        report.pcie_total,
+        report.feature_hit_rate() * 100.0,
+        plans[0].alpha
+    );
+}

@@ -1,0 +1,50 @@
+//! Convergence lab: real GraphSAGE training with Legion's local
+//! shuffling vs. the global shuffling of GNNLab/Quiver (the Figure 11
+//! experiment, interactively sized).
+//!
+//! Run with: `cargo run --release -p legion-core --example convergence_lab`
+
+use legion_core::experiments::fig11;
+use legion_core::LegionConfig;
+
+fn main() {
+    let config = LegionConfig {
+        fanouts: vec![10, 5],
+        batch_size: 128,
+        hidden_dim: 32,
+        ..Default::default()
+    };
+    let epochs = 8;
+    println!("training 2-layer GraphSAGE and GCN on the PR stand-in (8 simulated GPUs, NV2)...\n");
+    let curves = fig11::run(2000, &config, epochs);
+    for c in &curves {
+        println!("[{} / {} shuffling]", c.model, c.shuffle);
+        for p in &c.points {
+            let bars = "#".repeat((p.test_accuracy * 40.0) as usize);
+            println!(
+                "  epoch {:>2}: loss {:.3}  acc {:>5.1}% {}",
+                p.epoch,
+                p.train_loss,
+                p.test_accuracy * 100.0,
+                bars
+            );
+        }
+        println!();
+    }
+    // Headline: the final-epoch gap between shuffle modes.
+    for model in ["GraphSAGE", "GCN"] {
+        let acc = |mode: &str| {
+            curves
+                .iter()
+                .find(|c| c.model == model && c.shuffle == mode)
+                .and_then(|c| c.points.last())
+                .map(|p| p.test_accuracy)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{model}: local {:.1}% vs global {:.1}% — local shuffling keeps pace",
+            acc("local") * 100.0,
+            acc("global") * 100.0
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration test: the qualitative ordering the paper's evaluation
+//! establishes between systems must hold on the simulator.
+
+use legion_baselines::dgl;
+use legion_core::experiments::policies::{build_policy, CachePolicy};
+use legion_core::experiments::rows_for_ratio;
+use legion_core::runner::run_epoch;
+use legion_core::system::legion_setup;
+use legion_core::LegionConfig;
+use legion_graph::dataset::spec_by_name;
+use legion_hw::ServerSpec;
+
+fn config() -> LegionConfig {
+    LegionConfig {
+        fanouts: vec![5, 5],
+        batch_size: 32,
+        hidden_dim: 16,
+        ..Default::default()
+    }
+}
+
+/// Runs one cache policy at a fixed 5% ratio and returns (pcie_feature,
+/// hit_rate).
+fn run_policy(policy: CachePolicy, ds: &legion_graph::Dataset, cfg: &LegionConfig) -> (u64, f64) {
+    let server = ServerSpec::custom(8, 1 << 40, 2).build();
+    let ctx = cfg.build_context(ds, &server);
+    let rows = rows_for_ratio(ds, 0.05);
+    let setup = build_policy(policy, &ctx, cfg, rows).expect("policy builds");
+    let report = run_epoch(&setup, &ctx, cfg);
+    (report.pcie_feature, report.feature_hit_rate())
+}
+
+#[test]
+fn legion_cache_beats_replicated_and_matches_or_beats_quiver() {
+    let ds = spec_by_name("PR").unwrap().instantiate(500, 3);
+    let cfg = config();
+    let (legion_tx, legion_hit) = run_policy(CachePolicy::Legion, &ds, &cfg);
+    let (gnnlab_tx, gnnlab_hit) = run_policy(CachePolicy::GnnLabReplicated, &ds, &cfg);
+    let (quiver_tx, _) = run_policy(CachePolicy::QuiverPlus, &ds, &cfg);
+    assert!(
+        legion_tx < gnnlab_tx,
+        "legion {legion_tx} vs gnnlab {gnnlab_tx}"
+    );
+    assert!(legion_hit > gnnlab_hit);
+    // On an NV2 server Legion also beats clique-replicated Quiver
+    // (within noise).
+    assert!(
+        legion_tx as f64 <= quiver_tx as f64 * 1.05,
+        "legion {legion_tx} vs quiver {quiver_tx}"
+    );
+}
+
+#[test]
+fn every_cached_system_beats_dgl() {
+    let ds = spec_by_name("PR").unwrap().instantiate(1000, 3);
+    let cfg = config();
+    // DGL baseline: no cache at all.
+    let server = ServerSpec::custom(8, 1 << 40, 2).build();
+    let ctx = cfg.build_context(&ds, &server);
+    let dgl_report = run_epoch(&dgl::setup(&ctx).unwrap(), &ctx, &cfg);
+    for policy in [
+        CachePolicy::GnnLabReplicated,
+        CachePolicy::QuiverPlus,
+        CachePolicy::PaGraphPlus,
+        CachePolicy::Legion,
+    ] {
+        let (tx, hit) = run_policy(policy, &ds, &cfg);
+        assert!(
+            tx < dgl_report.pcie_feature,
+            "{}: {tx} !< DGL {}",
+            policy.name(),
+            dgl_report.pcie_feature
+        );
+        assert!(hit > 0.0, "{} hit rate zero", policy.name());
+    }
+}
+
+#[test]
+fn full_legion_beats_dgl_end_to_end_on_every_small_dataset() {
+    let cfg = config();
+    for name in ["PR", "PA", "CO"] {
+        let divisor = 2000;
+        let ds = spec_by_name(name).unwrap().instantiate(divisor, 5);
+        let spec = legion_core::experiments::scaled_server(&ServerSpec::dgx_a100(), divisor);
+
+        let s1 = spec.build();
+        let ctx1 = cfg.build_context(&ds, &s1);
+        let legion = run_epoch(&legion_setup(&ctx1, &cfg).unwrap(), &ctx1, &cfg);
+
+        let s2 = spec.build();
+        let ctx2 = cfg.build_context(&ds, &s2);
+        let dgl_report = run_epoch(&dgl::setup(&ctx2).unwrap(), &ctx2, &cfg);
+
+        assert!(
+            legion.epoch_seconds < dgl_report.epoch_seconds,
+            "{name}: legion {} !< dgl {}",
+            legion.epoch_seconds,
+            dgl_report.epoch_seconds
+        );
+        assert!(
+            legion.pcie_max_gpu < dgl_report.pcie_max_gpu,
+            "{name}: PCIe not reduced"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Integration test: identical seeds reproduce identical systems and
+//! measurements; different seeds genuinely differ. Deterministic replay
+//! is what makes the figure regeneration meaningful.
+
+use legion_core::runner::run_epoch;
+use legion_core::system::legion_setup_with_plans;
+use legion_core::LegionConfig;
+use legion_graph::dataset::spec_by_name;
+use legion_hw::ServerSpec;
+
+fn config(seed: u64) -> LegionConfig {
+    LegionConfig {
+        fanouts: vec![5, 5],
+        batch_size: 64,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn run_once(seed: u64) -> (f64, u64, Vec<f64>, f64) {
+    let ds = spec_by_name("PR").unwrap().instantiate(1000, seed);
+    let spec = ServerSpec::custom(4, 16 << 20, 2);
+    let server = spec.build();
+    let cfg = config(seed);
+    let ctx = cfg.build_context(&ds, &server);
+    let (setup, plans) = legion_setup_with_plans(&ctx, &cfg).unwrap();
+    let report = run_epoch(&setup, &ctx, &cfg);
+    (
+        report.epoch_seconds,
+        report.pcie_total,
+        report.per_gpu_hit_rates(),
+        plans[0].alpha,
+    )
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let a = run_once(42);
+    let b = run_once(42);
+    assert_eq!(a.0, b.0, "epoch seconds differ");
+    assert_eq!(a.1, b.1, "PCIe transactions differ");
+    assert_eq!(a.2, b.2, "hit rates differ");
+    assert_eq!(a.3, b.3, "chosen alpha differs");
+}
+
+#[test]
+fn different_seed_different_traffic() {
+    let a = run_once(42);
+    let b = run_once(43);
+    assert_ne!(a.1, b.1, "different seeds should change sampling traffic");
+}
+
+#[test]
+fn dataset_instantiation_is_stable_across_calls() {
+    let d1 = spec_by_name("CO").unwrap().instantiate(4000, 7);
+    let d2 = spec_by_name("CO").unwrap().instantiate(4000, 7);
+    assert_eq!(d1.graph, d2.graph);
+    assert_eq!(d1.train_vertices, d2.train_vertices);
+    assert_eq!(d1.features.as_slice(), d2.features.as_slice());
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration test: the full Legion pipeline, from dataset
+//! synthesis through hierarchical partitioning, pre-sampling, CSLP, the
+//! automatic cache plan, cache fill, and a measured training epoch.
+
+use legion_core::runner::{run_epoch, run_epoch_with_model};
+use legion_core::system::{legion_feature_cache_setup, legion_setup_with_plans};
+use legion_core::LegionConfig;
+use legion_gnn::ModelKind;
+use legion_graph::dataset::spec_by_name;
+use legion_hw::ServerSpec;
+
+fn config() -> LegionConfig {
+    LegionConfig {
+        fanouts: vec![5, 5],
+        batch_size: 64,
+        hidden_dim: 16,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_pipeline_produces_consistent_state() {
+    let dataset = spec_by_name("PR").unwrap().instantiate(1000, 99);
+    let spec = ServerSpec::custom(4, 16 << 20, 2);
+    let server = spec.build();
+    let cfg = config();
+    let ctx = cfg.build_context(&dataset, &server);
+    let (setup, plans) = legion_setup_with_plans(&ctx, &cfg).expect("setup succeeds");
+
+    // One plan per clique, each within its clique budget.
+    assert_eq!(plans.len(), 2);
+    for plan in &plans {
+        assert!(plan.alpha >= 0.0 && plan.alpha <= 1.0);
+        assert!(plan.topology_bytes() + plan.feature_bytes() <= plan.budget);
+    }
+    // Cache bytes on the server match the cache structures exactly.
+    let structural: u64 = setup
+        .layout
+        .cliques
+        .iter()
+        .map(|c| c.total_topology_bytes() + c.total_feature_bytes())
+        .sum();
+    let allocated: u64 = (0..4).map(|g| server.allocated_bytes(g)).sum();
+    assert_eq!(structural, allocated);
+
+    // Epoch execution: every tablet trains, traffic is booked.
+    let report = run_epoch(&setup, &ctx, &cfg);
+    assert!(report.epoch_seconds > 0.0);
+    assert_eq!(
+        report.pcie_total,
+        report.pcie_topology + report.pcie_feature
+    );
+    assert!(report.feature_hit_rate() > 0.0);
+    // The traffic snapshot agrees with the byte totals.
+    let snap_cpu: u64 = report.traffic.iter().map(|r| r[r.len() - 1]).sum();
+    assert_eq!(snap_cpu, report.cpu_bytes);
+}
+
+#[test]
+fn both_models_run_and_sage_costs_more_compute() {
+    let dataset = spec_by_name("PR").unwrap().instantiate(1000, 99);
+    let spec = ServerSpec::custom(4, 16 << 20, 2);
+    let cfg = config();
+    let server = spec.build();
+    let ctx = cfg.build_context(&dataset, &server);
+    let (setup, _) = legion_setup_with_plans(&ctx, &cfg).unwrap();
+    let sage = run_epoch_with_model(&setup, &ctx, &cfg, ModelKind::GraphSage);
+    let gcn = run_epoch_with_model(&setup, &ctx, &cfg, ModelKind::Gcn);
+    assert!(sage.train_seconds > gcn.train_seconds);
+    // Same data path: identical PCIe traffic for both models.
+    assert_eq!(sage.pcie_total, gcn.pcie_total);
+}
+
+#[test]
+fn bigger_cache_budget_never_hurts_traffic() {
+    let dataset = spec_by_name("PA").unwrap().instantiate(4000, 99);
+    let cfg = config();
+    let mut last_tx = u64::MAX;
+    for rows in [10usize, 100, 400] {
+        let server = ServerSpec::custom(4, 1 << 40, 2).build();
+        let ctx = cfg.build_context(&dataset, &server);
+        let setup = legion_feature_cache_setup(&ctx, &cfg, rows).unwrap();
+        let report = run_epoch(&setup, &ctx, &cfg);
+        assert!(
+            report.pcie_feature <= last_tx,
+            "rows {rows}: {} > previous {last_tx}",
+            report.pcie_feature
+        );
+        last_tx = report.pcie_feature;
+    }
+}
+
+#[test]
+fn unified_cache_serves_both_topology_and_features() {
+    let dataset = spec_by_name("PA").unwrap().instantiate(4000, 99);
+    let cfg = config();
+    let server = ServerSpec::custom(2, 8 << 20, 2).build();
+    let ctx = cfg.build_context(&dataset, &server);
+    let (setup, plans) = legion_setup_with_plans(&ctx, &cfg).unwrap();
+    // The auto planner chose a mixed plan on this skewed graph.
+    let cache = &setup.layout.cliques[0];
+    assert!(
+        plans[0].alpha > 0.0,
+        "expected some topology cache, alpha = {}",
+        plans[0].alpha
+    );
+    assert!(cache.total_topology_bytes() > 0);
+    assert!(cache.total_feature_bytes() > 0);
+    // Hot vertices are cached for both kinds somewhere in the clique.
+    let hot = (0..dataset.graph.num_vertices() as u32)
+        .max_by_key(|&v| dataset.graph.degree(v))
+        .unwrap();
+    assert!(
+        cache.has_topology(hot),
+        "hottest vertex topology not cached"
+    );
+}

@@ -1,0 +1,99 @@
+//! Integration test: the paper's out-of-memory outcomes (the "x" marks in
+//! Figures 8 and 12) must reproduce from pure capacity accounting.
+
+use legion_baselines::{dgl, gnnlab, pagraph, SystemError};
+use legion_core::experiments::scaled_server;
+use legion_core::system::legion_setup;
+use legion_core::LegionConfig;
+use legion_graph::dataset::spec_by_name;
+use legion_hw::ServerSpec;
+
+fn config() -> LegionConfig {
+    LegionConfig {
+        fanouts: vec![5, 5],
+        batch_size: 64,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn gnnlab_cannot_hold_uks_topology_in_a_v100() {
+    // UKS: 22 GB topology vs. a 16 GB V100 (Figure 8, DGX-V100 column).
+    let divisor = 2000;
+    let ds = spec_by_name("UKS").unwrap().instantiate(divisor, 1);
+    let spec = scaled_server(&ServerSpec::dgx_v100(), divisor);
+    let server = spec.build();
+    let cfg = config();
+    let ctx = cfg.build_context(&ds, &server);
+    let err = gnnlab::setup(&ctx, 2).expect_err("topology must not fit");
+    assert!(matches!(err, SystemError::GpuOom(_)), "got {err}");
+    // Sanity: the scaled topology really is larger than one scaled GPU.
+    assert!(ds.topology_bytes() > spec.gpu_memory);
+}
+
+#[test]
+fn gnnlab_fits_uks_on_a100() {
+    // The same graph fits a 40 GB A100 (Figure 8, DGX-A100 column).
+    let divisor = 2000;
+    let ds = spec_by_name("UKS").unwrap().instantiate(divisor, 1);
+    let spec = scaled_server(&ServerSpec::dgx_a100(), divisor);
+    let server = spec.build();
+    let cfg = config();
+    let ctx = cfg.build_context(&ds, &server);
+    assert!(gnnlab::setup(&ctx, 2).is_ok());
+}
+
+#[test]
+fn pagraph_exhausts_host_memory_on_pa_but_not_pr() {
+    // "PaGraph runs out of the CPU memory for most graphs except PR on
+    // DGX-V100" (§6.2).
+    let divisor = 2000;
+    let cfg = config();
+
+    let pa = spec_by_name("PA").unwrap().instantiate(divisor, 1);
+    let spec = scaled_server(&ServerSpec::dgx_v100(), divisor);
+    let server = spec.build();
+    let ctx = cfg.build_context(&pa, &server);
+    assert!(matches!(
+        pagraph::setup(&ctx),
+        Err(SystemError::CpuOom { .. })
+    ));
+
+    let pr = spec_by_name("PR").unwrap().instantiate(divisor, 1);
+    let server2 = spec.build();
+    let ctx2 = cfg.build_context(&pr, &server2);
+    assert!(
+        pagraph::setup(&ctx2).is_ok(),
+        "PR must fit PaGraph's host use"
+    );
+}
+
+#[test]
+fn dgl_and_legion_survive_everything_that_fits_host_memory() {
+    let divisor = 2000;
+    let cfg = config();
+    for name in ["PR", "PA", "CO", "UKS"] {
+        let ds = spec_by_name(name).unwrap().instantiate(divisor, 1);
+        let spec = scaled_server(&ServerSpec::dgx_a100(), divisor);
+        let server = spec.build();
+        let ctx = cfg.build_context(&ds, &server);
+        assert!(dgl::setup(&ctx).is_ok(), "DGL fails on {name}");
+        let server2 = spec.build();
+        let ctx2 = cfg.build_context(&ds, &server2);
+        assert!(legion_setup(&ctx2, &cfg).is_ok(), "Legion fails on {name}");
+    }
+}
+
+#[test]
+fn legion_respects_host_memory_too() {
+    let ds = spec_by_name("PR").unwrap().instantiate(2000, 1);
+    let mut spec = ServerSpec::custom(2, 1 << 30, 2);
+    spec.cpu_memory = ds.topology_bytes() / 2; // Host can't hold the graph.
+    let server = spec.build();
+    let cfg = config();
+    let ctx = cfg.build_context(&ds, &server);
+    assert!(matches!(
+        legion_setup(&ctx, &cfg),
+        Err(SystemError::CpuOom { .. })
+    ));
+}
