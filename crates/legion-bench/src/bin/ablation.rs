@@ -43,6 +43,9 @@ fn main() {
                 r.evictions
             );
         }
-        save_json(&format!("ablation_cache_policy_{:.0}pct", ratio * 100.0), &rows);
+        save_json(
+            &format!("ablation_cache_policy_{:.0}pct", ratio * 100.0),
+            &rows,
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 10: feature-extraction traffic matrices on PA /
 //! DGX-V100 (NV4), 2.5% cache; normalized to GNNLab's CPU→GPU volume.
 
-use legion_bench::{banner, dataset_divisor, save_json};
+use legion_bench::{banner, dataset_divisor, save_json, save_snapshot};
 use legion_core::experiments::fig10;
 use legion_core::LegionConfig;
 
@@ -11,7 +11,7 @@ fn main() {
     banner(&format!(
         "Figure 10: feature-extraction traffic matrices (PA/{divisor}x, DGX-V100 NV4, 2.5% cache)"
     ));
-    let mats = fig10::run(divisor, &config);
+    let (mats, snapshots) = fig10::run_with_metrics(divisor, &config);
     for m in &mats {
         println!(
             "\n[{}]  total CPU->GPU {:.3}, max per-GPU CPU column {:.3}",
@@ -31,4 +31,7 @@ fn main() {
         }
     }
     save_json("fig10", &mats);
+    for (system, snap) in &snapshots {
+        save_snapshot(&format!("fig10_{system}"), snap);
+    }
 }

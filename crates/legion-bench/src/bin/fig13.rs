@@ -1,7 +1,7 @@
 //! Regenerates Figure 13: cost-model predictions vs. measured
 //! sampling+extraction time across the α sweep.
 
-use legion_bench::{banner, dataset_divisor, divisors, save_json};
+use legion_bench::{banner, dataset_divisor, divisors, save_json, save_snapshot};
 use legion_core::experiments::fig13;
 use legion_core::LegionConfig;
 
@@ -11,7 +11,7 @@ fn main() {
     banner(&format!(
         "Figure 13: cost model evaluation (PA 10GB / UKS 8GB cache, scaled /{small})"
     ));
-    let rows = fig13::run(&dataset_divisor, &config);
+    let (rows, snapshots) = fig13::run_with_metrics(&dataset_divisor, &config);
     for ds in ["PA", "UKS"] {
         println!("\n[{ds}]");
         println!(
@@ -31,4 +31,7 @@ fn main() {
         }
     }
     save_json("fig13", &rows);
+    for (label, snap) in &snapshots {
+        save_snapshot(&format!("fig13_{label}"), snap);
+    }
 }

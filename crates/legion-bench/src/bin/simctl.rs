@@ -29,6 +29,9 @@ struct Config {
     batch_size: usize,
     fanouts: Vec<usize>,
     seed: u64,
+    /// When true, print each system's full metric snapshot as JSON and
+    /// save it under `$LEGION_RESULTS_DIR` (if set).
+    dump_metrics: bool,
 }
 
 impl Default for Config {
@@ -47,6 +50,7 @@ impl Default for Config {
             batch_size: 256,
             fanouts: vec![25, 10],
             seed: 42,
+            dump_metrics: false,
         }
     }
 }
@@ -134,6 +138,17 @@ fn main() {
                     r.pcie_max_gpu,
                     r.feature_hit_rate() * 100.0
                 );
+                if config.dump_metrics {
+                    let body =
+                        serde_json::to_string_pretty(&r.metrics).expect("snapshot is serializable");
+                    // Sanity: the dump must round-trip through serde.
+                    let parsed: legion_telemetry::Snapshot =
+                        serde_json::from_str(&body).expect("snapshot JSON round-trips");
+                    assert_eq!(parsed, r.metrics, "snapshot round-trip mismatch");
+                    println!("--- metrics for {system} ---");
+                    println!("{body}");
+                    legion_bench::save_snapshot(&format!("simctl_{system}"), &r.metrics);
+                }
             }
             Err(e) => println!("{system:<10} {:>12}  ({e})", "x"),
         }

@@ -77,6 +77,12 @@ pub fn save_json<T: Serialize>(name: &str, rows: &T) {
     }
 }
 
+/// Writes a metric snapshot as `$LEGION_RESULTS_DIR/<name>.metrics.json`
+/// when the environment variable is set; silently skips otherwise.
+pub fn save_snapshot(name: &str, snapshot: &legion_telemetry::Snapshot) {
+    save_json(&format!("{name}.metrics"), snapshot);
+}
+
 /// Formats an `Option<f64>` cell, using "x" for OOM like the paper.
 pub fn cell(v: Option<f64>, digits: usize) -> String {
     match v {

@@ -209,16 +209,16 @@ impl CostModel {
             delta_alpha > 0.0 && delta_alpha <= 1.0,
             "delta alpha must be in (0, 1]"
         );
+        // Integer-indexed steps: accumulating `a += delta_alpha` drifts
+        // (0.01 is not exact in binary), which can emit a near-1.0
+        // duplicate of the endpoint or skip it entirely.
         let steps: Vec<f64> = {
-            let mut s: Vec<f64> = Vec::new();
-            let mut a = 0.0f64;
-            while a < 1.0 + 1e-12 {
-                s.push(a.min(1.0));
-                a += delta_alpha;
-            }
+            let n = (1.0 / delta_alpha).round() as u64;
+            let mut s: Vec<f64> = (0..=n).map(|i| (i as f64 * delta_alpha).min(1.0)).collect();
             if *s.last().expect("at least alpha=0") < 1.0 {
                 s.push(1.0);
             }
+            s.dedup();
             s
         };
         let workers = std::thread::available_parallelism()
@@ -371,6 +371,31 @@ mod tests {
         for e in &evals {
             let direct = m.evaluate(100, e.alpha);
             assert_eq!(e, &direct);
+        }
+    }
+
+    #[test]
+    fn sweep_steps_are_strictly_increasing_with_single_endpoint() {
+        let m = model();
+        // 0.01 and 0.07 are not exactly representable in binary; the old
+        // accumulating sweep drifted enough to duplicate or miss alpha=1.
+        for delta in [0.01, 0.05, 0.07, 0.25, 0.3, 1.0] {
+            let evals = m.sweep(100, delta);
+            for w in evals.windows(2) {
+                assert!(
+                    w[1].alpha > w[0].alpha,
+                    "alphas not strictly increasing at delta={delta}: \
+                     {} then {}",
+                    w[0].alpha,
+                    w[1].alpha
+                );
+            }
+            let ones = evals.iter().filter(|e| e.alpha == 1.0).count();
+            assert_eq!(
+                ones, 1,
+                "alpha=1.0 must appear exactly once (delta={delta})"
+            );
+            assert_eq!(evals.first().map(|e| e.alpha), Some(0.0));
         }
     }
 

@@ -50,6 +50,7 @@ pub fn build_clique_cache(
     let topo_share = plan.topology_bytes() / kg as u64;
     let feat_share = plan.feature_bytes() / kg as u64;
     let mut cache = CliqueCache::new(clique_gpus.to_vec(), graph.num_vertices(), features.dim());
+    let registry = server.telemetry();
 
     for (slot, &gpu) in clique_gpus.iter().enumerate() {
         // Topology fill-up in G_T order.
@@ -64,6 +65,12 @@ pub fn build_clique_cache(
             to_insert_topo.push(v);
         }
         server.alloc(gpu, used)?;
+        registry
+            .counter(&format!("cache_fill.gpu{gpu}.topology_vertices"))
+            .add(to_insert_topo.len() as u64);
+        registry
+            .counter(&format!("cache_fill.gpu{gpu}.topology_bytes"))
+            .add(used);
         for v in to_insert_topo {
             cache.insert_topology(slot, v, graph.neighbors(v));
         }
@@ -76,6 +83,12 @@ pub fn build_clique_cache(
             .copied()
             .collect::<Vec<_>>();
         server.alloc(gpu, rows.len() as u64 * row_bytes)?;
+        registry
+            .counter(&format!("cache_fill.gpu{gpu}.feature_rows"))
+            .add(rows.len() as u64);
+        registry
+            .counter(&format!("cache_fill.gpu{gpu}.feature_bytes"))
+            .add(rows.len() as u64 * row_bytes);
         for v in rows {
             cache.insert_feature(slot, v, features.row(v));
         }
@@ -89,7 +102,7 @@ mod tests {
     use crate::cost_model::CostModel;
     use crate::cslp::cslp;
     use crate::hotness::HotnessMatrix;
-    
+
     use legion_graph::generate::ChungLuConfig;
     use legion_hw::ServerSpec;
     use rand::rngs::StdRng;
@@ -113,8 +126,8 @@ mod tests {
         for v in 0..500u32 {
             for gpu in 0..2 {
                 let base = g.degree(v) + 1;
-                h_t.add(gpu, v, base + rng.gen_range(0..3));
-                h_f.add(gpu, v, base * 2 + rng.gen_range(0..3));
+                h_t.add(gpu, v, base + rng.gen_range(0..3u64));
+                h_f.add(gpu, v, base * 2 + rng.gen_range(0..3u64));
             }
         }
         (g, f, cslp(&h_t), cslp(&h_f))

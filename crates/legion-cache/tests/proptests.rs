@@ -163,6 +163,48 @@ proptest! {
     }
 
     #[test]
+    fn zero_budget_traffic_is_the_uncached_total(
+        (g, q, a_t, a_f, n_tsum, dim) in model_inputs(),
+        alpha_pct in 0u32..=100,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let mut q_f: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        q_f.sort_by(|&x, &y| a_f[y as usize].cmp(&a_f[x as usize]));
+        let model = CostModel::new(&g, &q, &a_t, &q_f, &a_f, n_tsum, dim, 64);
+        let eval = model.evaluate(0, alpha);
+        // Nothing cached: all of N_TSUM plus one Equation 8 feature read
+        // per unit of feature hotness.
+        let row = feature_bytes_for_dim(dim as u64);
+        let total_feat_hotness: u64 = a_f.iter().sum();
+        let expected = n_tsum as f64 + (row.div_ceil(64) * total_feat_hotness) as f64;
+        prop_assert!(
+            (eval.n_total() - expected).abs() < 1e-6,
+            "budget-0 N_total {} != {expected}",
+            eval.n_total()
+        );
+    }
+
+    #[test]
+    fn n_t_and_n_f_are_individually_monotone_in_budget(
+        (g, q, a_t, a_f, n_tsum, dim) in model_inputs(),
+        alpha_pct in 0u32..=100,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let mut q_f: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        q_f.sort_by(|&x, &y| a_f[y as usize].cmp(&a_f[x as usize]));
+        let model = CostModel::new(&g, &q, &a_t, &q_f, &a_f, n_tsum, dim, 64);
+        let mut prev_t = f64::INFINITY;
+        let mut prev_f = f64::INFINITY;
+        for budget in [0u64, 100, 1000, 10_000, 100_000, 1_000_000] {
+            let eval = model.evaluate(budget, alpha);
+            prop_assert!(eval.n_t <= prev_t + 1e-9, "N_T grew with budget");
+            prop_assert!(eval.n_f <= prev_f + 1e-9, "N_F grew with budget");
+            prev_t = eval.n_t;
+            prev_f = eval.n_f;
+        }
+    }
+
+    #[test]
     fn best_plan_is_global_minimum_of_sweep(
         (g, q, a_t, a_f, n_tsum, dim) in model_inputs(),
         budget in 1u64..50_000,

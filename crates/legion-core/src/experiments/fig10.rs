@@ -28,6 +28,16 @@ pub struct Fig10Matrix {
 
 /// Runs all four systems and returns their matrices.
 pub fn run(divisor: u64, config: &LegionConfig) -> Vec<Fig10Matrix> {
+    run_with_metrics(divisor, config).0
+}
+
+/// Like [`run`], but also returns each system's full metric snapshot so
+/// the figure binary can export the raw counters alongside the
+/// normalized matrices.
+pub fn run_with_metrics(
+    divisor: u64,
+    config: &LegionConfig,
+) -> (Vec<Fig10Matrix>, Vec<(String, legion_telemetry::Snapshot)>) {
     let dataset = legion_graph::dataset::spec_by_name("PA")
         .expect("PA registered")
         .instantiate(divisor, config.seed);
@@ -37,6 +47,7 @@ pub fn run(divisor: u64, config: &LegionConfig) -> Vec<Fig10Matrix> {
     cfg.batch_size = crate::experiments::policy_batch_size(&dataset, 8, config);
     let config = &cfg;
     let mut out = Vec::new();
+    let mut snapshots = Vec::new();
     let mut gnnlab_total: Option<f64> = None;
     for policy in CachePolicy::fig3_set() {
         let server = spec.build();
@@ -46,6 +57,7 @@ pub fn run(divisor: u64, config: &LegionConfig) -> Vec<Fig10Matrix> {
             Err(_) => continue,
         };
         let report = run_epoch(&setup, &ctx, config);
+        snapshots.push((policy.name().to_string(), report.metrics));
         let raw = report.traffic;
         let cpu_total: u64 = raw.iter().map(|r| r[r.len() - 1]).sum();
         let norm = *gnnlab_total.get_or_insert(cpu_total.max(1) as f64);
@@ -61,7 +73,7 @@ pub fn run(divisor: u64, config: &LegionConfig) -> Vec<Fig10Matrix> {
             rows,
         });
     }
-    out
+    (out, snapshots)
 }
 
 #[cfg(test)]

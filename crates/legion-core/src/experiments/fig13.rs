@@ -51,7 +51,22 @@ pub fn run_for_dataset(
     per_gpu_budget: u64,
     alphas: &[f64],
 ) -> Vec<Fig13Row> {
+    run_for_dataset_with_metrics(base, dataset, dataset_name, config, per_gpu_budget, alphas).0
+}
+
+/// Like [`run_for_dataset`], but also returns the metric snapshot of each
+/// α point (labelled `<dataset>_alpha<percent>`), so the figure binary
+/// can export the raw counters behind the measured stage times.
+pub fn run_for_dataset_with_metrics(
+    base: &ServerSpec,
+    dataset: &legion_graph::Dataset,
+    dataset_name: &str,
+    config: &LegionConfig,
+    per_gpu_budget: u64,
+    alphas: &[f64],
+) -> (Vec<Fig13Row>, Vec<(String, legion_telemetry::Snapshot)>) {
     let mut out = Vec::new();
+    let mut snapshots = Vec::new();
     for &alpha in alphas {
         let server = base.build();
         let mut cfg = config.clone();
@@ -63,6 +78,10 @@ pub fn run_for_dataset(
         let n_t: f64 = plans.iter().map(|p| p.evaluation.n_t).sum();
         let n_f: f64 = plans.iter().map(|p| p.evaluation.n_f).sum();
         let report = run_epoch(&setup, &ctx, &cfg);
+        snapshots.push((
+            format!("{dataset_name}_alpha{:03}", (alpha * 100.0).round() as u64),
+            report.metrics,
+        ));
         out.push(Fig13Row {
             dataset: dataset_name.to_string(),
             alpha,
@@ -73,16 +92,25 @@ pub fn run_for_dataset(
             measured_extract_seconds: report.extract_seconds,
         });
     }
-    out
+    (out, snapshots)
 }
 
 /// Full Figure 13: PA with a 10 GB cache and UKS with an 8 GB cache
 /// (scaled), α from 0 to 0.9. `divisor_for` maps dataset names to scale
 /// divisors.
 pub fn run(divisor_for: &dyn Fn(&str) -> u64, config: &LegionConfig) -> Vec<Fig13Row> {
+    run_with_metrics(divisor_for, config).0
+}
+
+/// Like [`run`], but also returns the per-α metric snapshots.
+pub fn run_with_metrics(
+    divisor_for: &dyn Fn(&str) -> u64,
+    config: &LegionConfig,
+) -> (Vec<Fig13Row>, Vec<(String, legion_telemetry::Snapshot)>) {
     let alphas: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
     let gib = legion_hw::GIB;
     let mut out = Vec::new();
+    let mut snapshots = Vec::new();
     for (name, cache_gib) in [("PA", 10u64), ("UKS", 8u64)] {
         let divisor = divisor_for(name);
         let dataset = legion_graph::dataset::spec_by_name(name)
@@ -91,11 +119,12 @@ pub fn run(divisor_for: &dyn Fn(&str) -> u64, config: &LegionConfig) -> Vec<Fig1
         let base = scaled_server(&ServerSpec::dgx_v100(), divisor);
         // The paper's budget is for the whole cache; spread per GPU.
         let per_gpu = (cache_gib * gib / divisor) / base.num_gpus as u64;
-        out.extend(run_for_dataset(
-            &base, &dataset, name, config, per_gpu, &alphas,
-        ));
+        let (rows, snaps) =
+            run_for_dataset_with_metrics(&base, &dataset, name, config, per_gpu, &alphas);
+        out.extend(rows);
+        snapshots.extend(snaps);
     }
-    out
+    (out, snapshots)
 }
 
 #[cfg(test)]

@@ -2,19 +2,29 @@
 //! [`SystemSetup`] on the simulated server, metering PCIe transactions,
 //! traffic matrices and cache hits, and deriving the epoch time through
 //! the §5 pipeline model.
+//!
+//! Every numeric field of [`EpochReport`] is derived from the server's
+//! [`legion_telemetry::Registry`] snapshot — the runner itself only
+//! computes pipeline epoch time; all traffic, cache, and stage-time
+//! accounting flows through the metric registry and is preserved verbatim
+//! in [`EpochReport::metrics`].
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use legion_baselines::{ScheduleKind, SystemSetup};
 use legion_gnn::{GnnModel, ModelKind};
-use legion_hw::pcm::TrafficKind;
+use legion_hw::pcm::{pcm_counter_name, TrafficKind};
+use legion_hw::traffic::{traffic_counter_name, Source};
+use legion_hw::MultiGpuServer;
 use legion_pipeline::{
-    epoch_time_factored, epoch_time_pipelined, epoch_time_serial, BatchCost, TimeModel,
+    epoch_time_factored, epoch_time_pipelined, epoch_time_serial, BatchCost, StageRecorder,
+    TimeModel,
 };
 use legion_sampling::access::AccessEngine;
-use legion_sampling::extract::{extract_features, feature_hit_stats, HitStats};
+use legion_sampling::extract::{extract_features, HitStats};
 use legion_sampling::{BatchGenerator, KHopSampler};
+use legion_telemetry::{Snapshot, NANOS_PER_SEC};
 
 use legion_baselines::BuildContext;
 
@@ -46,12 +56,15 @@ pub struct EpochReport {
     pub per_gpu_hits: Vec<HitStats>,
     /// Figure 10-style traffic snapshot (`rows[dst] = [src..., cpu]`).
     pub traffic: Vec<Vec<u64>>,
-    /// Aggregate per-stage seconds (pre-overlap).
+    /// Aggregate per-stage seconds (pre-overlap), quantized to integer
+    /// nanoseconds by the stage counters.
     pub sample_seconds: f64,
     /// Total feature-extraction seconds.
     pub extract_seconds: f64,
     /// Total training seconds.
     pub train_seconds: f64,
+    /// The full metric snapshot the fields above are derived from.
+    pub metrics: Snapshot,
 }
 
 impl EpochReport {
@@ -67,6 +80,81 @@ impl EpochReport {
     /// Per-GPU hit rates (0 for GPUs that trained nothing).
     pub fn per_gpu_hit_rates(&self) -> Vec<f64> {
         self.per_gpu_hits.iter().map(|h| h.hit_rate()).collect()
+    }
+}
+
+/// Sets the epoch gauges, snapshots the server's registry, and derives
+/// every numeric report field from that snapshot.
+fn finalize_report(name: String, server: &MultiGpuServer, epoch_seconds: f64) -> EpochReport {
+    let registry = server.telemetry();
+    let n = server.num_gpus();
+    let mut agg = HitStats::default();
+    for g in 0..n {
+        agg.merge(HitStats {
+            hits: registry.counter_value(&format!("cache.gpu{g}.feature_hits")),
+            misses: registry.counter_value(&format!("cache.gpu{g}.feature_misses")),
+        });
+    }
+    registry.gauge("epoch.seconds").set(epoch_seconds);
+    registry.gauge("epoch.feature_hit_rate").set(agg.hit_rate());
+    let metrics = registry.snapshot();
+
+    let spec = server.spec();
+    let mut pcie_topology = 0u64;
+    let mut pcie_feature = 0u64;
+    let mut pcie_max_gpu = 0u64;
+    let mut per_socket = vec![0u64; spec.sockets.max(1)];
+    let mut per_gpu_hits = Vec::with_capacity(n);
+    for g in 0..n {
+        let t = metrics.counter(&pcm_counter_name(g, TrafficKind::Topology));
+        let f = metrics.counter(&pcm_counter_name(g, TrafficKind::Feature));
+        pcie_topology += t;
+        pcie_feature += f;
+        pcie_max_gpu = pcie_max_gpu.max(t + f);
+        per_socket[spec.socket_of(g)] += t + f;
+        per_gpu_hits.push(HitStats {
+            hits: metrics.counter(&format!("cache.gpu{g}.feature_hits")),
+            misses: metrics.counter(&format!("cache.gpu{g}.feature_misses")),
+        });
+    }
+
+    let mut traffic = Vec::with_capacity(n);
+    let mut cpu_bytes = 0u64;
+    let mut peer_bytes = 0u64;
+    for dst in 0..n {
+        let mut row: Vec<u64> = (0..n)
+            .map(|src| metrics.counter(&traffic_counter_name(dst, Source::Gpu(src))))
+            .collect();
+        peer_bytes += row.iter().sum::<u64>();
+        let cpu = metrics.counter(&traffic_counter_name(dst, Source::Cpu));
+        cpu_bytes += cpu;
+        row.push(cpu);
+        traffic.push(row);
+    }
+
+    let stage_secs = |stage: &str| -> f64 {
+        (0..n)
+            .map(|g| metrics.counter(&format!("stage.gpu{g}.{stage}_ns")))
+            .sum::<u64>() as f64
+            / NANOS_PER_SEC
+    };
+
+    EpochReport {
+        name,
+        epoch_seconds: metrics.gauge("epoch.seconds"),
+        pcie_total: pcie_topology + pcie_feature,
+        pcie_max_gpu,
+        pcie_max_socket: per_socket.into_iter().max().unwrap_or(0),
+        pcie_topology,
+        pcie_feature,
+        cpu_bytes,
+        peer_bytes,
+        per_gpu_hits,
+        traffic,
+        sample_seconds: stage_secs("sample"),
+        extract_seconds: stage_secs("extract"),
+        train_seconds: stage_secs("train"),
+        metrics,
     }
 }
 
@@ -92,8 +180,9 @@ pub fn run_epoch_with_model(
     model_kind: ModelKind,
 ) -> EpochReport {
     let server = ctx.server;
-    server.pcm().reset();
-    server.traffic().reset();
+    // Clear all metrics (PCM, traffic, cache, stage counters) so the
+    // snapshot covers exactly this epoch.
+    server.telemetry().reset();
     let time_model = TimeModel::new(server.spec());
     let engine = AccessEngine::new(
         &ctx.dataset.graph,
@@ -117,11 +206,10 @@ pub fn run_epoch_with_model(
     );
 
     let n = server.num_gpus();
-    let mut per_gpu_hits = vec![HitStats::default(); n];
+    let recorders: Vec<StageRecorder> = (0..n)
+        .map(|g| StageRecorder::for_gpu(server.telemetry(), g))
+        .collect();
     let mut per_gpu_costs: Vec<Vec<BatchCost>> = vec![Vec::new(); n];
-    let mut sample_seconds = 0.0;
-    let mut extract_seconds = 0.0;
-    let mut train_seconds = 0.0;
 
     // Round-robin cursor over dedicated samplers (factored design).
     let mut sampler_cursor = 0usize;
@@ -130,7 +218,8 @@ pub fn run_epoch_with_model(
             continue;
         }
         let mut rng = StdRng::seed_from_u64(config.seed ^ (gpu as u64).wrapping_mul(0x517c_c1b7));
-        let mut generator = BatchGenerator::new(setup.tablets[gpu].clone(), ctx.batch_size);
+        let mut generator = BatchGenerator::new(setup.tablets[gpu].clone(), ctx.batch_size)
+            .with_telemetry(server.telemetry(), gpu);
         for batch in generator.epoch(&mut rng) {
             let sampling_gpu = match &setup.schedule {
                 ScheduleKind::Factored { samplers, .. } => {
@@ -152,7 +241,6 @@ pub fn run_epoch_with_model(
             };
             // Stage 2: feature extraction (charged to the trainer GPU).
             let inputs = sample.input_vertices().to_vec();
-            per_gpu_hits[gpu].merge(feature_hit_stats(&engine, gpu, &inputs));
             let feat_tx_before = server.pcm().gpu_kind(gpu, TrafficKind::Feature);
             let peer_before: u64 = (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
             let _ = extract_features(&engine, gpu, &inputs);
@@ -162,9 +250,10 @@ pub fn run_epoch_with_model(
             // Stage 3: training.
             let train_t = time_model.train_seconds(flops_model.training_flops(&sample));
 
-            sample_seconds += sample_t;
-            extract_seconds += extract_t;
-            train_seconds += train_t;
+            // Stage times accrue to the trainer GPU's counters (for a
+            // factored schedule the sampling ran elsewhere, but the batch
+            // belongs to this trainer).
+            recorders[gpu].record(sample_t, extract_t, train_t);
             let cost = match setup.schedule {
                 ScheduleKind::Serial => BatchCost::serial(sample_t, extract_t, train_t),
                 // Factored: samplers only sample; trainers extract + train
@@ -194,22 +283,7 @@ pub fn run_epoch_with_model(
         }
     };
 
-    EpochReport {
-        name: setup.name.clone(),
-        epoch_seconds,
-        pcie_total: server.pcm().total(),
-        pcie_max_gpu: server.pcm().max_gpu_total(),
-        pcie_max_socket: server.max_socket_transactions(),
-        pcie_topology: server.pcm().total_kind(TrafficKind::Topology),
-        pcie_feature: server.pcm().total_kind(TrafficKind::Feature),
-        cpu_bytes: server.traffic().total_cpu_bytes(),
-        peer_bytes: server.traffic().total_peer_bytes(),
-        per_gpu_hits,
-        traffic: server.traffic().snapshot(),
-        sample_seconds,
-        extract_seconds,
-        train_seconds,
-    }
+    finalize_report(setup.name.clone(), server, epoch_seconds)
 }
 
 /// Multi-threaded variant of [`run_epoch_with_model`]: one host thread
@@ -235,8 +309,7 @@ pub fn run_epoch_parallel(
         "parallel runner does not support factored schedules"
     );
     let server = ctx.server;
-    server.pcm().reset();
-    server.traffic().reset();
+    server.telemetry().reset();
     let time_model = TimeModel::new(server.spec());
     let engine = AccessEngine::new(
         &ctx.dataset.graph,
@@ -258,11 +331,7 @@ pub fn run_epoch_parallel(
 
     struct GpuResult {
         gpu: usize,
-        hits: HitStats,
         costs: Vec<BatchCost>,
-        sample_s: f64,
-        extract_s: f64,
-        train_s: f64,
     }
 
     let results: Vec<GpuResult> = crossbeam::thread::scope(|scope| {
@@ -276,16 +345,14 @@ pub fn run_epoch_parallel(
                 let schedule = setup.schedule.clone();
                 scope.spawn(move |_| {
                     let sampler = KHopSampler::new(config.fanouts.clone());
+                    let recorder = StageRecorder::for_gpu(server.telemetry(), gpu);
                     let mut rng =
                         StdRng::seed_from_u64(config.seed ^ (gpu as u64).wrapping_mul(0x517c_c1b7));
-                    let mut generator = BatchGenerator::new(tablet, ctx.batch_size);
+                    let mut generator = BatchGenerator::new(tablet, ctx.batch_size)
+                        .with_telemetry(server.telemetry(), gpu);
                     let mut result = GpuResult {
                         gpu,
-                        hits: HitStats::default(),
                         costs: Vec::new(),
-                        sample_s: 0.0,
-                        extract_s: 0.0,
-                        train_s: 0.0,
                     };
                     for batch in generator.epoch(&mut rng) {
                         let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
@@ -298,7 +365,6 @@ pub fn run_epoch_parallel(
                             _ => time_model.sample_seconds(topo_tx, edges),
                         };
                         let inputs = sample.input_vertices().to_vec();
-                        result.hits.merge(feature_hit_stats(engine, gpu, &inputs));
                         let feat_before = server.pcm().gpu_kind(gpu, TrafficKind::Feature);
                         let peer_before: u64 =
                             (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
@@ -310,9 +376,7 @@ pub fn run_epoch_parallel(
                         let extract_t =
                             time_model.extract_seconds(feat_tx, peer_after - peer_before);
                         let train_t = time_model.train_seconds(flops_model.training_flops(&sample));
-                        result.sample_s += sample_t;
-                        result.extract_s += extract_t;
-                        result.train_s += train_t;
+                        recorder.record(sample_t, extract_t, train_t);
                         result.costs.push(match schedule {
                             ScheduleKind::Serial => BatchCost::serial(sample_t, extract_t, train_t),
                             _ => BatchCost::overlapped(sample_t, extract_t, train_t),
@@ -329,17 +393,9 @@ pub fn run_epoch_parallel(
     })
     .expect("epoch scope");
 
-    let mut per_gpu_hits = vec![HitStats::default(); n];
     let mut per_gpu_costs: Vec<Vec<BatchCost>> = vec![Vec::new(); n];
-    let mut sample_seconds = 0.0;
-    let mut extract_seconds = 0.0;
-    let mut train_seconds = 0.0;
     for r in results {
-        per_gpu_hits[r.gpu] = r.hits;
         per_gpu_costs[r.gpu] = r.costs;
-        sample_seconds += r.sample_s;
-        extract_seconds += r.extract_s;
-        train_seconds += r.train_s;
     }
     let epoch_seconds = match setup.schedule {
         ScheduleKind::Serial => per_gpu_costs
@@ -351,22 +407,7 @@ pub fn run_epoch_parallel(
             .map(|c| epoch_time_pipelined(c))
             .fold(0.0, f64::max),
     };
-    EpochReport {
-        name: setup.name.clone(),
-        epoch_seconds,
-        pcie_total: server.pcm().total(),
-        pcie_max_gpu: server.pcm().max_gpu_total(),
-        pcie_max_socket: server.max_socket_transactions(),
-        pcie_topology: server.pcm().total_kind(TrafficKind::Topology),
-        pcie_feature: server.pcm().total_kind(TrafficKind::Feature),
-        cpu_bytes: server.traffic().total_cpu_bytes(),
-        peer_bytes: server.traffic().total_peer_bytes(),
-        per_gpu_hits,
-        traffic: server.traffic().snapshot(),
-        sample_seconds,
-        extract_seconds,
-        train_seconds,
-    }
+    finalize_report(setup.name.clone(), server, epoch_seconds)
 }
 
 #[cfg(test)]
@@ -431,6 +472,33 @@ mod tests {
         assert!(report.sample_seconds > 0.0);
         assert!(report.extract_seconds > 0.0);
         assert!(report.train_seconds > 0.0);
+        // Every numeric field is derived from the attached snapshot.
+        assert_eq!(report.pcie_total, report.metrics.counter_sum("pcm."));
+        assert_eq!(
+            report.cpu_bytes + report.peer_bytes,
+            report.metrics.counter_sum("traffic.")
+        );
+        assert_eq!(report.epoch_seconds, report.metrics.gauge("epoch.seconds"));
+        assert_eq!(
+            report.feature_hit_rate(),
+            report.metrics.gauge("epoch.feature_hit_rate")
+        );
+        // Pipeline operators all left their marks.
+        assert!(report.metrics.counter_sum("batch.") > 0);
+        assert!(report.metrics.counter_sum("sample.") > 0);
+        assert!(report.metrics.counter_sum("extract.") > 0);
+        assert!(report.metrics.counter_sum("subgraph.") > 0);
+        assert!(report.metrics.counter_sum("cache.") > 0);
+        let blocks: u64 = (0..2)
+            .map(|g| report.metrics.counter(&format!("subgraph.gpu{g}.blocks")))
+            .sum();
+        let hist = report
+            .metrics
+            .histograms
+            .iter()
+            .find(|h| h.name == "subgraph.block_edges")
+            .expect("block-size histogram registered");
+        assert_eq!(hist.counts.iter().sum::<u64>(), blocks);
     }
 
     #[test]

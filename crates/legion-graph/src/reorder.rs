@@ -74,11 +74,7 @@ impl Permutation {
 /// old id) — hotness- or degree-ordered relabeling.
 pub fn by_descending_score(scores: &[u64]) -> Permutation {
     let mut order: Vec<VertexId> = (0..scores.len() as VertexId).collect();
-    order.sort_by(|&a, &b| {
-        scores[b as usize]
-            .cmp(&scores[a as usize])
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[b as usize].cmp(&scores[a as usize]).then(a.cmp(&b)));
     // `order[rank] = old` -> `new_of_old[old] = rank`.
     let mut new_of_old = vec![0 as VertexId; scores.len()];
     for (rank, &old) in order.iter().enumerate() {
@@ -93,7 +89,11 @@ pub fn by_descending_score(scores: &[u64]) -> Permutation {
 ///
 /// Panics if `perm.len() != graph.num_vertices()`.
 pub fn reorder_graph(graph: &CsrGraph, perm: &Permutation) -> CsrGraph {
-    assert_eq!(perm.len(), graph.num_vertices(), "permutation size mismatch");
+    assert_eq!(
+        perm.len(),
+        graph.num_vertices(),
+        "permutation size mismatch"
+    );
     let mut builder = crate::GraphBuilder::new(graph.num_vertices())
         .with_edge_capacity(graph.num_edges())
         .keep_duplicates();
@@ -121,8 +121,11 @@ pub fn reorder_dataset(dataset: &Dataset, perm: &Permutation) -> Dataset {
         }
         out
     });
-    let mut train_vertices: Vec<VertexId> =
-        dataset.train_vertices.iter().map(|&v| perm.apply(v)).collect();
+    let mut train_vertices: Vec<VertexId> = dataset
+        .train_vertices
+        .iter()
+        .map(|&v| perm.apply(v))
+        .collect();
     train_vertices.sort_unstable();
     Dataset {
         name: format!("{}+reordered", dataset.name),

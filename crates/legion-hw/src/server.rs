@@ -1,5 +1,8 @@
 //! Multi-GPU server presets (Table 1) and the assembled simulated machine.
 
+use std::sync::Arc;
+
+use legion_telemetry::Registry;
 use parking_lot::Mutex;
 
 use crate::device::{GpuDevice, HwError};
@@ -142,7 +145,11 @@ impl ServerSpec {
 ///
 /// Counters ([`PcmCounters`], [`TrafficMatrix`]) are internally
 /// thread-safe; device memory is guarded by a mutex so concurrent per-GPU
-/// workers can allocate safely.
+/// workers can allocate safely. All counters are registered in a shared
+/// [`legion_telemetry::Registry`] (see [`MultiGpuServer::telemetry`]), so
+/// a [`legion_telemetry::Snapshot`] of the server captures PCM and
+/// traffic-matrix state along with any pipeline metrics other components
+/// registered on the same registry.
 #[derive(Debug)]
 pub struct MultiGpuServer {
     spec: ServerSpec,
@@ -150,23 +157,26 @@ pub struct MultiGpuServer {
     pcie_model: PcieModel,
     pcm: PcmCounters,
     traffic: TrafficMatrix,
+    telemetry: Arc<Registry>,
 }
 
 impl MultiGpuServer {
     /// Builds a fresh machine from a spec.
     pub fn new(spec: ServerSpec) -> Self {
+        let telemetry = Arc::new(Registry::new());
         let devices = (0..spec.num_gpus)
             .map(|id| GpuDevice::new(id, spec.gpu_memory))
             .collect();
         let pcie_model = PcieModel::new(spec.pcie);
-        let pcm = PcmCounters::new(spec.num_gpus);
-        let traffic = TrafficMatrix::new(spec.num_gpus);
+        let pcm = PcmCounters::with_registry(spec.num_gpus, &telemetry);
+        let traffic = TrafficMatrix::with_registry(spec.num_gpus, &telemetry);
         Self {
             spec,
             devices: Mutex::new(devices),
             pcie_model,
             pcm,
             traffic,
+            telemetry,
         }
     }
 
@@ -198,6 +208,13 @@ impl MultiGpuServer {
     /// Feature/topology traffic matrix.
     pub fn traffic(&self) -> &TrafficMatrix {
         &self.traffic
+    }
+
+    /// The shared metric registry backing this server's counters. Pipeline
+    /// components register their own metrics here so one snapshot covers
+    /// the whole machine.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Allocates `bytes` on `gpu`.
@@ -236,13 +253,15 @@ impl MultiGpuServer {
         per_socket.into_iter().max().unwrap_or(0)
     }
 
-    /// Releases all device memory and clears all counters.
+    /// Releases all device memory and clears all counters — including any
+    /// metrics other components registered on [`Self::telemetry`].
     pub fn reset(&self) {
         for d in self.devices.lock().iter_mut() {
             d.reset();
         }
-        self.pcm.reset();
-        self.traffic.reset();
+        // PCM and traffic counters live in the registry, so this clears
+        // them along with every other registered metric.
+        self.telemetry.reset();
     }
 }
 

@@ -6,7 +6,7 @@
 //! transferring"; the extra right-most column is CPU→GPU volume over PCIe.
 //! [`TrafficMatrix`] is exactly that structure.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use legion_telemetry::{Counter, Registry};
 
 use crate::GpuId;
 
@@ -20,6 +20,10 @@ pub enum Source {
 }
 
 /// Byte counts per `(destination GPU, source)` pair. Thread-safe.
+///
+/// Each cell is a [`legion_telemetry::Counter`] registered as
+/// `traffic.dst{d}.src{s}_bytes` (GPU→GPU) or `traffic.dst{d}.cpu_bytes`
+/// (CPU→GPU), so the Figure 10 matrices appear in metric snapshots.
 ///
 /// # Examples
 ///
@@ -37,20 +41,39 @@ pub enum Source {
 pub struct TrafficMatrix {
     n: usize,
     /// Row-major `(dst, src)` GPU→GPU bytes.
-    gpu: Vec<AtomicU64>,
+    gpu: Vec<Counter>,
     /// CPU→GPU bytes per destination.
-    cpu: Vec<AtomicU64>,
+    cpu: Vec<Counter>,
+}
+
+/// The registry name of one traffic-matrix cell.
+pub fn traffic_counter_name(dst: GpuId, src: Source) -> String {
+    match src {
+        Source::Gpu(s) => format!("traffic.dst{dst}.src{s}_bytes"),
+        Source::Cpu => format!("traffic.dst{dst}.cpu_bytes"),
+    }
 }
 
 impl TrafficMatrix {
-    /// A zeroed matrix for `num_gpus` GPUs.
+    /// A standalone zeroed matrix for `num_gpus` GPUs, backed by a
+    /// private registry.
     pub fn new(num_gpus: usize) -> Self {
+        Self::with_registry(num_gpus, &Registry::new())
+    }
+
+    /// A matrix bound into `registry` under the `traffic.dst{d}.*` names.
+    pub fn with_registry(num_gpus: usize, registry: &Registry) -> Self {
         Self {
             n: num_gpus,
             gpu: (0..num_gpus * num_gpus)
-                .map(|_| AtomicU64::new(0))
+                .map(|i| {
+                    let (dst, src) = (i / num_gpus, i % num_gpus);
+                    registry.counter(&traffic_counter_name(dst, Source::Gpu(src)))
+                })
                 .collect(),
-            cpu: (0..num_gpus).map(|_| AtomicU64::new(0)).collect(),
+            cpu: (0..num_gpus)
+                .map(|dst| registry.counter(&traffic_counter_name(dst, Source::Cpu)))
+                .collect(),
         }
     }
 
@@ -66,46 +89,42 @@ impl TrafficMatrix {
     /// Panics if any GPU index is out of range.
     pub fn add(&self, dst: GpuId, src: Source, bytes: u64) {
         match src {
-            Source::Cpu => self.cpu[dst].fetch_add(bytes, Ordering::Relaxed),
-            Source::Gpu(s) => self.gpu[dst * self.n + s].fetch_add(bytes, Ordering::Relaxed),
+            Source::Cpu => self.cpu[dst].add(bytes),
+            Source::Gpu(s) => self.gpu[dst * self.n + s].add(bytes),
         };
     }
 
     /// Bytes moved from `src` GPU into `dst` GPU.
     pub fn gpu_to_gpu(&self, src: GpuId, dst: GpuId) -> u64 {
-        self.gpu[dst * self.n + src].load(Ordering::Relaxed)
+        self.gpu[dst * self.n + src].get()
     }
 
     /// Bytes moved from CPU memory into `dst` (the red column of Fig. 10).
     pub fn cpu_to_gpu(&self, dst: GpuId) -> u64 {
-        self.cpu[dst].load(Ordering::Relaxed)
+        self.cpu[dst].get()
     }
 
     /// Total CPU→GPU bytes over all destinations.
     pub fn total_cpu_bytes(&self) -> u64 {
-        self.cpu.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.cpu.iter().map(|c| c.get()).sum()
     }
 
     /// Total GPU→GPU bytes over all pairs.
     pub fn total_peer_bytes(&self) -> u64 {
-        self.gpu.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.gpu.iter().map(|c| c.get()).sum()
     }
 
     /// The largest per-GPU CPU→GPU volume. The paper notes "it is the GPU
     /// with the largest CPU-GPU data transferring volume that dominates the
     /// overall performance" (§6.3.2).
     pub fn max_cpu_column(&self) -> u64 {
-        self.cpu
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .max()
-            .unwrap_or(0)
+        self.cpu.iter().map(|c| c.get()).max().unwrap_or(0)
     }
 
     /// Clears all counters.
     pub fn reset(&self) {
         for c in self.gpu.iter().chain(self.cpu.iter()) {
-            c.store(0, Ordering::Relaxed);
+            c.reset();
         }
     }
 

@@ -27,7 +27,9 @@
 //! ```
 
 pub mod schedule;
+pub mod stage;
 pub mod time_model;
 
 pub use schedule::{epoch_time_factored, epoch_time_pipelined, epoch_time_serial, BatchCost};
+pub use stage::StageRecorder;
 pub use time_model::TimeModel;

@@ -1,0 +1,80 @@
+//! Per-GPU stage-time telemetry.
+//!
+//! The pipeline operates on simulated stage durations (seconds from
+//! [`crate::TimeModel`]), so stage accounting is recorded explicitly
+//! rather than with wall-clock timers: [`StageRecorder`] accumulates each
+//! stage's simulated time into integer-nanosecond counters
+//! (`stage.gpu{g}.sample_ns`, `stage.gpu{g}.extract_ns`,
+//! `stage.gpu{g}.train_ns`). Integer adds commute, so per-GPU totals are
+//! identical whether batches run sequentially or on parallel workers.
+
+use legion_hw::GpuId;
+use legion_telemetry::{Counter, Registry};
+
+/// Accumulates one GPU's simulated stage times into registry counters.
+#[derive(Debug, Clone)]
+pub struct StageRecorder {
+    sample_ns: Counter,
+    extract_ns: Counter,
+    train_ns: Counter,
+}
+
+impl StageRecorder {
+    /// Binds the `stage.gpu{gpu}.*_ns` counters in `registry`.
+    pub fn for_gpu(registry: &Registry, gpu: GpuId) -> Self {
+        Self {
+            sample_ns: registry.counter(&format!("stage.gpu{gpu}.sample_ns")),
+            extract_ns: registry.counter(&format!("stage.gpu{gpu}.extract_ns")),
+            train_ns: registry.counter(&format!("stage.gpu{gpu}.train_ns")),
+        }
+    }
+
+    /// Records one batch's stage durations (simulated seconds).
+    pub fn record(&self, sample_secs: f64, extract_secs: f64, train_secs: f64) {
+        self.sample_ns.add_secs(sample_secs);
+        self.extract_ns.add_secs(extract_secs);
+        self.train_ns.add_secs(train_secs);
+    }
+
+    /// Accumulated sampling time in seconds.
+    pub fn sample_secs(&self) -> f64 {
+        self.sample_ns.get_secs()
+    }
+
+    /// Accumulated extraction time in seconds.
+    pub fn extract_secs(&self) -> f64 {
+        self.extract_ns.get_secs()
+    }
+
+    /// Accumulated training time in seconds.
+    pub fn train_secs(&self) -> f64 {
+        self.train_ns.get_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_stage() {
+        let reg = Registry::new();
+        let rec = StageRecorder::for_gpu(&reg, 3);
+        rec.record(0.5, 0.25, 1.0);
+        rec.record(0.5, 0.25, 1.0);
+        assert!((rec.sample_secs() - 1.0).abs() < 1e-9);
+        assert!((rec.extract_secs() - 0.5).abs() < 1e-9);
+        assert!((rec.train_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(reg.counter_value("stage.gpu3.train_ns"), 2_000_000_000);
+    }
+
+    #[test]
+    fn same_registry_shares_counters() {
+        let reg = Registry::new();
+        let a = StageRecorder::for_gpu(&reg, 0);
+        let b = StageRecorder::for_gpu(&reg, 0);
+        a.record(1.0, 0.0, 0.0);
+        b.record(1.0, 0.0, 0.0);
+        assert!((a.sample_secs() - 2.0).abs() < 1e-9);
+    }
+}

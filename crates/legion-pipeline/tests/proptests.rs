@@ -2,13 +2,14 @@
 
 use proptest::prelude::*;
 
-use legion_pipeline::{
-    epoch_time_factored, epoch_time_pipelined, epoch_time_serial, BatchCost,
-};
+use legion_pipeline::{epoch_time_factored, epoch_time_pipelined, epoch_time_serial, BatchCost};
 
 fn batches_strategy() -> impl Strategy<Value = Vec<BatchCost>> {
-    proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..40)
-        .prop_map(|v| v.into_iter().map(|(prep, train)| BatchCost { prep, train }).collect())
+    proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..40).prop_map(|v| {
+        v.into_iter()
+            .map(|(prep, train)| BatchCost { prep, train })
+            .collect()
+    })
 }
 
 proptest! {

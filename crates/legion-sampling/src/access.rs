@@ -20,6 +20,10 @@ use legion_graph::{CsrGraph, FeatureTable, VertexId};
 use legion_hw::pcm::TrafficKind;
 use legion_hw::traffic::Source;
 use legion_hw::{GpuId, MultiGpuServer};
+use legion_telemetry::{Counter, Histogram};
+
+/// Bucket bounds (edge counts) of the `subgraph.block_edges` histogram.
+pub const BLOCK_EDGE_BUCKETS: [u64; 8] = [1, 4, 16, 64, 256, 1024, 4096, 16384];
 
 /// Where the full graph topology lives (§3.2's "coarse-grained" options
 /// plus Legion's unified cache).
@@ -73,13 +77,33 @@ impl CacheLayout {
     }
 }
 
+/// Per-GPU pipeline meters, bound once at engine construction so the hot
+/// read paths touch only pre-resolved atomic handles.
+struct GpuMeters {
+    topology_hits: Counter,
+    topology_misses: Counter,
+    feature_hits: Counter,
+    feature_misses: Counter,
+    sampled_edges: Counter,
+    extracted_rows: Counter,
+    blocks: Counter,
+}
+
 /// The metered read path used by samplers and extractors.
+///
+/// Besides charging the server's PCM counters and traffic matrix, every
+/// read updates per-GPU telemetry on [`MultiGpuServer::telemetry`]:
+/// `cache.gpu{g}.{topology,feature}_{hits,misses}`, `sample.gpu{g}.edges`,
+/// `extract.gpu{g}.rows`, `subgraph.gpu{g}.blocks`, and the shared
+/// `subgraph.block_edges` histogram.
 pub struct AccessEngine<'a> {
     graph: &'a CsrGraph,
     features: &'a FeatureTable,
     layout: &'a CacheLayout,
     server: &'a MultiGpuServer,
     topology_placement: TopologyPlacement,
+    meters: Vec<GpuMeters>,
+    block_edges: Histogram,
 }
 
 impl<'a> AccessEngine<'a> {
@@ -92,12 +116,27 @@ impl<'a> AccessEngine<'a> {
         server: &'a MultiGpuServer,
         topology_placement: TopologyPlacement,
     ) -> Self {
+        let registry = server.telemetry();
+        let meters = (0..server.num_gpus())
+            .map(|g| GpuMeters {
+                topology_hits: registry.counter(&format!("cache.gpu{g}.topology_hits")),
+                topology_misses: registry.counter(&format!("cache.gpu{g}.topology_misses")),
+                feature_hits: registry.counter(&format!("cache.gpu{g}.feature_hits")),
+                feature_misses: registry.counter(&format!("cache.gpu{g}.feature_misses")),
+                sampled_edges: registry.counter(&format!("sample.gpu{g}.edges")),
+                extracted_rows: registry.counter(&format!("extract.gpu{g}.rows")),
+                blocks: registry.counter(&format!("subgraph.gpu{g}.blocks")),
+            })
+            .collect();
+        let block_edges = registry.histogram("subgraph.block_edges", &BLOCK_EDGE_BUCKETS);
         Self {
             graph,
             features,
             layout,
             server,
             topology_placement,
+            meters,
+            block_edges,
         }
     }
 
@@ -135,8 +174,11 @@ impl<'a> AccessEngine<'a> {
     fn read_topology(&self, gpu: GpuId, v: VertexId, fanout: usize) -> &[VertexId] {
         let degree = self.graph.degree(v) as usize;
         let edges_read = degree.min(fanout) as u64;
+        let meters = &self.meters[gpu];
+        meters.sampled_edges.add(edges_read);
         if self.topology_placement == TopologyPlacement::ReplicatedGpu {
             // Local replica: no interconnect traffic at all.
+            meters.topology_hits.inc();
             return self.graph.neighbors(v);
         }
         if let Some((cache, slot)) = self.layout.for_gpu(gpu) {
@@ -147,11 +189,13 @@ impl<'a> AccessEngine<'a> {
                         .traffic()
                         .add(gpu, Source::Gpu(owner), edges_read * 4 + 8);
                 }
+                meters.topology_hits.inc();
                 return data;
             }
         }
         // CPU fallback over UVA: fine-grained reads. One transaction for
         // the row offsets, one 4-byte transaction per sampled edge.
+        meters.topology_misses.inc();
         self.server
             .pcm()
             .add(gpu, TrafficKind::Topology, 1 + edges_read);
@@ -164,6 +208,8 @@ impl<'a> AccessEngine<'a> {
     /// Reads `v`'s feature row on behalf of `gpu`, booking traffic.
     pub fn read_feature(&self, gpu: GpuId, v: VertexId) -> &[f32] {
         let row_bytes = self.features.row_bytes();
+        let meters = &self.meters[gpu];
+        meters.extracted_rows.inc();
         if let Some((cache, slot)) = self.layout.for_gpu(gpu) {
             if let Some((hit, data)) = cache.lookup_feature(slot, v) {
                 if let CacheHit::Peer(owner) = hit {
@@ -171,13 +217,22 @@ impl<'a> AccessEngine<'a> {
                         .traffic()
                         .add(gpu, Source::Gpu(owner), row_bytes);
                 }
+                meters.feature_hits.inc();
                 return data;
             }
         }
+        meters.feature_misses.inc();
         let tx = self.server.pcie().transactions_for_payload(row_bytes);
         self.server.pcm().add(gpu, TrafficKind::Feature, tx);
         self.server.traffic().add(gpu, Source::Cpu, row_bytes);
         self.features.row(v)
+    }
+
+    /// Records a completed subgraph block (one hop of one mini-batch) of
+    /// `edges` edges built on `gpu`.
+    pub fn note_block(&self, gpu: GpuId, edges: u64) {
+        self.meters[gpu].blocks.inc();
+        self.block_edges.observe(edges);
     }
 
     /// Whether `v`'s feature read from `gpu` would hit the cache (local or

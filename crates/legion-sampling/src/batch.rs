@@ -9,6 +9,8 @@
 use rand::Rng;
 
 use legion_graph::VertexId;
+use legion_hw::GpuId;
+use legion_telemetry::{Counter, Registry};
 
 /// Shuffle scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +26,9 @@ pub enum ShuffleMode {
 pub struct BatchGenerator {
     seeds: Vec<VertexId>,
     batch_size: usize,
+    /// `batch.gpu{g}.batches` / `batch.gpu{g}.seeds` counters, when bound
+    /// to a registry via [`Self::with_telemetry`].
+    meters: Option<(Counter, Counter)>,
 }
 
 impl BatchGenerator {
@@ -34,7 +39,22 @@ impl BatchGenerator {
     /// Panics if `batch_size == 0`.
     pub fn new(seeds: Vec<VertexId>, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        Self { seeds, batch_size }
+        Self {
+            seeds,
+            batch_size,
+            meters: None,
+        }
+    }
+
+    /// Binds `batch.gpu{gpu}.batches` and `batch.gpu{gpu}.seeds` counters
+    /// in `registry`; every emitted batch is then metered.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry, gpu: GpuId) -> Self {
+        self.meters = Some((
+            registry.counter(&format!("batch.gpu{gpu}.batches")),
+            registry.counter(&format!("batch.gpu{gpu}.seeds")),
+        ));
+        self
     }
 
     /// Number of batches per epoch (last batch may be smaller).
@@ -53,6 +73,10 @@ impl BatchGenerator {
         for i in (1..n).rev() {
             let j = rng.gen_range(0..=i);
             self.seeds.swap(i, j);
+        }
+        if let Some((batches, seeds)) = &self.meters {
+            batches.add(self.batches_per_epoch() as u64);
+            seeds.add(n as u64);
         }
         self.seeds
             .chunks(self.batch_size)

@@ -124,6 +124,7 @@ impl KHopSampler {
             }
             all.extend_from_slice(&src_vertices[frontier.len()..]);
             let next_frontier = src_vertices.clone();
+            engine.note_block(gpu, edge_dst.len() as u64);
             blocks.push(Block {
                 num_dst: frontier.len(),
                 src_vertices,

@@ -1,0 +1,523 @@
+//! Telemetry for the Legion simulator: a lock-free metric registry with
+//! counters, gauges, fixed-bucket histograms, and scoped stage timers.
+//!
+//! # Design
+//!
+//! Registration (name → handle) takes a mutex, but that happens once per
+//! metric — typically at construction of the server / engines. The hot
+//! paths (PCIe transaction metering, cache hit accounting, per-stage
+//! time accumulation) clone an [`Counter`] handle, which is just an
+//! `Arc<AtomicU64>`, and update it with a relaxed atomic add: no locks,
+//! no allocation, safe from any thread.
+//!
+//! # Determinism
+//!
+//! Counters and histograms hold integers. Integer addition commutes, so
+//! a metric's final value is independent of thread interleaving — which
+//! is what lets two same-seed epoch runs produce byte-identical
+//! [`Snapshot`] JSON even when the runner is parallel. Simulated stage
+//! durations are therefore stored as integer **nanoseconds**
+//! ([`Counter::add_secs`]) rather than accumulated floats. Gauges store
+//! `f64` bits and are meant for values written once from a single
+//! thread (epoch totals, model outputs). [`StageTimer`] measures real
+//! wall-clock time; keep wall metrics out of snapshots you intend to
+//! compare across runs.
+//!
+//! Metric names follow a dotted scheme with zero-based device indices,
+//! e.g. `pcm.gpu0.topology_tx`, `traffic.dst1.src0_bytes`,
+//! `stage.gpu2.sample_ns`, `cache.gpu0.feature_hits`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+pub mod snapshot;
+
+pub use snapshot::{CounterSample, GaugeSample, HistogramSample, Snapshot};
+
+/// Nanoseconds per second, the resolution of stage-time counters.
+pub const NANOS_PER_SEC: f64 = 1e9;
+
+/// A monotonically increasing integer metric.
+///
+/// Cloning is cheap and shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if delta != 0 {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds a simulated duration in seconds, stored as integer
+    /// nanoseconds so accumulation order cannot affect the total.
+    #[inline]
+    pub fn add_secs(&self, secs: f64) {
+        debug_assert!(secs >= 0.0, "negative stage duration");
+        self.add((secs * NANOS_PER_SEC).round() as u64);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// The current value interpreted as nanoseconds, in seconds.
+    #[inline]
+    pub fn get_secs(&self) -> f64 {
+        self.get() as f64 / NANOS_PER_SEC
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins `f64` metric (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            cell: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+
+    /// Resets the gauge to zero.
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds (inclusive) of each bucket; an implicit overflow
+    /// bucket follows the last bound.
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let idx = self.inner.bounds.partition_point(|&bound| bound < value);
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts (the final entry is the overflow bucket).
+    pub fn counts(&self) -> Vec<u64> {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Clears all buckets.
+    pub fn reset(&self) {
+        for c in &self.inner.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.inner.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl RegistryInner {
+    fn find<T: Clone>(entries: &[(String, T)], name: &str) -> Option<T> {
+        entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    }
+}
+
+/// The metric registry: name → handle, get-or-register semantics.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. The returned handle updates lock-free.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        if let Some(c) = RegistryInner::find(&inner.counters, name) {
+            return c;
+        }
+        let c = Counter::new();
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        if let Some(g) = RegistryInner::find(&inner.gauges, name) {
+            return g;
+        }
+        let g = Gauge::new();
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// the given bucket bounds on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name exists with different bounds — that is a
+    /// naming-scheme bug, not a runtime condition.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut inner = self.inner.lock();
+        if let Some(h) = RegistryInner::find(&inner.histograms, name) {
+            assert_eq!(
+                h.bounds(),
+                bounds,
+                "histogram `{name}` re-registered with different bounds"
+            );
+            return h;
+        }
+        let h = Histogram::new(bounds);
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// The value of a counter, or 0 if it was never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        RegistryInner::find(&self.inner.lock().counters, name)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// The value of a gauge, or 0.0 if it was never registered.
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        RegistryInner::find(&self.inner.lock().gauges, name)
+            .map(|g| g.get())
+            .unwrap_or(0.0)
+    }
+
+    /// Sums every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.inner
+            .lock()
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// Starts a wall-clock timer that adds elapsed nanoseconds to
+    /// `name` when dropped. Wall metrics are nondeterministic; keep
+    /// them out of snapshots compared across runs.
+    pub fn stage_timer(&self, name: &str) -> StageTimer {
+        StageTimer {
+            counter: self.counter(name),
+            start: Instant::now(),
+        }
+    }
+
+    /// Resets every registered metric to zero, keeping registrations
+    /// (and therefore handle bindings) intact.
+    pub fn reset(&self) {
+        let inner = self.inner.lock();
+        for (_, c) in &inner.counters {
+            c.reset();
+        }
+        for (_, g) in &inner.gauges {
+            g.reset();
+        }
+        for (_, h) in &inner.histograms {
+            h.reset();
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name so equal
+    /// registries serialize to identical JSON regardless of
+    /// registration order.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock();
+        let mut counters: Vec<CounterSample> = inner
+            .counters
+            .iter()
+            .map(|(name, c)| CounterSample {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSample> = inner
+            .gauges
+            .iter()
+            .map(|(name, g)| GaugeSample {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSample> = inner
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramSample {
+                name: name.clone(),
+                bounds: h.bounds().to_vec(),
+                counts: h.counts(),
+                sum: h.sum(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Scoped wall-clock timer returned by [`Registry::stage_timer`].
+///
+/// Adds the elapsed nanoseconds to its counter when dropped.
+pub struct StageTimer {
+    counter: Counter,
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Stops the timer early, recording the elapsed time now.
+    pub fn stop(self) {}
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.counter
+            .add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_get_or_register_shares_the_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter_value("x"), 4);
+        assert_eq!(a.get(), 4);
+    }
+
+    #[test]
+    fn counters_are_safe_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("hot");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn seconds_roundtrip_through_nanos() {
+        let reg = Registry::new();
+        let c = reg.counter("stage.gpu0.sample_ns");
+        c.add_secs(1.25);
+        c.add_secs(0.75);
+        assert_eq!(c.get(), 2_000_000_000);
+        assert!((c.get_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let reg = Registry::new();
+        let g = reg.gauge("alpha");
+        g.set(0.35);
+        g.set(0.5);
+        assert_eq!(reg.gauge_value("alpha"), 0.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), vec![2, 2, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5126);
+    }
+
+    #[test]
+    fn counter_sum_by_prefix() {
+        let reg = Registry::new();
+        reg.counter("pcm.gpu0.topology_tx").add(7);
+        reg.counter("pcm.gpu1.topology_tx").add(5);
+        reg.counter("pcm.gpu0.feature_tx").add(100);
+        assert_eq!(reg.counter_sum("pcm.gpu0."), 107);
+        assert_eq!(reg.counter_sum("pcm."), 112);
+    }
+
+    #[test]
+    fn reset_keeps_bindings() {
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        c.add(9);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(reg.counter_value("x"), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_independent_of_registration_order() {
+        let a = Registry::new();
+        a.counter("b").add(2);
+        a.counter("a").add(1);
+        a.gauge("z").set(3.0);
+        let b = Registry::new();
+        b.gauge("z").set(3.0);
+        b.counter("a").add(1);
+        b.counter("b").add(2);
+        assert_eq!(a.snapshot(), b.snapshot());
+        let snap = a.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn stage_timer_records_on_drop() {
+        let reg = Registry::new();
+        {
+            let _t = reg.stage_timer("wall.test_ns");
+        }
+        // Can't assert much about wall time beyond "it ran".
+        assert!(reg.counter_value("wall.test_ns") > 0 || cfg!(miri));
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let reg = Registry::new();
+        reg.counter("pcm.gpu0.topology_tx").add(42);
+        reg.gauge("epoch.seconds").set(1.5);
+        reg.histogram("deg", &[1, 8]).observe(3);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,80 @@
+//! Serializable point-in-time metric snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// One counter's name and value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Dotted metric name, e.g. `pcm.gpu0.topology_tx`.
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge's name and value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Dotted metric name, e.g. `epoch.seconds`.
+    pub name: String,
+    /// Gauge value at snapshot time.
+    pub value: f64,
+}
+
+/// One histogram's name, bucket layout, and contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Dotted metric name.
+    pub name: String,
+    /// Inclusive upper bounds of each bucket.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the final entry is the overflow bucket, so
+    /// `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+/// A sorted, serializable copy of every metric in a registry.
+///
+/// Two registries holding the same metric values produce equal
+/// snapshots — and, because entries are sorted by name and all numbers
+/// are integers or single `f64` gauges, byte-identical JSON.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSample>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl Snapshot {
+    /// The value of the named counter, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    /// The value of the named gauge, or 0.0 if absent.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| g.value)
+            .unwrap_or(0.0)
+    }
+
+    /// Sums every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name.starts_with(prefix))
+            .map(|c| c.value)
+            .sum()
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification gate: format, lint, build, test.
+#
+# Lint/format are scoped to the first-party crates/ members; the vendored
+# dependency shims under vendor/ are third-party-style code we keep
+# byte-stable and don't hold to the same style bar.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIRST_PARTY=()
+for c in crates/*; do
+    FIRST_PARTY+=(-p "$(basename "$c")")
+done
+
+echo "==> cargo fmt --check (first-party crates)"
+for c in crates/*; do
+    (cd "$c" && cargo fmt --check)
+done
+
+echo "==> cargo clippy --all-targets -D warnings (first-party crates)"
+cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "verify: OK"

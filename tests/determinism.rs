@@ -44,6 +44,28 @@ fn same_seed_same_everything() {
 }
 
 #[test]
+fn same_seed_byte_identical_metric_snapshots() {
+    // The telemetry snapshot is the source of truth for every figure, so
+    // replaying a seed must reproduce it bit-for-bit — including the f64
+    // gauges, which round-trip through their exact bit patterns.
+    let snapshot_json = |seed: u64| {
+        let ds = spec_by_name("PR").unwrap().instantiate(1000, seed);
+        let spec = ServerSpec::custom(4, 16 << 20, 2);
+        let server = spec.build();
+        let cfg = config(seed);
+        let ctx = cfg.build_context(&ds, &server);
+        let (setup, _) = legion_setup_with_plans(&ctx, &cfg).unwrap();
+        let report = run_epoch(&setup, &ctx, &cfg);
+        serde_json::to_string_pretty(&report.metrics).unwrap()
+    };
+    let a = snapshot_json(42);
+    let b = snapshot_json(42);
+    assert_eq!(a, b, "same-seed metric snapshots must be byte-identical");
+    let c = snapshot_json(43);
+    assert_ne!(a, c, "different seeds should change the metric snapshot");
+}
+
+#[test]
 fn different_seed_different_traffic() {
     let a = run_once(42);
     let b = run_once(43);

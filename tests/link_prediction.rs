@@ -50,15 +50,19 @@ fn link_prediction_trains_through_the_legion_cache() {
     let mut last = 0.0;
     for _ in 0..30 {
         let batch = sample_link_batch(&dataset.graph, 32, 1, &mut rng);
-        last = train_link_batch(&mut encoder, &engine, 0, &sampler, &batch, &mut opt, &mut rng);
+        last = train_link_batch(
+            &mut encoder,
+            &engine,
+            0,
+            &sampler,
+            &batch,
+            &mut opt,
+            &mut rng,
+        );
         first.get_or_insert(last);
     }
     // Loss decreased: the encoder genuinely learned through cached reads.
-    assert!(
-        last < 0.9 * first.unwrap(),
-        "loss {:?} -> {last}",
-        first
-    );
+    assert!(last < 0.9 * first.unwrap(), "loss {:?} -> {last}", first);
     // Held-out AUC beats random.
     let test = sample_link_batch(&dataset.graph, 100, 1, &mut rng);
     let scores = predict_links(&encoder, &engine, 0, &sampler, &test, &mut rng);

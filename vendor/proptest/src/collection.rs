@@ -1,0 +1,53 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Things usable as the vec length argument: a fixed `usize` or a range.
+pub trait SizeBound {
+    /// Picks a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeBound for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeBound for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+impl SizeBound for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeBound> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Generates vectors whose length is drawn from `len` and whose items
+/// are drawn from `element`.
+pub fn vec<S: Strategy, L: SizeBound>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,147 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Implements the strategy combinators and the `proptest!` macro the
+//! workspace's property tests use, on top of the vendored deterministic
+//! `rand` crate. Unlike upstream proptest there is NO shrinking: a
+//! failing case panics with the ordinary assertion message. Each test
+//! function gets a fixed RNG stream derived from its own name, so runs
+//! are fully reproducible (`.proptest-regressions` files are ignored).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]  // optional
+///
+///     #[test]
+///     fn name(pat in strategy, pat2 in strategy2) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            let strat = ($($strat,)+);
+            for _case in 0..config.cases {
+                let ($($pat,)+) =
+                    $crate::Strategy::gen_value(&strat, &mut rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks uniformly between several same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10).prop_flat_map(|n| (Just(n), 0usize..10))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u32..=5, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 5);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_threads_the_outer_value((n, _m) in pair()) {
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(
+            v in crate::collection::vec(0u8..4, 2..6),
+            w in crate::collection::vec(any::<bool>(), 3),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn oneof_picks_listed_options(k in prop_oneof![Just(1usize), Just(2), Just(4)]) {
+            prop_assert!(k == 1 || k == 2 || k == 4);
+        }
+    }
+
+    #[test]
+    fn same_test_name_same_stream() {
+        let strat = (0u64..1_000_000, -5.0f32..5.0);
+        let mut a = crate::TestRng::for_test("stream");
+        let mut b = crate::TestRng::for_test("stream");
+        for _ in 0..100 {
+            assert_eq!(
+                Strategy::gen_value(&strat, &mut a),
+                Strategy::gen_value(&strat, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Per-test configuration and the deterministic RNG feeding strategies.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Property-test configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG handed to strategies; seeded from the test name so
+/// every run of a given test replays the same case stream.
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// The RNG stream for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, well-mixed seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Supports non-generic structs with named fields, plus the container
+//! attributes the workspace uses: `#[serde(default)]` (missing fields
+//! fall back to the struct's `Default`) and
+//! `#[serde(deny_unknown_fields)]`. Written against the bare
+//! `proc_macro` API so it builds without syn/quote.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    default: bool,
+    deny_unknown_fields: bool,
+}
+
+struct StructInfo {
+    name: String,
+    fields: Vec<String>,
+    attrs: ContainerAttrs,
+}
+
+fn parse_struct(input: TokenStream) -> StructInfo {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+    // Scan leading attributes for #[serde(...)] flags.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                for t in args.stream() {
+                                    if let TokenTree::Ident(flag) = t {
+                                        match flag.to_string().as_str() {
+                                            "default" => attrs.default = true,
+                                            "deny_unknown_fields" => {
+                                                attrs.deny_unknown_fields = true
+                                            }
+                                            other => panic!(
+                                                "vendored serde_derive: unsupported \
+                                                 #[serde({other})] attribute"
+                                            ),
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    // Skip visibility and expect `struct Name { ... }`.
+    let mut name = None;
+    let mut body = None;
+    let mut saw_struct = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => saw_struct = true,
+            TokenTree::Ident(id) if saw_struct && name.is_none() => {
+                name = Some(id.to_string());
+            }
+            TokenTree::Punct(p) if name.is_some() && p.as_char() == '<' => {
+                panic!("vendored serde_derive: generic structs are not supported");
+            }
+            TokenTree::Group(g)
+                if name.is_some() && g.delimiter() == Delimiter::Brace && body.is_none() =>
+            {
+                body = Some(g.stream());
+            }
+            TokenTree::Group(g) if name.is_some() && g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde_derive: tuple structs are not supported");
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("vendored serde_derive: enums are not supported");
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let name = name.expect("vendored serde_derive: expected a struct");
+    let body = body.expect("vendored serde_derive: expected named fields");
+
+    // Parse field names: skip attributes + visibility, take the ident
+    // before ':', then skip the type (tracking angle-bracket depth so
+    // commas inside generics don't split fields).
+    let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0;
+    while j < body_tokens.len() {
+        // Skip field attributes.
+        while j < body_tokens.len() {
+            if let TokenTree::Punct(p) = &body_tokens[j] {
+                if p.as_char() == '#' {
+                    j += 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = body_tokens.get(j) {
+            if id.to_string() == "pub" {
+                j += 1;
+                if let Some(TokenTree::Group(g)) = body_tokens.get(j) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(field)) = body_tokens.get(j) else {
+            break;
+        };
+        fields.push(field.to_string());
+        j += 1;
+        // Expect ':', then skip the type until a top-level comma.
+        let mut angle = 0i32;
+        while j < body_tokens.len() {
+            if let TokenTree::Punct(p) = &body_tokens[j] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+    }
+    StructInfo {
+        name,
+        fields,
+        attrs,
+    }
+}
+
+/// Derives the vendored `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let info = parse_struct(input);
+    let pushes: String = info
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+            )
+        })
+        .collect();
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n\
+         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Object(fields)\n\
+         }}\n\
+         }}\n",
+        name = info.name,
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let info = parse_struct(input);
+    let known: String = info
+        .fields
+        .iter()
+        .map(|f| format!("\"{f}\", "))
+        .collect();
+    let deny = if info.attrs.deny_unknown_fields {
+        format!(
+            "const KNOWN: &[&str] = &[{known}];\n\
+             for (key, _) in entries {{\n\
+             if !KNOWN.contains(&key.as_str()) {{\n\
+             return Err(::serde::Error::custom(format!(\"unknown field `{{key}}`\")));\n\
+             }}\n\
+             }}\n"
+        )
+    } else {
+        String::new()
+    };
+    let body = if info.attrs.default {
+        let overrides: String = info
+            .fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "if let Some(v) = value.get(\"{f}\") {{\n\
+                     out.{f} = ::serde::Deserialize::deserialize(v)?;\n\
+                     }}\n"
+                )
+            })
+            .collect();
+        format!(
+            "let mut out = <{name} as ::core::default::Default>::default();\n\
+             {overrides}\
+             Ok(out)\n",
+            name = info.name,
+        )
+    } else {
+        let builds: String = info
+            .fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "{f}: ::serde::Deserialize::deserialize(value.get(\"{f}\")\
+                     .ok_or_else(|| ::serde::Error::custom(\"missing field `{f}`\"))?)?,\n"
+                )
+            })
+            .collect();
+        format!("Ok({name} {{\n{builds}}})\n", name = info.name)
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+         let entries = value.as_object().ok_or_else(|| \
+         ::serde::Error::custom(\"expected object\"))?;\n\
+         let _ = entries;\n\
+         {deny}\
+         {body}\
+         }}\n\
+         }}\n",
+        name = info.name,
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
