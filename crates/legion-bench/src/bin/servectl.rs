@@ -1,0 +1,202 @@
+//! `servectl` — sweep offered load over the online serving subsystem and
+//! emit throughput–latency curves comparing the static-hotness cache
+//! against the FIFO dynamic cache under request-skew drift.
+//!
+//! ```bash
+//! cargo run --release -p legion-bench --bin servectl           # full sweep
+//! cargo run --release -p legion-bench --bin servectl -- --smoke # fast path
+//! ```
+//!
+//! Offered loads are multiples of a measured capacity estimate, so the
+//! curve always crosses its saturation knee. With `LEGION_RESULTS_DIR`
+//! set, the run saves `servectl_curves.json` (all load points, both
+//! policies) and `servectl_{static,fifo}.metrics.json` (full telemetry
+//! snapshots of the drift-comparison runs at 0.9x capacity).
+
+use legion_graph::dataset::{spec_by_name, Dataset};
+use legion_hw::{MultiGpuServer, ServerSpec};
+use legion_serve::{
+    estimate_capacity_rps, run_sweep, serve, LoadPoint, PolicyKind, ServeConfig, SMOKE_MULTIPLIERS,
+    SWEEP_MULTIPLIERS,
+};
+use legion_telemetry::Snapshot;
+
+/// Feature-cache hit rate across all GPUs, from a run's snapshot.
+fn feature_hit_rate(metrics: &Snapshot) -> f64 {
+    let sum = |suffix: &str| {
+        metrics
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("cache.") && c.name.ends_with(suffix))
+            .map(|c| c.value)
+            .sum::<u64>()
+    };
+    let hits = sum("feature_hits");
+    let total = hits + sum("feature_misses");
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+fn print_points(points: &[LoadPoint]) {
+    for p in points {
+        println!(
+            "{:<8} {:>6.2} {:>12.0} {:>9} {:>7} {:>14.0} {:>9} {:>9} {:>9} {:>8.1}%",
+            p.policy,
+            p.load_multiplier,
+            p.offered_rps,
+            p.completed,
+            p.shed,
+            p.throughput_rps,
+            p.p50_us,
+            p.p95_us,
+            p.p99_us,
+            p.slo_attainment * 100.0
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let dataset_name = "PR";
+    let divisor = if smoke {
+        legion_bench::dataset_divisor(dataset_name).max(500)
+    } else {
+        legion_bench::dataset_divisor(dataset_name)
+    };
+    let base = if smoke {
+        // Scaled with the 500x dataset: a smaller per-batch neighborhood
+        // (so the FIFO cache holds several batches of history instead of
+        // thrashing), a shorter age trigger, and a shallower queue so the
+        // 4x point still reaches its queue-bound tail within the stream.
+        ServeConfig {
+            num_requests: 3000,
+            max_batch: 16,
+            max_wait: 1e-4,
+            queue_capacity: 512,
+            fanouts: vec![5, 3],
+            warmup_requests: 256,
+            cache_rows_per_gpu: 1024,
+            drift_period: 300,
+            drift_stride: 256,
+            ..ServeConfig::default()
+        }
+    } else {
+        ServeConfig::default()
+    };
+    let multipliers: &[f64] = if smoke {
+        &SMOKE_MULTIPLIERS
+    } else {
+        &SWEEP_MULTIPLIERS
+    };
+
+    legion_bench::banner(&format!(
+        "servectl: online serving sweep on {dataset_name}/{divisor}x ({} requests/point{})",
+        base.num_requests,
+        if smoke { ", smoke" } else { "" }
+    ));
+    let dataset: Dataset = spec_by_name(dataset_name)
+        .expect("PR is registered")
+        .instantiate(divisor, base.seed);
+    let spec = ServerSpec::dgx_v100().truncated(4);
+    let server: MultiGpuServer = spec.build();
+    println!(
+        "dataset: {} ({} vertices), server: {} x4, policy knobs: max_batch {} max_wait {:.1} ms queue {} cache {} rows/GPU",
+        dataset.name,
+        dataset.graph.num_vertices(),
+        spec.name,
+        base.max_batch,
+        base.max_wait * 1e3,
+        base.queue_capacity,
+        base.cache_rows_per_gpu,
+    );
+
+    let capacity = estimate_capacity_rps(&dataset.graph, &dataset.features, &server, &base);
+    println!("estimated capacity: {capacity:.0} requests/s (warmed closed-loop probe)\n");
+    println!(
+        "{:<8} {:>6} {:>12} {:>9} {:>7} {:>14} {:>9} {:>9} {:>9} {:>8}",
+        "policy",
+        "load",
+        "offered/s",
+        "done",
+        "shed",
+        "throughput/s",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "SLO"
+    );
+
+    let mut rows: Vec<LoadPoint> = Vec::new();
+    for policy in [PolicyKind::StaticHot, PolicyKind::Fifo] {
+        let mut config = base.clone();
+        config.policy = policy;
+        let points = run_sweep(
+            &dataset.graph,
+            &dataset.features,
+            &server,
+            &config,
+            capacity,
+            multipliers,
+        );
+        print_points(&points);
+        for p in &points {
+            assert_eq!(p.completed + p.shed, p.offered, "request conservation");
+        }
+        let (first, last) = (points.first().unwrap(), points.last().unwrap());
+        let knee = last.p99_us >= 5 * first.p99_us;
+        println!(
+            "  [{}] p99 knee: {} us -> {} us ({:.1}x){}",
+            policy.as_str(),
+            first.p99_us,
+            last.p99_us,
+            last.p99_us as f64 / first.p99_us.max(1) as f64,
+            if knee {
+                ""
+            } else if smoke {
+                "  (knee not asserted in smoke)"
+            } else {
+                "  (no knee!)"
+            }
+        );
+        if !smoke {
+            assert!(
+                knee,
+                "{} curve has no saturation knee: p99 {} -> {}",
+                policy.as_str(),
+                first.p99_us,
+                last.p99_us
+            );
+        }
+        rows.extend(points);
+    }
+
+    // Head-to-head under drift at a fixed 0.9x load: the static planner
+    // filled its cache from pre-drift warmup traffic, the FIFO cache
+    // follows the drifting hot set.
+    println!(
+        "\ndrift comparison at 0.9x capacity (drift period {} requests):",
+        base.drift_period
+    );
+    for policy in [PolicyKind::StaticHot, PolicyKind::Fifo] {
+        let mut config = base.clone();
+        config.policy = policy;
+        config.arrival = base
+            .arrival
+            .scaled(0.9 * capacity / base.arrival.mean_rate());
+        let report = serve(&dataset.graph, &dataset.features, &server, &config);
+        println!(
+            "  {:<8} feature hit rate {:>5.1}%  p99 {:>7} us  SLO {:>5.1}%  throughput {:>8.0}/s",
+            policy.as_str(),
+            feature_hit_rate(&report.metrics) * 100.0,
+            report.p99_us,
+            report.slo_attainment * 100.0,
+            report.throughput_rps
+        );
+        legion_bench::save_snapshot(&format!("servectl_{}", policy.as_str()), &report.metrics);
+    }
+    legion_bench::save_json("servectl_curves", &rows);
+    println!("\nservectl: OK");
+}

@@ -13,10 +13,7 @@
 use serde::Deserialize;
 
 use legion_baselines::{dgl, gnnlab, pagraph, quiver};
-use legion_core::experiments::scaled_server;
-use legion_core::runner::run_epoch;
-use legion_core::system::legion_setup_with_plans;
-use legion_core::LegionConfig;
+use legion_core::{legion_setup_with_plans, run_epoch, scaled_server, LegionConfig};
 use legion_hw::ServerSpec;
 
 #[derive(Debug, Deserialize)]

@@ -14,6 +14,37 @@ use std::collections::{HashMap, VecDeque};
 
 use legion_graph::VertexId;
 
+/// Point-in-time statistics of a dynamic cache, returned by
+/// [`FifoCache::stats`] and [`LruCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses served from the cache.
+    pub hits: u64,
+    /// Accesses that fell through to backing storage.
+    pub misses: u64,
+    /// Replacement operations — the runtime overhead a static cache
+    /// avoids entirely.
+    pub evictions: u64,
+    /// Vertices currently resident.
+    pub residents: usize,
+}
+
+impl CacheStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 for no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
 /// A fixed-capacity FIFO cache over vertex ids.
 ///
 /// # Examples
@@ -27,6 +58,7 @@ use legion_graph::VertexId;
 /// assert!(!c.access(2)); // miss, inserted
 /// assert!(!c.access(3)); // miss, evicts 1
 /// assert!(!c.access(1)); // miss again
+/// assert_eq!(c.stats().evictions, 2);
 /// ```
 #[derive(Debug, Clone)]
 pub struct FifoCache {
@@ -74,30 +106,19 @@ impl FifoCache {
         false
     }
 
-    /// Cache hits so far.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Cache misses so far.
-    pub fn misses(&self) -> u64 {
-        self.misses
-    }
-
-    /// Evictions (replacement operations) so far — the runtime overhead
-    /// a static cache avoids entirely.
-    pub fn evictions(&self) -> u64 {
-        self.evictions
+    /// All counters at once.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            residents: self.queue.len(),
+        }
     }
 
     /// Hit rate in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        self.stats().hit_rate()
     }
 
     /// Current number of resident vertices.
@@ -132,7 +153,8 @@ pub fn compare_fifo_vs_static(
     } else {
         static_hits as f64 / trace.len() as f64
     };
-    (fifo.hit_rate(), static_rate, fifo.evictions())
+    let stats = fifo.stats();
+    (stats.hit_rate(), static_rate, stats.evictions)
 }
 
 #[cfg(test)]
@@ -149,7 +171,7 @@ mod tests {
         assert!(c.access(3));
         assert!(!c.access(1)); // 1 was evicted; this evicts 2.
         assert!(!c.access(2));
-        assert_eq!(c.evictions(), 3);
+        assert_eq!(c.stats().evictions, 3);
     }
 
     #[test]
@@ -160,7 +182,7 @@ mod tests {
         }
         assert_eq!(c.hit_rate(), 0.0);
         assert!(c.is_empty());
-        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.stats().evictions, 0);
     }
 
     #[test]
@@ -317,29 +339,19 @@ impl LruCache {
         false
     }
 
-    /// Cache hits so far.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Cache misses so far.
-    pub fn misses(&self) -> u64 {
-        self.misses
-    }
-
-    /// Evictions so far.
-    pub fn evictions(&self) -> u64 {
-        self.evictions
+    /// All counters at once.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            residents: self.map.len(),
+        }
     }
 
     /// Hit rate in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        self.stats().hit_rate()
     }
 
     /// Current number of resident vertices.
@@ -367,7 +379,7 @@ mod lru_tests {
         assert!(c.access(1));
         assert!(c.access(3));
         assert!(!c.access(2));
-        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.stats().evictions, 2);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod unified;
 
 pub use cost_model::{CostModel, PlanEvaluation};
 pub use cslp::{cslp, CslpOutput};
+pub use dynamic::{CacheStats, FifoCache, LruCache};
 pub use fill::build_clique_cache;
 pub use hotness::HotnessMatrix;
 pub use planner::{CachePlan, PlannerConfig};

@@ -218,3 +218,72 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Dynamic-cache (FIFO) invariants: whatever the access trace, the counters
+// must stay mutually consistent — the serving subsystem derives hit rates
+// and replacement overheads directly from them.
+// ---------------------------------------------------------------------------
+
+fn trace_strategy() -> impl Strategy<Value = Vec<VertexId>> {
+    proptest::collection::vec(0u32..64, 0..400)
+}
+
+proptest! {
+    #[test]
+    fn fifo_counters_stay_consistent(trace in trace_strategy(), capacity in 0usize..32) {
+        let mut cache = legion_cache::FifoCache::new(capacity);
+        let mut accesses = 0u64;
+        for &v in &trace {
+            cache.access(v);
+            accesses += 1;
+            let s = cache.stats();
+            // Residents never exceed capacity.
+            prop_assert!(s.residents <= capacity);
+            prop_assert_eq!(s.residents, cache.len());
+            // Every access is exactly one hit or one miss.
+            prop_assert_eq!(s.hits + s.misses, accesses);
+            prop_assert_eq!(s.accesses(), accesses);
+            // Evictions are inserts (misses, unless capacity is 0) minus
+            // what is still resident.
+            let inserts = if capacity == 0 { 0 } else { s.misses };
+            prop_assert_eq!(s.evictions, inserts - s.residents as u64);
+        }
+    }
+
+    #[test]
+    fn fifo_hit_rate_matches_replayed_membership(trace in trace_strategy(), capacity in 1usize..32) {
+        // Reference replay with a naive membership set.
+        let mut cache = legion_cache::FifoCache::new(capacity);
+        let mut resident: std::collections::VecDeque<VertexId> = Default::default();
+        let mut hits = 0u64;
+        for &v in &trace {
+            let expect_hit = resident.contains(&v);
+            if expect_hit {
+                hits += 1;
+            } else {
+                if resident.len() == capacity {
+                    resident.pop_front();
+                }
+                resident.push_back(v);
+            }
+            prop_assert_eq!(cache.access(v), expect_hit);
+        }
+        prop_assert_eq!(cache.stats().hits, hits);
+        let expected_rate = if trace.is_empty() { 0.0 } else { hits as f64 / trace.len() as f64 };
+        prop_assert!((cache.hit_rate() - expected_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_counters_stay_consistent(trace in trace_strategy(), capacity in 0usize..32) {
+        let mut cache = legion_cache::LruCache::new(capacity);
+        for (i, &v) in trace.iter().enumerate() {
+            cache.access(v);
+            let s = cache.stats();
+            prop_assert!(s.residents <= capacity);
+            prop_assert_eq!(s.hits + s.misses, i as u64 + 1);
+            let inserts = if capacity == 0 { 0 } else { s.misses };
+            prop_assert_eq!(s.evictions, inserts - s.residents as u64);
+        }
+    }
+}

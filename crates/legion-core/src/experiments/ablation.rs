@@ -147,12 +147,12 @@ pub fn cache_policy_ablation(
         CachePolicyAblationRow {
             policy: "fifo".to_string(),
             hit_rate: fifo.hit_rate(),
-            evictions: fifo.evictions(),
+            evictions: fifo.stats().evictions,
         },
         CachePolicyAblationRow {
             policy: "lru".to_string(),
             hit_rate: lru.hit_rate(),
-            evictions: lru.evictions(),
+            evictions: lru.stats().evictions,
         },
     ]
 }

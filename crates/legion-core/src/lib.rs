@@ -39,5 +39,6 @@ pub mod runner;
 pub mod system;
 
 pub use config::{LegionConfig, PartitionerKind};
+pub use experiments::scaled_server;
 pub use runner::{run_epoch, EpochReport};
-pub use system::{legion_feature_cache_setup, legion_setup};
+pub use system::{legion_feature_cache_setup, legion_setup, legion_setup_with_plans};

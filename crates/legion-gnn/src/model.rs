@@ -135,6 +135,22 @@ impl GnnModel {
         flops
     }
 
+    /// Estimated forward-only FLOPs for a batch — the inference cost a
+    /// serving deployment pays per micro-batch. Same per-layer shape math
+    /// as [`Self::training_flops`] but without the 3x forward+backward
+    /// factor: 2 FLOPs per multiply-accumulate in the layer matmul plus
+    /// one aggregation pass over the block edges.
+    pub fn inference_flops(&self, sample: &MiniBatchSample) -> f64 {
+        let mut flops = 0.0;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let block = &sample.blocks[sample.blocks.len() - 1 - l];
+            let rows = block.num_dst as f64;
+            flops += 2.0 * rows * layer.weight.rows() as f64 * layer.weight.cols() as f64;
+            flops += 2.0 * block.num_edges() as f64 * layer.weight.cols() as f64;
+        }
+        flops
+    }
+
     /// Builds the forward pass on `tape`, registering parameters and
     /// returning `(param_ids, logits)`. `input_features` must contain one
     /// row per vertex of the deepest block's `src_vertices`, in order.
@@ -325,5 +341,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let m2 = GnnModel::new(ModelKind::GraphSage, 4, 8, 3, 2, &mut rng);
         assert!(m2.training_flops(&s2) > 0.0);
+    }
+
+    #[test]
+    fn inference_is_cheaper_than_training() {
+        let (s2, _) = make_sample(2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = GnnModel::new(ModelKind::GraphSage, 4, 8, 3, 2, &mut rng);
+        let infer = m.inference_flops(&s2);
+        let train = m.training_flops(&s2);
+        assert!(infer > 0.0);
+        // Forward-only is strictly cheaper; the matmul term alone is 3x
+        // smaller, so the total must be well under half of training.
+        assert!(infer < train / 2.0, "infer {infer} train {train}");
     }
 }

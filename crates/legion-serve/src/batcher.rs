@@ -1,0 +1,117 @@
+//! Dynamic micro-batching policy.
+//!
+//! GNN inference amortizes beautifully — one batch shares the sampling
+//! and extraction PCIe time across all its seeds — but waiting for a big
+//! batch costs tail latency. The classic compromise is a two-knob
+//! policy: close the batch as soon as `max_batch` requests are pending,
+//! or when the oldest pending request has waited `max_wait` simulated
+//! seconds, whichever comes first (and never before the GPU is free).
+
+use crate::queue::AdmissionQueue;
+
+/// The close-batch policy: size trigger plus age trigger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Close as soon as this many requests are pending (and the GPU is
+    /// free).
+    pub max_batch: usize,
+    /// Close once the oldest pending request is this old, in simulated
+    /// seconds.
+    pub max_wait: f64,
+}
+
+impl BatchPolicy {
+    /// A policy with the given knobs.
+    pub fn new(max_batch: usize, max_wait: f64) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        assert!(max_wait >= 0.0, "max_wait must be non-negative");
+        Self {
+            max_batch,
+            max_wait,
+        }
+    }
+
+    /// The earliest simulated time at which the next batch launches given
+    /// the queue state and the time the GPU becomes free, or `None` when
+    /// nothing is pending.
+    ///
+    /// * full batch — launch when the GPU is free and the `max_batch`-th
+    ///   request has arrived (which, for a queue of already-arrived
+    ///   requests, is simply its recorded arrival time);
+    /// * partial batch — launch when the oldest request's wait expires,
+    ///   clamped to the GPU-free time.
+    pub fn launch_time(&self, queue: &AdmissionQueue, free_at: f64) -> Option<f64> {
+        if queue.len() >= self.max_batch {
+            let filled_at = queue
+                .arrival(self.max_batch - 1)
+                .expect("queue holds at least max_batch requests");
+            Some(free_at.max(filled_at))
+        } else {
+            queue
+                .arrival(0)
+                .map(|oldest| free_at.max(oldest + self.max_wait))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Request;
+
+    fn queue_with(arrivals: &[f64]) -> AdmissionQueue {
+        let mut q = AdmissionQueue::new(64);
+        for (i, &a) in arrivals.iter().enumerate() {
+            q.offer(Request {
+                id: i as u64,
+                arrival: a,
+                target: 0,
+            });
+        }
+        q
+    }
+
+    #[test]
+    fn empty_queue_never_launches() {
+        let p = BatchPolicy::new(4, 0.5);
+        assert_eq!(p.launch_time(&queue_with(&[]), 0.0), None);
+    }
+
+    #[test]
+    fn partial_batch_waits_for_age_trigger() {
+        let p = BatchPolicy::new(4, 0.5);
+        let q = queue_with(&[1.0, 1.2]);
+        // Oldest arrival 1.0 + max_wait 0.5 = 1.5; GPU free earlier.
+        assert_eq!(p.launch_time(&q, 0.0), Some(1.5));
+    }
+
+    #[test]
+    fn busy_gpu_clamps_the_age_trigger() {
+        let p = BatchPolicy::new(4, 0.5);
+        let q = queue_with(&[1.0]);
+        assert_eq!(p.launch_time(&q, 9.0), Some(9.0));
+    }
+
+    #[test]
+    fn full_batch_launches_when_filled_and_free() {
+        let p = BatchPolicy::new(2, 10.0);
+        let q = queue_with(&[1.0, 1.3, 1.4]);
+        // The 2nd-oldest request arrived at 1.3: no need to wait out
+        // max_wait once the size trigger fires.
+        assert_eq!(p.launch_time(&q, 0.0), Some(1.3));
+        assert_eq!(p.launch_time(&q, 2.0), Some(2.0));
+    }
+
+    #[test]
+    fn zero_wait_launches_immediately() {
+        let p = BatchPolicy::new(8, 0.0);
+        let q = queue_with(&[3.0]);
+        assert_eq!(p.launch_time(&q, 1.0), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be positive")]
+    fn zero_batch_rejected() {
+        let _ = BatchPolicy::new(0, 0.1);
+    }
+}

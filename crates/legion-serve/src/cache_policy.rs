@@ -1,0 +1,192 @@
+//! Feature-cache policies under serving traffic.
+//!
+//! Training-time Legion plans its cache *offline* from pre-sampled
+//! hotness (§4.2). Serving breaks the planner's core assumption — that
+//! the access distribution at fill time is the access distribution
+//! forever — because request skew drifts. This module provides the two
+//! endpoints of that trade-off:
+//!
+//! * [`PolicyKind::StaticHot`] — fill per-GPU feature caches once from a
+//!   warmup sample of request neighborhoods, then never change them
+//!   (Legion's planned cache, pointed at serving traffic);
+//! * [`PolicyKind::Fifo`] — an admission-on-miss FIFO cache
+//!   ([`legion_cache::FifoCache`]) that tracks the drifting hot set at
+//!   the cost of replacement churn.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_cache::CliqueCache;
+use legion_graph::{CsrGraph, FeatureTable, VertexId};
+use legion_hw::MultiGpuServer;
+use legion_sampling::access::{sample_from, CacheLayout};
+
+use crate::workload::TargetSampler;
+
+/// Which feature-cache policy a serving run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Static per-GPU hot set, planned once from warmup traffic.
+    StaticHot,
+    /// Dynamic per-GPU FIFO cache, admitted on miss.
+    Fifo,
+}
+
+impl PolicyKind {
+    /// Stable lowercase name used in metrics and JSON rows.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PolicyKind::StaticHot => "static",
+            PolicyKind::Fifo => "fifo",
+        }
+    }
+}
+
+/// Ranks vertices by how often `warmup_requests` simulated request
+/// neighborhoods touch them, hottest first (ties broken by vertex id so
+/// the ranking is deterministic).
+///
+/// The expansion mirrors the serving sampler — `fanouts[h]` uniform
+/// neighbors per frontier vertex at hop `h` — but runs directly on the
+/// CPU-resident graph: warmup profiling is an offline planning step and
+/// must not charge the simulated server's traffic counters.
+pub fn warmup_hot_vertices(
+    graph: &CsrGraph,
+    targets: &mut TargetSampler,
+    warmup_requests: usize,
+    fanouts: &[usize],
+    seed: u64,
+) -> Vec<VertexId> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut touches = vec![0u64; graph.num_vertices()];
+    for _ in 0..warmup_requests {
+        let target = targets.next(&mut rng);
+        touches[target as usize] += 1;
+        let mut frontier = vec![target];
+        for &fanout in fanouts {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for s in sample_from(graph.neighbors(v), fanout, &mut rng) {
+                    touches[s as usize] += 1;
+                    next.push(s);
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+    }
+    let mut ranked: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    ranked.sort_by(|&a, &b| {
+        touches[b as usize]
+            .cmp(&touches[a as usize])
+            .then(a.cmp(&b))
+    });
+    ranked
+}
+
+/// Builds the static-hotness layout: every GPU gets its own single-GPU
+/// [`CliqueCache`] holding the feature rows of the `rows_per_gpu`
+/// hottest vertices, with the cache footprint charged to the GPU's
+/// memory budget.
+///
+/// Requests are routed round-robin, so every GPU sees the same skew and
+/// caches the same (global) hot set; single-GPU cliques keep the two
+/// policies on identical topology and NVLink paths.
+///
+/// # Panics
+///
+/// Panics if a GPU cannot fit `rows_per_gpu` feature rows.
+pub fn build_static_layout(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    hot: &[VertexId],
+    rows_per_gpu: usize,
+) -> CacheLayout {
+    let rows = rows_per_gpu.min(hot.len());
+    let num_gpus = server.num_gpus();
+    let mut cliques = Vec::with_capacity(num_gpus);
+    for gpu in 0..num_gpus {
+        let mut cc = CliqueCache::new(vec![gpu], graph.num_vertices(), features.dim());
+        for &v in &hot[..rows] {
+            cc.insert_feature(0, v, features.row(v));
+        }
+        server
+            .alloc(gpu, rows as u64 * features.row_bytes())
+            .expect("static feature cache exceeds GPU memory");
+        cliques.push(cc);
+    }
+    CacheLayout::from_cliques(num_gpus, cliques)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::GraphBuilder;
+    use legion_hw::ServerSpec;
+
+    fn chain_with_hub() -> CsrGraph {
+        // Vertex 0 is a hub every other vertex points at.
+        let mut b = GraphBuilder::new(32);
+        for v in 1..32 {
+            b.push_edge(v, 0);
+            b.push_edge(v, (v + 1) % 32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(PolicyKind::StaticHot.as_str(), "static");
+        assert_eq!(PolicyKind::Fifo.as_str(), "fifo");
+    }
+
+    #[test]
+    fn warmup_ranks_the_hub_first() {
+        let g = chain_with_hub();
+        // Skewed targets over the non-hub vertices: all of them sample
+        // the hub as a neighbor.
+        let mut targets = TargetSampler::new((1..32).collect(), 1.0, 0, 0);
+        let ranked = warmup_hot_vertices(&g, &mut targets, 200, &[2], 7);
+        assert_eq!(ranked.len(), 32);
+        assert_eq!(ranked[0], 0, "hub must be hottest");
+    }
+
+    #[test]
+    fn warmup_is_deterministic() {
+        let g = chain_with_hub();
+        let run = || {
+            let mut t = TargetSampler::new((1..32).collect(), 1.1, 16, 3);
+            warmup_hot_vertices(&g, &mut t, 100, &[2, 2], 11)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn static_layout_caches_hot_rows_on_every_gpu() {
+        let g = chain_with_hub();
+        let f = FeatureTable::zeros(32, 8);
+        let server = ServerSpec::custom(2, 1 << 20, 1).build();
+        let mut targets = TargetSampler::new((1..32).collect(), 1.0, 0, 0);
+        let hot = warmup_hot_vertices(&g, &mut targets, 100, &[2], 3);
+        let layout = build_static_layout(&g, &f, &server, &hot, 4);
+        for gpu in 0..2 {
+            let (cache, slot) = layout.for_gpu(gpu).expect("gpu has a cache");
+            assert_eq!(slot, 0);
+            assert!(cache.lookup_feature(0, hot[0]).is_some());
+            assert!(cache.lookup_feature(0, hot[20]).is_none());
+            assert_eq!(server.allocated_bytes(gpu), 4 * f.row_bytes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds GPU memory")]
+    fn oversized_static_cache_panics() {
+        let g = chain_with_hub();
+        let f = FeatureTable::zeros(32, 8);
+        let server = ServerSpec::custom(1, 64, 1).build();
+        let hot: Vec<VertexId> = (0..32).collect();
+        let _ = build_static_layout(&g, &f, &server, &hot, 32);
+    }
+}

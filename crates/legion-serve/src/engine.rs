@@ -1,0 +1,427 @@
+//! The discrete-event serving loop.
+//!
+//! Each GPU runs an independent event loop over its round-robin share of
+//! the request stream, interleaving two event kinds in simulated time:
+//! request arrivals (admit or shed) and batch launches (close the
+//! micro-batch, run the real sample→extract→infer operators against the
+//! metered server, and record per-request latency). Batches on one GPU
+//! are serial; within a batch, sampling and extraction overlap as in the
+//! paper's §5 pipeline, so service time is
+//! `max(sample, extract) + infer`.
+//!
+//! Everything is driven by seeded RNG streams and integer telemetry, so
+//! the same `(config, dataset, server)` triple reproduces a run down to
+//! byte-identical metric snapshots.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_cache::FifoCache;
+use legion_gnn::{GnnModel, ModelKind};
+use legion_graph::{CsrGraph, FeatureTable};
+use legion_hw::pcm::TrafficKind;
+use legion_hw::traffic::Source;
+use legion_hw::{GpuId, MultiGpuServer};
+use legion_pipeline::TimeModel;
+use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
+use legion_sampling::extract::extract_features;
+use legion_sampling::KHopSampler;
+use legion_telemetry::{Counter, Snapshot};
+
+use crate::batcher::BatchPolicy;
+use crate::cache_policy::{build_static_layout, warmup_hot_vertices, PolicyKind};
+use crate::queue::AdmissionQueue;
+use crate::slo::SloTracker;
+use crate::workload::{generate_workload, TargetSampler};
+use crate::ServeConfig;
+
+/// Summary of one serving run; `metrics` is the full registry snapshot
+/// (PCM, traffic matrix, cache hits, latency histogram, gauges).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The cache policy the run used.
+    pub policy: PolicyKind,
+    /// Requests offered by the workload.
+    pub offered: u64,
+    /// Requests that completed inference.
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Latency quantiles in microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency.
+    pub p95_us: u64,
+    /// 99th percentile latency.
+    pub p99_us: u64,
+    /// Fraction of completed requests within the SLO.
+    pub slo_attainment: f64,
+    /// Simulated time of the last completion, seconds.
+    pub makespan_s: f64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Full telemetry snapshot of the run.
+    pub metrics: Snapshot,
+}
+
+/// Pre-resolved handles for the FIFO policy's manual feature metering;
+/// uses the same counter names as [`AccessEngine`], so snapshots are
+/// comparable across policies.
+struct FifoMeters {
+    hits: Counter,
+    misses: Counter,
+    rows: Counter,
+}
+
+/// Runs the full serving simulation for `config` against `server`.
+///
+/// The server is reset first (memory and all counters); on return its
+/// registry holds the run's complete metrics.
+pub fn serve(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    config: &ServeConfig,
+) -> ServeReport {
+    config.validate();
+    server.reset();
+    let num_gpus = server.num_gpus();
+    let all_targets: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+
+    // Open-loop workload: arrivals and (drifting) targets.
+    let mut target_sampler = TargetSampler::new(
+        all_targets.clone(),
+        config.zipf_exponent,
+        config.drift_period,
+        config.drift_stride,
+    );
+    let mut workload_rng = StdRng::seed_from_u64(config.seed);
+    let requests = generate_workload(
+        &config.arrival,
+        &mut target_sampler,
+        config.num_requests,
+        &mut workload_rng,
+    );
+
+    // Cache layout per policy. The static planner profiles warmup traffic
+    // drawn from the *initial* (pre-drift) skew — it cannot see the
+    // future, which is exactly the handicap under drift.
+    let layout = match config.policy {
+        PolicyKind::StaticHot => {
+            let mut warm = TargetSampler::new(all_targets, config.zipf_exponent, 0, 0);
+            let hot = warmup_hot_vertices(
+                graph,
+                &mut warm,
+                config.warmup_requests,
+                &config.fanouts,
+                config.seed,
+            );
+            build_static_layout(graph, features, server, &hot, config.cache_rows_per_gpu)
+        }
+        PolicyKind::Fifo => CacheLayout::none(num_gpus),
+    };
+    let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva);
+    let time_model = TimeModel::new(server.spec());
+    let sampler = KHopSampler::new(config.fanouts.clone());
+    let mut model_rng = StdRng::seed_from_u64(config.seed ^ 0x6d5f_3a21_9b4e_c087);
+    let model = GnnModel::new(
+        ModelKind::GraphSage,
+        features.dim(),
+        config.hidden_dim,
+        config.num_classes,
+        config.fanouts.len(),
+        &mut model_rng,
+    );
+
+    let registry = server.telemetry();
+    let slo = SloTracker::new(registry, config.slo_us);
+    registry.counter("serve.offered").add(requests.len() as u64);
+    let shed_total = registry.counter("serve.shed");
+    let batch_policy = BatchPolicy::new(config.max_batch, config.max_wait);
+    let mut makespan = 0.0f64;
+
+    for gpu in 0..num_gpus {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ (gpu as u64).wrapping_mul(0x517c_c1b7));
+        let mut queue = AdmissionQueue::new(config.queue_capacity);
+        let mut fifo = FifoCache::new(config.cache_rows_per_gpu);
+        let meters = FifoMeters {
+            hits: registry.counter(&format!("cache.gpu{gpu}.feature_hits")),
+            misses: registry.counter(&format!("cache.gpu{gpu}.feature_misses")),
+            rows: registry.counter(&format!("extract.gpu{gpu}.rows")),
+        };
+        let batches = registry.counter(&format!("serve.gpu{gpu}.batches"));
+        let busy = registry.counter(&format!("serve.gpu{gpu}.busy_ns"));
+        let gpu_shed = registry.counter(&format!("serve.gpu{gpu}.shed"));
+
+        // Round-robin routing: GPU g serves requests with id % num_gpus == g.
+        let mut arrivals = requests
+            .iter()
+            .filter(|r| r.id % num_gpus as u64 == gpu as u64)
+            .peekable();
+        let mut free_at = 0.0f64;
+        loop {
+            let launch = batch_policy.launch_time(&queue, free_at);
+            match (arrivals.peek(), launch) {
+                // Arrivals strictly before the next launch are admitted
+                // (or shed) first — the deterministic tie rule.
+                (Some(r), at) if at.is_none_or(|t| r.arrival < t) => {
+                    let r = **r;
+                    arrivals.next();
+                    if !queue.offer(r) {
+                        shed_total.inc();
+                        gpu_shed.inc();
+                    }
+                }
+                (_, Some(at)) => {
+                    let batch = queue.take(config.max_batch);
+                    let service = batch_service_seconds(
+                        &engine,
+                        server,
+                        &time_model,
+                        &sampler,
+                        &model,
+                        config.policy,
+                        &mut fifo,
+                        &meters,
+                        gpu,
+                        &batch,
+                        &mut rng,
+                    );
+                    batches.inc();
+                    busy.add_secs(service);
+                    let completion = at + service;
+                    for r in &batch {
+                        let latency_us = ((completion - r.arrival) * 1e6).round() as u64;
+                        slo.record(latency_us);
+                    }
+                    free_at = completion;
+                    makespan = makespan.max(completion);
+                }
+                // Only (None, None) reaches here: a pending arrival with
+                // no launch deadline always takes the first arm.
+                _ => break,
+            }
+        }
+    }
+
+    let completed = slo.completed();
+    let throughput = if makespan > 0.0 {
+        completed as f64 / makespan
+    } else {
+        0.0
+    };
+    registry
+        .gauge("serve.p50_us")
+        .set(slo.quantile_us(0.50) as f64);
+    registry
+        .gauge("serve.p95_us")
+        .set(slo.quantile_us(0.95) as f64);
+    registry
+        .gauge("serve.p99_us")
+        .set(slo.quantile_us(0.99) as f64);
+    registry.gauge("serve.slo_attainment").set(slo.attainment());
+    registry.gauge("serve.makespan_s").set(makespan);
+    registry.gauge("serve.throughput_rps").set(throughput);
+
+    ServeReport {
+        policy: config.policy,
+        offered: requests.len() as u64,
+        completed,
+        shed: shed_total.get(),
+        p50_us: slo.quantile_us(0.50),
+        p95_us: slo.quantile_us(0.95),
+        p99_us: slo.quantile_us(0.99),
+        slo_attainment: slo.attainment(),
+        makespan_s: makespan,
+        throughput_rps: throughput,
+        metrics: registry.snapshot(),
+    }
+}
+
+/// Runs one micro-batch through the real operators and returns its
+/// service time: `max(sample, extract) + infer` (§5 intra-batch overlap;
+/// batches on one GPU are serial).
+#[allow(clippy::too_many_arguments)]
+fn batch_service_seconds(
+    engine: &AccessEngine<'_>,
+    server: &MultiGpuServer,
+    time_model: &TimeModel,
+    sampler: &KHopSampler,
+    model: &GnnModel,
+    policy: PolicyKind,
+    fifo: &mut FifoCache,
+    meters: &FifoMeters,
+    gpu: GpuId,
+    batch: &[crate::workload::Request],
+    rng: &mut StdRng,
+) -> f64 {
+    let seeds: Vec<u32> = batch.iter().map(|r| r.target).collect();
+
+    let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
+    let sample = sampler.sample_batch(engine, gpu, &seeds, rng, None);
+    let topo_tx = server.pcm().gpu_kind(gpu, TrafficKind::Topology) - topo_before;
+    let sample_t = time_model.sample_seconds(topo_tx, sample.total_edges() as u64);
+
+    let (feat_tx, peer_bytes) = match policy {
+        PolicyKind::StaticHot => {
+            // The engine's layout holds the static caches; the normal
+            // extraction path meters hits, misses and NVLink traffic.
+            let tx_before = server.pcm().gpu_kind(gpu, TrafficKind::Feature);
+            let peer_before: u64 = (0..server.num_gpus())
+                .map(|s| server.traffic().gpu_to_gpu(s, gpu))
+                .sum();
+            let _ = extract_features(engine, gpu, &sample.all_vertices);
+            let tx = server.pcm().gpu_kind(gpu, TrafficKind::Feature) - tx_before;
+            let peer: u64 = (0..server.num_gpus())
+                .map(|s| server.traffic().gpu_to_gpu(s, gpu))
+                .sum::<u64>()
+                - peer_before;
+            (tx, peer)
+        }
+        PolicyKind::Fifo => {
+            // Dynamic cache: the resident set mutates per access, so the
+            // extraction is metered manually with the same counter names
+            // and per-row transaction charge as the engine's path.
+            // Replacement bookkeeping itself is not charged to time
+            // (an intentional simplification; see DESIGN.md).
+            let row_bytes = engine.features().row_bytes();
+            let row_tx = server.pcie().transactions_for_payload(row_bytes);
+            let mut tx = 0u64;
+            let mut bytes = 0u64;
+            for &v in &sample.all_vertices {
+                meters.rows.inc();
+                if fifo.access(v) {
+                    meters.hits.inc();
+                } else {
+                    meters.misses.inc();
+                    tx += row_tx;
+                    bytes += row_bytes;
+                }
+            }
+            server.pcm().add(gpu, TrafficKind::Feature, tx);
+            server.traffic().add(gpu, Source::Cpu, bytes);
+            (tx, 0)
+        }
+    };
+    let extract_t = time_model.extract_seconds(feat_tx, peer_bytes);
+    let infer_t = time_model.train_seconds(model.inference_flops(&sample));
+    sample_t.max(extract_t) + infer_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ArrivalProcess;
+    use legion_graph::GraphBuilder;
+    use legion_hw::ServerSpec;
+
+    fn tiny_graph() -> (CsrGraph, FeatureTable) {
+        let mut b = GraphBuilder::new(256);
+        for v in 0..256u32 {
+            for d in 1..6u32 {
+                b.push_edge(v, (v + d * 7) % 256);
+            }
+        }
+        let g = b.build();
+        let f = FeatureTable::zeros(256, 16);
+        (g, f)
+    }
+
+    fn tiny_config(policy: PolicyKind) -> ServeConfig {
+        ServeConfig {
+            arrival: ArrivalProcess::Poisson { rate: 20_000.0 },
+            num_requests: 300,
+            max_batch: 8,
+            max_wait: 5e-4,
+            queue_capacity: 64,
+            cache_rows_per_gpu: 32,
+            warmup_requests: 64,
+            fanouts: vec![3, 2],
+            policy,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serve_completes_all_requests_under_light_load() {
+        let (g, f) = tiny_graph();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let mut config = tiny_config(PolicyKind::Fifo);
+        config.arrival = ArrivalProcess::Poisson { rate: 50.0 };
+        let report = serve(&g, &f, &server, &config);
+        assert_eq!(report.offered, 300);
+        assert_eq!(report.completed, 300);
+        assert_eq!(report.shed, 0);
+        assert!(report.makespan_s > 0.0);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
+    }
+
+    #[test]
+    fn serve_is_deterministic_per_policy() {
+        let (g, f) = tiny_graph();
+        for policy in [PolicyKind::StaticHot, PolicyKind::Fifo] {
+            let run = || {
+                let server = ServerSpec::custom(2, 1 << 30, 1).build();
+                serve(&g, &f, &server, &tiny_config(policy))
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.metrics, b.metrics, "policy {}", policy.as_str());
+            assert_eq!(a.p99_us, b.p99_us);
+        }
+    }
+
+    #[test]
+    fn conservation_completed_plus_shed_is_offered() {
+        let (g, f) = tiny_graph();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        // Overload hard so shedding actually happens.
+        let mut config = tiny_config(PolicyKind::Fifo);
+        config.arrival = ArrivalProcess::Poisson { rate: 1.0e8 };
+        config.queue_capacity = 16;
+        let report = serve(&g, &f, &server, &config);
+        assert!(report.shed > 0, "overload must shed");
+        assert_eq!(report.completed + report.shed, report.offered);
+        let reg_completed = report
+            .metrics
+            .counters
+            .iter()
+            .find(|c| c.name == "serve.completed")
+            .unwrap()
+            .value;
+        assert_eq!(reg_completed, report.completed);
+    }
+
+    #[test]
+    fn static_policy_hits_its_warm_cache() {
+        let (g, f) = tiny_graph();
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let mut config = tiny_config(PolicyKind::StaticHot);
+        config.cache_rows_per_gpu = 128;
+        let report = serve(&g, &f, &server, &config);
+        let hits = report
+            .metrics
+            .counters
+            .iter()
+            .filter(|c| c.name.ends_with("feature_hits"))
+            .map(|c| c.value)
+            .sum::<u64>();
+        assert!(hits > 0, "half the graph is cached; hits expected");
+    }
+
+    #[test]
+    fn bursty_arrivals_are_served_too() {
+        let (g, f) = tiny_graph();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let mut config = tiny_config(PolicyKind::Fifo);
+        config.arrival = ArrivalProcess::Bursty {
+            base_rate: 100.0,
+            burst_rate: 50_000.0,
+            period: 0.05,
+            burst_fraction: 0.2,
+        };
+        let report = serve(&g, &f, &server, &config);
+        assert_eq!(report.completed + report.shed, report.offered);
+        assert!(report.completed > 0);
+    }
+}

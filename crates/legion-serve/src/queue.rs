@@ -1,0 +1,128 @@
+//! Bounded admission queues with load shedding.
+//!
+//! An open-loop serving system needs somewhere for requests to wait when
+//! the GPU is busy — and a limit on how long that somewhere can grow, or
+//! overload turns into unbounded latency instead of explicit errors. The
+//! queue therefore sheds (rejects) arrivals once it is full; shed counts
+//! are first-class output of every serving run.
+
+use std::collections::VecDeque;
+
+use crate::workload::Request;
+
+/// A FIFO admission queue holding at most `capacity` pending requests.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    pending: VecDeque<Request>,
+    capacity: usize,
+    admitted: u64,
+    shed: u64,
+}
+
+impl AdmissionQueue {
+    /// An empty queue that sheds beyond `capacity` pending requests.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            pending: VecDeque::new(),
+            capacity,
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    /// Offers an arriving request: enqueued if there is room, shed
+    /// otherwise. Returns whether the request was admitted.
+    pub fn offer(&mut self, req: Request) -> bool {
+        if self.pending.len() >= self.capacity {
+            self.shed += 1;
+            false
+        } else {
+            self.pending.push_back(req);
+            self.admitted += 1;
+            true
+        }
+    }
+
+    /// Number of requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The arrival time of the `i`-th oldest pending request.
+    pub fn arrival(&self, i: usize) -> Option<f64> {
+        self.pending.get(i).map(|r| r.arrival)
+    }
+
+    /// Dequeues up to `k` requests in arrival order.
+    pub fn take(&mut self, k: usize) -> Vec<Request> {
+        let n = k.min(self.pending.len());
+        self.pending.drain(..n).collect()
+    }
+
+    /// Requests admitted so far (including already dequeued ones).
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival: f64) -> Request {
+        Request {
+            id,
+            arrival,
+            target: id as u32,
+        }
+    }
+
+    #[test]
+    fn admits_until_full_then_sheds() {
+        let mut q = AdmissionQueue::new(2);
+        assert!(q.offer(req(0, 0.0)));
+        assert!(q.offer(req(1, 0.1)));
+        assert!(!q.offer(req(2, 0.2)), "third arrival must be shed");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.admitted(), 2);
+        assert_eq!(q.shed(), 1);
+    }
+
+    #[test]
+    fn take_preserves_arrival_order_and_frees_room() {
+        let mut q = AdmissionQueue::new(2);
+        q.offer(req(0, 0.0));
+        q.offer(req(1, 0.1));
+        let batch = q.take(5);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(q.is_empty());
+        assert!(q.offer(req(2, 0.2)), "drained queue admits again");
+    }
+
+    #[test]
+    fn arrival_indexes_oldest_first() {
+        let mut q = AdmissionQueue::new(4);
+        q.offer(req(0, 1.0));
+        q.offer(req(1, 2.0));
+        assert_eq!(q.arrival(0), Some(1.0));
+        assert_eq!(q.arrival(1), Some(2.0));
+        assert_eq!(q.arrival(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = AdmissionQueue::new(0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-request latency accounting and SLO attainment.
+//!
+//! Every completed request's end-to-end latency (completion minus
+//! arrival, in integer microseconds) lands in one shared log-bucketed
+//! histogram, from which the run reports p50/p95/p99 and the fraction of
+//! requests that met the latency SLO. Integer counters and histogram
+//! buckets commute, so the numbers are independent of the order GPUs are
+//! simulated in.
+
+use std::sync::Arc;
+
+use legion_telemetry::{Counter, Histogram, Registry};
+
+/// Log-spaced latency bucket bounds in microseconds, ~1.3x apart from
+/// 50 us to ~60 s. Strictly increasing by construction.
+pub fn latency_buckets() -> Vec<u64> {
+    let mut bounds = Vec::new();
+    let mut b = 50u64;
+    while b < 60_000_000 {
+        bounds.push(b);
+        b = ((b as f64) * 1.3).ceil() as u64;
+    }
+    bounds.push(60_000_000);
+    bounds
+}
+
+/// Records completed-request latencies against a target SLO.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    latency: Histogram,
+    completed: Counter,
+    slo_ok: Counter,
+    slo_us: u64,
+}
+
+impl SloTracker {
+    /// Registers `serve.latency_us`, `serve.completed` and `serve.slo_ok`
+    /// on `registry`, targeting a latency SLO of `slo_us` microseconds.
+    pub fn new(registry: &Arc<Registry>, slo_us: u64) -> Self {
+        Self {
+            latency: registry.histogram("serve.latency_us", &latency_buckets()),
+            completed: registry.counter("serve.completed"),
+            slo_ok: registry.counter("serve.slo_ok"),
+            slo_us,
+        }
+    }
+
+    /// The SLO target in microseconds.
+    pub fn slo_us(&self) -> u64 {
+        self.slo_us
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, latency_us: u64) {
+        self.latency.observe(latency_us);
+        self.completed.inc();
+        if latency_us <= self.slo_us {
+            self.slo_ok.inc();
+        }
+    }
+
+    /// Completed requests so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.get()
+    }
+
+    /// The `q`-quantile of recorded latencies, in microseconds.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.latency.quantile(q)
+    }
+
+    /// Fraction of completed requests within the SLO (1.0 when nothing
+    /// completed — an idle system violates no SLO).
+    pub fn attainment(&self) -> f64 {
+        let done = self.completed.get();
+        if done == 0 {
+            1.0
+        } else {
+            self.slo_ok.get() as f64 / done as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_strictly_increasing() {
+        let b = latency_buckets();
+        assert!(b.len() > 20, "need real resolution, got {}", b.len());
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*b.first().unwrap(), 50);
+        assert_eq!(*b.last().unwrap(), 60_000_000);
+    }
+
+    #[test]
+    fn attainment_counts_only_within_slo() {
+        let registry = Arc::new(Registry::new());
+        let t = SloTracker::new(&registry, 1000);
+        assert_eq!(t.attainment(), 1.0);
+        t.record(100);
+        t.record(1000);
+        t.record(5000);
+        t.record(50_000);
+        assert_eq!(t.completed(), 4);
+        assert!((t.attainment() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_track_the_recorded_distribution() {
+        let registry = Arc::new(Registry::new());
+        let t = SloTracker::new(&registry, 1000);
+        for _ in 0..99 {
+            t.record(200);
+        }
+        t.record(2_000_000);
+        assert!(t.quantile_us(0.5) < 400);
+        assert!(t.quantile_us(0.999) > 100_000);
+    }
+}

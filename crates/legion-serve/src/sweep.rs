@@ -1,0 +1,238 @@
+//! Offered-load sweeps: capacity estimation and throughput–latency
+//! curves.
+//!
+//! Absolute request rates mean nothing across dataset scales and server
+//! shapes, so the sweep is anchored to a measured capacity: a closed-loop
+//! probe times a representative uncached batch, capacity is
+//! `num_gpus * max_batch / service`, and offered loads are expressed as
+//! multipliers of it. A multiplier past 1.0 is guaranteed overload, so
+//! every sweep exhibits its saturation knee regardless of scale knobs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use legion_gnn::{GnnModel, ModelKind};
+use legion_graph::{CsrGraph, FeatureTable};
+use legion_hw::pcm::TrafficKind;
+use legion_hw::MultiGpuServer;
+use legion_pipeline::TimeModel;
+use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
+use legion_sampling::KHopSampler;
+
+use crate::engine::serve;
+use crate::workload::TargetSampler;
+use crate::ServeConfig;
+
+/// Default load multipliers for the full sweep; the knee sits between
+/// 0.9 and 1.05, and the 4.0 point is deep saturation (queue-bound tail,
+/// possibly shedding).
+pub const SWEEP_MULTIPLIERS: [f64; 8] = [0.25, 0.5, 0.75, 0.9, 1.05, 1.3, 2.0, 4.0];
+
+/// Abbreviated multipliers for smoke runs.
+pub const SMOKE_MULTIPLIERS: [f64; 3] = [0.3, 0.9, 4.0];
+
+/// One row of the throughput–latency curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadPoint {
+    /// Cache policy name (`static` / `fifo`).
+    pub policy: &'static str,
+    /// Offered load as a multiple of estimated capacity.
+    pub load_multiplier: f64,
+    /// Offered load in requests per simulated second.
+    pub offered_rps: f64,
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Achieved throughput, requests per simulated second.
+    pub throughput_rps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Fraction of completed requests within the SLO.
+    pub slo_attainment: f64,
+}
+
+/// Estimates serving capacity (requests per simulated second) with a
+/// closed-loop probe: warm a FIFO feature cache of the configured size
+/// with a few `max_batch`-sized batches, time the next few against it,
+/// then scale by GPU count. Warming matters — an uncached probe would
+/// undershoot the steady-state ceiling so badly that "1.3x capacity"
+/// could still be under real capacity and never saturate. Resets the
+/// server before and after, so the probe leaves no trace in later runs.
+pub fn estimate_capacity_rps(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    config: &ServeConfig,
+) -> f64 {
+    config.validate();
+    server.reset();
+    let layout = CacheLayout::none(server.num_gpus());
+    let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva);
+    let time_model = TimeModel::new(server.spec());
+    let sampler = KHopSampler::new(config.fanouts.clone());
+    let mut model_rng = StdRng::seed_from_u64(config.seed ^ 0x51ee_7d00_c0de_cafe);
+    let model = GnnModel::new(
+        ModelKind::GraphSage,
+        features.dim(),
+        config.hidden_dim,
+        config.num_classes,
+        config.fanouts.len(),
+        &mut model_rng,
+    );
+    let mut targets = TargetSampler::new(
+        (0..graph.num_vertices() as u32).collect(),
+        config.zipf_exponent,
+        0,
+        0,
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0bad_cafe_f00d_beef);
+    let mut fifo = legion_cache::FifoCache::new(config.cache_rows_per_gpu);
+    let row_tx = server.pcie().transactions_for_payload(features.row_bytes());
+
+    const WARMUP_BATCHES: usize = 8;
+    const PROBES: usize = 4;
+    let mut total = 0.0f64;
+    for i in 0..WARMUP_BATCHES + PROBES {
+        let seeds: Vec<u32> = (0..config.max_batch)
+            .map(|_| targets.next(&mut rng))
+            .collect();
+        let topo_before = server.pcm().gpu_kind(0, TrafficKind::Topology);
+        let sample = sampler.sample_batch(&engine, 0, &seeds, &mut rng, None);
+        let topo_tx = server.pcm().gpu_kind(0, TrafficKind::Topology) - topo_before;
+        let feat_tx: u64 = sample
+            .all_vertices
+            .iter()
+            .filter(|&&v| !fifo.access(v))
+            .count() as u64
+            * row_tx;
+        if i < WARMUP_BATCHES {
+            continue;
+        }
+        let sample_t = time_model.sample_seconds(topo_tx, sample.total_edges() as u64);
+        let extract_t = time_model.extract_seconds(feat_tx, 0);
+        total += sample_t.max(extract_t) + time_model.train_seconds(model.inference_flops(&sample));
+    }
+    server.reset();
+    let mean_service = total / PROBES as f64;
+    assert!(mean_service > 0.0, "probe batches took no simulated time");
+    server.num_gpus() as f64 * config.max_batch as f64 / mean_service
+}
+
+/// Runs `base` at each multiplier of `capacity_rps`, preserving the
+/// arrival-process shape (Poisson stays Poisson, bursty stays bursty)
+/// while scaling its mean rate.
+pub fn run_sweep(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    base: &ServeConfig,
+    capacity_rps: f64,
+    multipliers: &[f64],
+) -> Vec<LoadPoint> {
+    assert!(capacity_rps > 0.0, "capacity must be positive");
+    multipliers
+        .iter()
+        .map(|&m| {
+            let offered_rps = m * capacity_rps;
+            let mut config = base.clone();
+            config.arrival = base.arrival.scaled(offered_rps / base.arrival.mean_rate());
+            let report = serve(graph, features, server, &config);
+            LoadPoint {
+                policy: config.policy.as_str(),
+                load_multiplier: m,
+                offered_rps,
+                offered: report.offered,
+                completed: report.completed,
+                shed: report.shed,
+                throughput_rps: report.throughput_rps,
+                p50_us: report.p50_us,
+                p95_us: report.p95_us,
+                p99_us: report.p99_us,
+                slo_attainment: report.slo_attainment,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_policy::PolicyKind;
+    use crate::workload::ArrivalProcess;
+    use legion_graph::GraphBuilder;
+    use legion_hw::ServerSpec;
+
+    fn fixture() -> (CsrGraph, FeatureTable, ServeConfig) {
+        let mut b = GraphBuilder::new(128);
+        for v in 0..128u32 {
+            for d in 1..5u32 {
+                b.push_edge(v, (v + d * 11) % 128);
+            }
+        }
+        let config = ServeConfig {
+            num_requests: 150,
+            max_batch: 8,
+            max_wait: 5e-4,
+            queue_capacity: 64,
+            cache_rows_per_gpu: 16,
+            warmup_requests: 32,
+            fanouts: vec![3, 2],
+            policy: PolicyKind::Fifo,
+            ..ServeConfig::default()
+        };
+        (b.build(), FeatureTable::zeros(128, 16), config)
+    }
+
+    #[test]
+    fn capacity_probe_is_positive_deterministic_and_traceless() {
+        let (g, f, config) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let a = estimate_capacity_rps(&g, &f, &server, &config);
+        let b = estimate_capacity_rps(&g, &f, &server, &config);
+        assert!(a > 0.0);
+        assert_eq!(a, b);
+        assert_eq!(server.pcm().total(), 0, "probe must reset the server");
+    }
+
+    #[test]
+    fn sweep_scales_offered_load_and_saturates() {
+        let (g, f, config) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let capacity = estimate_capacity_rps(&g, &f, &server, &config);
+        let points = run_sweep(&g, &f, &server, &config, capacity, &[0.3, 2.0]);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].offered_rps < points[1].offered_rps);
+        assert!(points.iter().all(|p| p.policy == "fifo"));
+        assert!(points.iter().all(|p| p.completed + p.shed == p.offered));
+        assert!(
+            points[1].p99_us >= points[0].p99_us,
+            "overload tail {} must not beat light load {}",
+            points[1].p99_us,
+            points[0].p99_us
+        );
+    }
+
+    #[test]
+    fn sweep_preserves_bursty_shape() {
+        let (g, f, mut config) = fixture();
+        config.arrival = ArrivalProcess::Bursty {
+            base_rate: 100.0,
+            burst_rate: 400.0,
+            period: 0.1,
+            burst_fraction: 0.25,
+        };
+        config.num_requests = 60;
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let points = run_sweep(&g, &f, &server, &config, 1000.0, &[0.5]);
+        assert_eq!(points.len(), 1);
+        assert!((points[0].offered_rps - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,276 @@
+//! Open-loop serving workload generation: stochastic arrival processes
+//! and skewed, optionally drifting target-vertex distributions.
+//!
+//! Serving traffic differs from training epochs in two ways the rest of
+//! the repo never exercises: requests arrive *when they arrive* (the
+//! system cannot slow the clock down to keep up), and the popularity of
+//! target vertices moves over time (trending entities), which is exactly
+//! the regime where a statically planned hotness cache decays and a
+//! dynamic cache earns its replacement overhead.
+
+use rand::Rng;
+
+use legion_graph::generate::Zipf;
+use legion_graph::VertexId;
+
+/// One inference request: classify `target` using its sampled
+/// multi-hop neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Monotone request id (also the round-robin routing key).
+    pub id: u64,
+    /// Arrival time in simulated seconds from the start of the run.
+    pub arrival: f64,
+    /// The vertex whose label is being requested.
+    pub target: VertexId,
+}
+
+/// The inter-arrival process of an open-loop client population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate` requests per simulated second.
+    Poisson {
+        /// Mean arrival rate, requests/s.
+        rate: f64,
+    },
+    /// A square-wave modulated Poisson process: within each `period`, the
+    /// first `burst_fraction` of the window arrives at `burst_rate`, the
+    /// remainder at `base_rate` — the "heavy traffic from millions of
+    /// users" pattern of synchronized client activity.
+    Bursty {
+        /// Off-burst arrival rate, requests/s.
+        base_rate: f64,
+        /// In-burst arrival rate, requests/s.
+        burst_rate: f64,
+        /// Length of one burst cycle, seconds.
+        period: f64,
+        /// Fraction of each period spent bursting, in `(0, 1)`.
+        burst_fraction: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The instantaneous arrival rate at simulated time `now`.
+    pub fn rate_at(&self, now: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                period,
+                burst_fraction,
+            } => {
+                let phase = (now / period).fract();
+                if phase < burst_fraction {
+                    burst_rate
+                } else {
+                    base_rate
+                }
+            }
+        }
+    }
+
+    /// The long-run mean arrival rate (offered load).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                burst_fraction,
+                ..
+            } => burst_fraction * burst_rate + (1.0 - burst_fraction) * base_rate,
+        }
+    }
+
+    /// Draws the gap to the next arrival after `now` (exponential at the
+    /// rate in effect at `now`; a piecewise approximation for the bursty
+    /// process, which is fine at simulation scale and fully
+    /// deterministic for a seeded RNG).
+    pub fn next_gap<R: Rng + ?Sized>(&self, now: f64, rng: &mut R) -> f64 {
+        let rate = self.rate_at(now);
+        assert!(rate > 0.0, "arrival rate must be positive");
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / rate
+    }
+
+    /// The same process with every rate scaled by `k` — how a load sweep
+    /// turns one workload shape into a family of offered loads.
+    pub fn scaled(&self, k: f64) -> Self {
+        match *self {
+            ArrivalProcess::Poisson { rate } => ArrivalProcess::Poisson { rate: rate * k },
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                period,
+                burst_fraction,
+            } => ArrivalProcess::Bursty {
+                base_rate: base_rate * k,
+                burst_rate: burst_rate * k,
+                period,
+                burst_fraction,
+            },
+        }
+    }
+}
+
+/// Zipf-skewed target-vertex sampler whose hot set drifts: every
+/// `drift_period` issued requests the rank→vertex mapping rotates by
+/// `drift_stride` positions, so yesterday's head becomes tomorrow's tail.
+#[derive(Debug, Clone)]
+pub struct TargetSampler {
+    zipf: Zipf,
+    targets: Vec<VertexId>,
+    drift_period: usize,
+    drift_stride: usize,
+    issued: usize,
+}
+
+impl TargetSampler {
+    /// A sampler over `targets` with Zipf exponent `exponent`.
+    /// `drift_period == 0` disables drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn new(
+        targets: Vec<VertexId>,
+        exponent: f64,
+        drift_period: usize,
+        drift_stride: usize,
+    ) -> Self {
+        assert!(!targets.is_empty(), "need at least one serving target");
+        Self {
+            zipf: Zipf::new(targets.len(), exponent),
+            targets,
+            drift_period,
+            drift_stride,
+            issued: 0,
+        }
+    }
+
+    /// The current rotation offset of the rank→vertex mapping.
+    pub fn offset(&self) -> usize {
+        self.issued
+            .checked_div(self.drift_period)
+            .map_or(0, |steps| steps * self.drift_stride % self.targets.len())
+    }
+
+    /// Draws the next target vertex and advances the drift clock.
+    pub fn next<R: Rng + ?Sized>(&mut self, rng: &mut R) -> VertexId {
+        let rank = self.zipf.sample(rng);
+        let v = self.targets[(rank + self.offset()) % self.targets.len()];
+        self.issued += 1;
+        v
+    }
+}
+
+/// Generates `num_requests` open-loop requests starting at time 0.
+pub fn generate_workload<R: Rng + ?Sized>(
+    arrival: &ArrivalProcess,
+    targets: &mut TargetSampler,
+    num_requests: usize,
+    rng: &mut R,
+) -> Vec<Request> {
+    let mut now = 0.0f64;
+    let mut out = Vec::with_capacity(num_requests);
+    for id in 0..num_requests as u64 {
+        now += arrival.next_gap(now, rng);
+        out.push(Request {
+            id,
+            arrival: now,
+            target: targets.next(rng),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let p = ArrivalProcess::Poisson { rate: 100.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut now = 0.0;
+        for _ in 0..n {
+            now += p.next_gap(now, &mut rng);
+        }
+        let mean_gap = now / n as f64;
+        assert!((mean_gap - 0.01).abs() < 0.001, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn bursty_rate_switches_with_phase() {
+        let b = ArrivalProcess::Bursty {
+            base_rate: 10.0,
+            burst_rate: 100.0,
+            period: 1.0,
+            burst_fraction: 0.25,
+        };
+        assert_eq!(b.rate_at(0.1), 100.0);
+        assert_eq!(b.rate_at(0.5), 10.0);
+        assert_eq!(b.rate_at(1.1), 100.0);
+        assert!((b.mean_rate() - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_scales_mean_rate() {
+        let p = ArrivalProcess::Poisson { rate: 50.0 };
+        assert_eq!(p.scaled(2.0).mean_rate(), 100.0);
+        let b = ArrivalProcess::Bursty {
+            base_rate: 10.0,
+            burst_rate: 40.0,
+            period: 2.0,
+            burst_fraction: 0.5,
+        };
+        assert!((b.scaled(3.0).mean_rate() - 3.0 * b.mean_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_targets_concentrate_on_head() {
+        let mut s = TargetSampler::new((100..200).collect(), 1.2, 0, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0usize;
+        for _ in 0..5000 {
+            if s.next(&mut rng) < 110 {
+                head += 1;
+            }
+        }
+        assert!(head > 1500, "head draws {head}");
+    }
+
+    #[test]
+    fn drift_rotates_the_hot_set() {
+        let mut s = TargetSampler::new((0..100).collect(), 1.5, 10, 25);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(s.offset(), 0);
+        for _ in 0..10 {
+            s.next(&mut rng);
+        }
+        assert_eq!(s.offset(), 25);
+        for _ in 0..30 {
+            s.next(&mut rng);
+        }
+        assert_eq!(s.offset(), 0, "stride wraps around the target list");
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_time_ordered() {
+        let arrival = ArrivalProcess::Poisson { rate: 1000.0 };
+        let gen = |seed| {
+            let mut targets = TargetSampler::new((0..50).collect(), 1.1, 20, 5);
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_workload(&arrival, &mut targets, 200, &mut rng)
+        };
+        let a = gen(7);
+        let b = gen(7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_ne!(gen(8), a);
+    }
+}

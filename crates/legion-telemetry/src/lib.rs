@@ -192,6 +192,46 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) of the observed
+    /// distribution by linear interpolation within the winning bucket.
+    ///
+    /// The bucket holding the target rank is located by cumulative count;
+    /// the returned value interpolates between the bucket's lower and
+    /// upper bounds proportionally to the rank's position inside it.
+    /// Ranks landing in the overflow bucket saturate at the last finite
+    /// bound — the histogram cannot resolve beyond it. An empty histogram
+    /// reports 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let counts = self.counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, in [1, total].
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let bounds = self.bounds();
+        let mut below = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if below + c >= rank {
+                if i == bounds.len() {
+                    // Overflow bucket: saturate at the last finite bound.
+                    return bounds.last().copied().unwrap_or(u64::MAX);
+                }
+                let lower = if i == 0 { 0 } else { bounds[i - 1] };
+                let upper = bounds[i];
+                let into = (rank - below) as f64 / c as f64;
+                return lower + ((upper - lower) as f64 * into).round() as u64;
+            }
+            below += c;
+        }
+        unreachable!("rank {rank} exceeds total {total}")
+    }
+
     /// Clears all buckets.
     pub fn reset(&self) {
         for c in &self.inner.counts {
@@ -460,6 +500,80 @@ mod tests {
         assert_eq!(h.counts(), vec![2, 2, 0, 1]);
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 5126);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("q", &[100, 200]);
+        // Ten observations in the (100, 200] bucket.
+        for _ in 0..10 {
+            h.observe(150);
+        }
+        // Rank 5 of 10 sits halfway through the bucket: 100 + 100 * 5/10.
+        assert_eq!(h.quantile(0.5), 150);
+        assert_eq!(h.quantile(1.0), 200);
+        // Rank 1 of 10: 100 + 100 * 1/10.
+        assert_eq!(h.quantile(0.0), 110);
+    }
+
+    #[test]
+    fn quantile_crosses_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("q2", &[10, 20, 40]);
+        for v in [5, 5, 5, 5, 15, 15, 15, 30, 30, 30] {
+            h.observe(v);
+        }
+        // p40 = rank 4: last of the 4 in [0, 10] -> 10.
+        assert_eq!(h.quantile(0.4), 10);
+        // p50 = rank 5: first of 3 in (10, 20] -> 10 + 10/3 ~ 13.
+        assert_eq!(h.quantile(0.5), 13);
+        // p99 = rank 10: last of 3 in (20, 40] -> 40.
+        assert_eq!(h.quantile(0.99), 40);
+    }
+
+    #[test]
+    fn quantile_saturates_in_overflow_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("q3", &[10, 100]);
+        h.observe(5);
+        h.observe(1_000_000);
+        h.observe(2_000_000);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(1.0), 100);
+        // The low observation still resolves normally.
+        assert!(h.quantile(0.1) <= 10);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let reg = Registry::new();
+        let h = reg.histogram("q4", &[1, 2]);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let reg = Registry::new();
+        let h = reg.histogram("q5", &[1, 2, 4, 8, 16, 32, 64]);
+        for v in 0..100u64 {
+            h.observe(v % 50);
+        }
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_bad_q() {
+        let reg = Registry::new();
+        let h = reg.histogram("q6", &[1]);
+        let _ = h.quantile(1.5);
     }
 
     #[test]

@@ -26,4 +26,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> servectl --smoke"
+cargo run --release -q -p legion-bench --bin servectl -- --smoke
+
 echo "verify: OK"

@@ -1,0 +1,101 @@
+//! Cross-crate serving invariants: deterministic metric snapshots and a
+//! sane throughput–latency curve on a scaled Products (PR) dataset.
+
+use legion_graph::dataset::{spec_by_name, Dataset};
+use legion_hw::{MultiGpuServer, ServerSpec};
+use legion_serve::{estimate_capacity_rps, run_sweep, serve, PolicyKind, ServeConfig};
+
+fn pr_dataset() -> Dataset {
+    // Divisor 500 keeps the test fast while preserving PR's skew.
+    spec_by_name("PR").unwrap().instantiate(500, 42)
+}
+
+fn server() -> MultiGpuServer {
+    ServerSpec::custom(2, 1 << 30, 1).build()
+}
+
+fn config(policy: PolicyKind) -> ServeConfig {
+    ServeConfig {
+        num_requests: 1600,
+        max_batch: 16,
+        // Age trigger off: batches close as soon as the GPU frees up,
+        // which keeps latency monotone in offered load (a size-triggered
+        // low-load point would instead wait for the batch to fill).
+        max_wait: 0.0,
+        queue_capacity: 256,
+        cache_rows_per_gpu: 512,
+        warmup_requests: 128,
+        fanouts: vec![5, 3],
+        policy,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_serving_runs_are_byte_identical() {
+    let d = pr_dataset();
+    for policy in [PolicyKind::StaticHot, PolicyKind::Fifo] {
+        let run = || {
+            let server = server();
+            let report = serve(&d.graph, &d.features, &server, &config(policy));
+            serde_json::to_string_pretty(&report.metrics).expect("serializable snapshot")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "snapshot drift under policy {}", policy.as_str());
+        assert!(a.contains("serve.latency_us"), "latency histogram missing");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_metrics() {
+    let d = pr_dataset();
+    let server_a = server();
+    let a = serve(&d.graph, &d.features, &server_a, &config(PolicyKind::Fifo));
+    let server_b = server();
+    let mut cfg = config(PolicyKind::Fifo);
+    cfg.seed = 43;
+    let b = serve(&d.graph, &d.features, &server_b, &cfg);
+    assert_ne!(a.metrics, b.metrics);
+}
+
+#[test]
+fn p99_is_monotone_across_the_load_sweep() {
+    let d = pr_dataset();
+    let srv = server();
+    let cfg = config(PolicyKind::Fifo);
+    let capacity = estimate_capacity_rps(&d.graph, &d.features, &srv, &cfg);
+    let points = run_sweep(
+        &d.graph,
+        &d.features,
+        &srv,
+        &cfg,
+        capacity,
+        &[0.3, 0.9, 2.0],
+    );
+    assert_eq!(points.len(), 3);
+    for pair in points.windows(2) {
+        assert!(
+            pair[1].p99_us >= pair[0].p99_us,
+            "p99 regressed from {} us to {} us between load {} and {}",
+            pair[0].p99_us,
+            pair[1].p99_us,
+            pair[0].load_multiplier,
+            pair[1].load_multiplier
+        );
+    }
+    for p in &points {
+        assert_eq!(p.completed + p.shed, p.offered, "request conservation");
+        assert!(p.slo_attainment >= 0.0 && p.slo_attainment <= 1.0);
+    }
+    // The overload point must actually be saturated: it sheds or its tail
+    // latency dwarfs the light-load tail.
+    let last = points.last().unwrap();
+    assert!(
+        last.shed > 0 || last.p99_us >= 5 * points[0].p99_us,
+        "no saturation signature at 2x capacity: shed {} p99 {} vs {}",
+        last.shed,
+        last.p99_us,
+        points[0].p99_us
+    );
+}
