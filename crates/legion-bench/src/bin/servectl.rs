@@ -1,25 +1,46 @@
 //! `servectl` — sweep offered load over the online serving subsystem and
-//! emit throughput–latency curves comparing the static-hotness cache
-//! against the FIFO dynamic cache under request-skew drift.
+//! emit throughput–latency curves comparing the static-hotness cache,
+//! the FIFO dynamic cache, and the online re-planned cache under
+//! request-skew drift.
 //!
 //! ```bash
 //! cargo run --release -p legion-bench --bin servectl           # full sweep
 //! cargo run --release -p legion-bench --bin servectl -- --smoke # fast path
+//! cargo run --release -p legion-bench --bin servectl -- --drift-only # skip the sweep
 //! ```
 //!
 //! Offered loads are multiples of a measured capacity estimate, so the
 //! curve always crosses its saturation knee. With `LEGION_RESULTS_DIR`
-//! set, the run saves `servectl_curves.json` (all load points, both
-//! policies) and `servectl_{static,fifo}.metrics.json` (full telemetry
-//! snapshots of the drift-comparison runs at 0.9x capacity).
+//! set, the run saves `servectl_curves.json` (all load points, all
+//! policies) and `servectl_{static,fifo,replan}.metrics.json` (full
+//! telemetry snapshots of the drift-comparison runs at 0.9x capacity).
+//!
+//! The drift comparison prints a per-phase table of *tail* hit rates —
+//! the second half of each drift phase, after a policy has had time to
+//! react to the rotation — and asserts (non-smoke) that re-planning
+//! ends strictly above both baselines and recovers to within five
+//! points of its own fresh-plan (phase 0) hit rate in every phase.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use legion_graph::dataset::{spec_by_name, Dataset};
 use legion_hw::{MultiGpuServer, ServerSpec};
 use legion_serve::{
-    estimate_capacity_rps, run_sweep, serve, LoadPoint, PolicyKind, ServeConfig, SMOKE_MULTIPLIERS,
-    SWEEP_MULTIPLIERS,
+    estimate_capacity_rps, run_sweep, serve, LoadPoint, PolicyKind, ReplanConfig, ServeConfig,
+    ServeReport, SMOKE_MULTIPLIERS, SWEEP_MULTIPLIERS,
 };
 use legion_telemetry::Snapshot;
+
+const POLICIES: [PolicyKind; 3] = [PolicyKind::StaticHot, PolicyKind::Fifo, PolicyKind::Replan];
+
+/// Reads one counter from a snapshot (0 when absent).
+fn counter(metrics: &Snapshot, name: &str) -> u64 {
+    metrics
+        .counters
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(0, |c| c.value)
+}
 
 /// Feature-cache hit rate across all GPUs, from a run's snapshot.
 fn feature_hit_rate(metrics: &Snapshot) -> f64 {
@@ -38,6 +59,40 @@ fn feature_hit_rate(metrics: &Snapshot) -> f64 {
     } else {
         hits as f64 / total as f64
     }
+}
+
+/// Per-drift-phase tail feature hit rates (`serve.phase{k}.tail_*`),
+/// keyed by phase index. The tail covers the second half of each phase,
+/// i.e. the settled hit rate after a policy reacted to the rotation.
+fn tail_hit_rates(metrics: &Snapshot) -> BTreeMap<u64, f64> {
+    let mut hits: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut misses: BTreeMap<u64, u64> = BTreeMap::new();
+    for c in &metrics.counters {
+        let Some(rest) = c.name.strip_prefix("serve.phase") else {
+            continue;
+        };
+        let Some((idx, metric)) = rest.split_once('.') else {
+            continue;
+        };
+        let Ok(k) = idx.parse::<u64>() else { continue };
+        match metric {
+            "tail_feature_hits" => *hits.entry(k).or_default() += c.value,
+            "tail_feature_misses" => *misses.entry(k).or_default() += c.value,
+            _ => {}
+        }
+    }
+    let phases: BTreeSet<u64> = hits.keys().chain(misses.keys()).copied().collect();
+    phases
+        .into_iter()
+        .filter_map(|k| {
+            let h = *hits.get(&k).unwrap_or(&0);
+            let total = h + *misses.get(&k).unwrap_or(&0);
+            // Zeroed counters registered by an earlier run on the same
+            // server linger in the snapshot; a phase with no samples is
+            // not a phase of *this* run.
+            (total > 0).then(|| (k, h as f64 / total as f64))
+        })
+        .collect()
 }
 
 fn print_points(points: &[LoadPoint]) {
@@ -60,6 +115,7 @@ fn print_points(points: &[LoadPoint]) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let drift_only = std::env::args().any(|a| a == "--drift-only");
     let dataset_name = "PR";
     let divisor = if smoke {
         legion_bench::dataset_divisor(dataset_name).max(500)
@@ -71,6 +127,9 @@ fn main() {
         // (so the FIFO cache holds several batches of history instead of
         // thrashing), a shorter age trigger, and a shallower queue so the
         // 4x point still reaches its queue-bound tail within the stream.
+        // The drift stride equals the cache width, so each rotation
+        // displaces the entire cached head — the regime re-planning is
+        // built for.
         ServeConfig {
             num_requests: 3000,
             max_batch: 16,
@@ -80,7 +139,7 @@ fn main() {
             warmup_requests: 256,
             cache_rows_per_gpu: 1024,
             drift_period: 300,
-            drift_stride: 256,
+            drift_stride: 1024,
             ..ServeConfig::default()
         }
     } else {
@@ -112,6 +171,13 @@ fn main() {
         base.queue_capacity,
         base.cache_rows_per_gpu,
     );
+    println!(
+        "replan knobs: bucket {} requests, window {} buckets, detector {:?}, cooldown {} buckets",
+        base.replan.bucket_requests,
+        base.replan.window_buckets,
+        base.replan.detector,
+        base.replan.cooldown_buckets,
+    );
 
     let capacity = estimate_capacity_rps(&dataset.graph, &dataset.features, &server, &base);
     println!("estimated capacity: {capacity:.0} requests/s (warmed closed-loop probe)\n");
@@ -130,7 +196,8 @@ fn main() {
     );
 
     let mut rows: Vec<LoadPoint> = Vec::new();
-    for policy in [PolicyKind::StaticHot, PolicyKind::Fifo] {
+    let sweep_policies: &[PolicyKind] = if drift_only { &[] } else { &POLICIES };
+    for &policy in sweep_policies {
         let mut config = base.clone();
         config.policy = policy;
         let points = run_sweep(
@@ -174,20 +241,65 @@ fn main() {
     }
 
     // Head-to-head under drift at a fixed 0.9x load: the static planner
-    // filled its cache from pre-drift warmup traffic, the FIFO cache
-    // follows the drifting hot set.
+    // filled its cache from pre-drift warmup traffic and never changes
+    // it; the FIFO cache follows the drifting hot set access by access;
+    // the re-planned cache detects the hit-rate drop and re-runs the
+    // planner over its observed window, paying for each swap's refill.
+    //
+    // The drift runs reshape the workload into the regime re-planning
+    // exists for:
+    //
+    // * a head-heavy Zipf skew — under the sweep's mild exponent most
+    //   feature traffic lands on structural hubs every policy caches
+    //   regardless, and rotating seed ranks barely moves the hit rate;
+    // * a rotation stride equal to the cache width, so each rotation
+    //   displaces the entire cached seed head;
+    // * a rotation period long enough that the sliding window can fill
+    //   with post-rotation traffic before the next rotation — each GPU
+    //   only observes its quarter of the stream, so the per-GPU window
+    //   needs a horizon comparable to the (global) warmup profile the
+    //   initial plans are built from.
+    // * a scarcer cache than the sweep's — when the cache comfortably
+    //   holds the hubs plus most of the head, even a fully stale plan
+    //   keeps hitting; scarcity is what makes plan *quality* matter.
+    const DRIFT_ZIPF: f64 = 1.8;
+    let drift_period = if smoke { 1000 } else { 2000 };
+    let drift_requests = if smoke {
+        base.num_requests
+    } else {
+        6 * drift_period
+    };
+    let drift_cache_rows = base.cache_rows_per_gpu / 2;
+    let drift_stride = base.cache_rows_per_gpu;
+    let drift_replan = ReplanConfig {
+        bucket_requests: 16,
+        window_buckets: 24,
+        // Spread the episode's refinement re-plans across the phase: the
+        // first re-plan fires while the window still holds pre-rotation
+        // traffic, so the later, cleaner-window refinements are the ones
+        // that close the gap to a fresh plan.
+        cooldown_buckets: 4,
+        max_episode_replans: 6,
+        ..ReplanConfig::default()
+    };
     println!(
-        "\ndrift comparison at 0.9x capacity (drift period {} requests):",
-        base.drift_period
+        "\ndrift comparison at 0.9x capacity (drift period {drift_period} requests, stride {drift_stride}, cache {drift_cache_rows} rows/GPU, zipf {DRIFT_ZIPF}):"
     );
-    for policy in [PolicyKind::StaticHot, PolicyKind::Fifo] {
+    let mut drift_reports: Vec<(PolicyKind, ServeReport)> = Vec::new();
+    for policy in POLICIES {
         let mut config = base.clone();
         config.policy = policy;
+        config.zipf_exponent = DRIFT_ZIPF;
+        config.num_requests = drift_requests;
+        config.drift_period = drift_period;
+        config.drift_stride = drift_stride;
+        config.cache_rows_per_gpu = drift_cache_rows;
+        config.replan = drift_replan.clone();
         config.arrival = base
             .arrival
             .scaled(0.9 * capacity / base.arrival.mean_rate());
         let report = serve(&dataset.graph, &dataset.features, &server, &config);
-        println!(
+        print!(
             "  {:<8} feature hit rate {:>5.1}%  p99 {:>7} us  SLO {:>5.1}%  throughput {:>8.0}/s",
             policy.as_str(),
             feature_hit_rate(&report.metrics) * 100.0,
@@ -195,8 +307,78 @@ fn main() {
             report.slo_attainment * 100.0,
             report.throughput_rps
         );
+        if policy == PolicyKind::Replan {
+            print!(
+                "  ({} replans, {:.1} MiB swapped)",
+                counter(&report.metrics, "serve.replan.count"),
+                counter(&report.metrics, "serve.replan.swap_bytes") as f64 / (1 << 20) as f64,
+            );
+        }
+        println!();
         legion_bench::save_snapshot(&format!("servectl_{}", policy.as_str()), &report.metrics);
+        drift_reports.push((policy, report));
     }
-    legion_bench::save_json("servectl_curves", &rows);
+
+    // Per-phase tail hit rates: phase 0 is pre-drift (every policy's
+    // plan is fresh), each later phase starts right after a rotation.
+    let tails: Vec<BTreeMap<u64, f64>> = drift_reports
+        .iter()
+        .map(|(_, r)| tail_hit_rates(&r.metrics))
+        .collect();
+    let phases: BTreeSet<u64> = tails.iter().flat_map(|t| t.keys().copied()).collect();
+    println!("\n  per-phase tail feature hit rate (settled second half of each phase):");
+    println!(
+        "  {:>5} {:>8} {:>8} {:>8}",
+        "phase", "static", "fifo", "replan"
+    );
+    for &k in &phases {
+        let cell = |t: &BTreeMap<u64, f64>| {
+            t.get(&k)
+                .map_or("   -".to_string(), |r| format!("{:>6.1}%", r * 100.0))
+        };
+        println!(
+            "  {:>5} {:>8} {:>8} {:>8}",
+            k,
+            cell(&tails[0]),
+            cell(&tails[1]),
+            cell(&tails[2])
+        );
+    }
+
+    let replan_metrics = &drift_reports[2].1.metrics;
+    let replans = counter(replan_metrics, "serve.replan.count");
+    let swap_bytes = counter(replan_metrics, "serve.replan.swap_bytes");
+    let last_phase = *phases.iter().next_back().expect("drift runs have phases");
+    let end_rate = |i: usize| *tails[i].get(&last_phase).unwrap_or(&0.0);
+    let fresh = *tails[2].get(&0).unwrap_or(&0.0);
+    let worst_recovery = tails[2].values().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "\n  replan end-state: {:.1}% vs static {:.1}% / fifo {:.1}%; fresh-plan (phase 0) {:.1}%, worst phase {:.1}%",
+        end_rate(2) * 100.0,
+        end_rate(0) * 100.0,
+        end_rate(1) * 100.0,
+        fresh * 100.0,
+        worst_recovery * 100.0,
+    );
+    assert!(replans > 0, "drift must trigger at least one re-plan");
+    assert!(swap_bytes > 0, "re-plans must move refill bytes");
+    if !smoke {
+        assert!(
+            end_rate(2) > end_rate(0) && end_rate(2) > end_rate(1),
+            "replan end-state hit rate {:.3} must beat static {:.3} and fifo {:.3}",
+            end_rate(2),
+            end_rate(0),
+            end_rate(1)
+        );
+        assert!(
+            worst_recovery >= fresh - 0.05,
+            "replan must recover to within 5 points of its fresh-plan rate: worst {:.3} vs fresh {:.3}",
+            worst_recovery,
+            fresh
+        );
+    }
+    if !drift_only {
+        legion_bench::save_json("servectl_curves", &rows);
+    }
     println!("\nservectl: OK");
 }

@@ -59,6 +59,23 @@ impl HotnessMatrix {
         self.data[gpu * self.num_vertices + v as usize] += amount;
     }
 
+    /// Decrements `H[gpu][v]` by `amount` — the retirement half of a
+    /// sliding window: when an epoch bucket ages out, its per-vertex
+    /// contributions are subtracted from the aggregate matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` or `v` is out of range, or if `amount` exceeds the
+    /// current value (a retired bucket can only remove hotness it added).
+    #[inline]
+    pub fn sub(&mut self, gpu: usize, v: VertexId, amount: u64) {
+        assert!(gpu < self.num_gpus, "gpu row {gpu} out of range");
+        let cell = &mut self.data[gpu * self.num_vertices + v as usize];
+        *cell = cell
+            .checked_sub(amount)
+            .expect("hotness underflow: bucket retired more than it added");
+    }
+
     /// Reads `H[gpu][v]`.
     #[inline]
     pub fn get(&self, gpu: usize, v: VertexId) -> u64 {
@@ -150,6 +167,24 @@ mod tests {
         h.add(0, 1, 3);
         h.add(2, 1, 3);
         assert_eq!(h.argmax_gpu(1), 0);
+    }
+
+    #[test]
+    fn sub_retires_previous_contributions() {
+        let mut h = HotnessMatrix::new(2, 3);
+        h.add(1, 2, 5);
+        h.sub(1, 2, 3);
+        assert_eq!(h.get(1, 2), 2);
+        h.sub(1, 2, 2);
+        assert_eq!(h.get(1, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hotness underflow")]
+    fn sub_rejects_underflow() {
+        let mut h = HotnessMatrix::new(1, 1);
+        h.add(0, 0, 1);
+        h.sub(0, 0, 2);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! vertices) and feature rows of hot vertices in GPU memory, spread across
 //! an NVLink clique without replication. Construction follows the paper's
 //! three steps: pre-sampling produces hotness matrices (in
-//! `legion-sampling`), [`cslp`] (Algorithm 1) orders cache candidates per
+//! `legion-sampling`), [`cslp()`] (Algorithm 1) orders cache candidates per
 //! GPU, and [`fill`] materializes the caches under a plan chosen by the
 //! [`cost_model`] + [`planner`] (§4.3, Equations 2–8).
 //!
@@ -13,7 +13,7 @@
 //!
 //! * [`hotness`] — the `H_T` / `H_F` matrices (rows = GPUs of a clique,
 //!   columns = vertices),
-//! * [`cslp`] — Complete Sharing with Local Preference,
+//! * [`cslp()`] — Complete Sharing with Local Preference,
 //! * [`unified`] — per-GPU topology+feature cache storage and clique-level
 //!   lookup,
 //! * [`cost_model`] — PCIe-traffic prediction for a cache plan `(B, α)`,

@@ -17,7 +17,7 @@ use crate::config::LegionConfig;
 /// 5. cache initialization and fill-up.
 ///
 /// Returns the runnable setup; the chosen per-clique plans are available
-/// via [`legion_plan`].
+/// via [`legion_setup_with_plans`].
 ///
 /// # Errors
 ///

@@ -8,7 +8,7 @@
 //!
 //! We reproduce both the partitioning and the pathology: the per-GPU
 //! replication factor is directly measurable via
-//! [`SelfReliantPartition::duplication_factor`].
+//! [`PaGraphPlan::duplication_factor`].
 
 use legion_graph::traversal::l_hop_closure;
 use legion_graph::{CsrGraph, VertexId};

@@ -13,7 +13,7 @@
 //! * [`sampler`] — the L-hop fixed-fanout neighbor sampler producing
 //!   message-flow blocks (Figure 1's workflow),
 //! * [`extract`] — the feature extractor operator, and
-//! * [`presample`] — the pre-sampling phase that fills `H_T`, `H_F` and
+//! * [`presample()`] — the pre-sampling phase that fills `H_T`, `H_F` and
 //!   measures `N_TSUM` (§4.2.2 S1, Figure 6).
 //!
 //! # Examples

@@ -3,15 +3,20 @@
 //! Training-time Legion plans its cache *offline* from pre-sampled
 //! hotness (§4.2). Serving breaks the planner's core assumption — that
 //! the access distribution at fill time is the access distribution
-//! forever — because request skew drifts. This module provides the two
-//! endpoints of that trade-off:
+//! forever — because request skew drifts. This module names the three
+//! points on that trade-off:
 //!
 //! * [`PolicyKind::StaticHot`] — fill per-GPU feature caches once from a
 //!   warmup sample of request neighborhoods, then never change them
 //!   (Legion's planned cache, pointed at serving traffic);
 //! * [`PolicyKind::Fifo`] — an admission-on-miss FIFO cache
 //!   ([`legion_cache::FifoCache`]) that tracks the drifting hot set at
-//!   the cost of replacement churn.
+//!   the cost of replacement churn;
+//! * [`PolicyKind::Replan`] — the planned cache kept honest: the
+//!   [`replan`](crate::replan) controller re-runs CSLP + the cost-model
+//!   sweep over a sliding window of observed traffic and swaps plans in
+//!   at batch boundaries, paying for each swap's refill on the PCIe
+//!   meters.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,6 +35,9 @@ pub enum PolicyKind {
     StaticHot,
     /// Dynamic per-GPU FIFO cache, admitted on miss.
     Fifo,
+    /// Planned cache with online re-planning under drift
+    /// ([`crate::replan`]).
+    Replan,
 }
 
 impl PolicyKind {
@@ -38,6 +46,7 @@ impl PolicyKind {
         match self {
             PolicyKind::StaticHot => "static",
             PolicyKind::Fifo => "fifo",
+            PolicyKind::Replan => "replan",
         }
     }
 }
@@ -140,6 +149,7 @@ mod tests {
     fn policy_names_are_stable() {
         assert_eq!(PolicyKind::StaticHot.as_str(), "static");
         assert_eq!(PolicyKind::Fifo.as_str(), "fifo");
+        assert_eq!(PolicyKind::Replan.as_str(), "replan");
     }
 
     #[test]

@@ -9,16 +9,28 @@
 //! paper's §5 pipeline, so service time is
 //! `max(sample, extract) + infer`.
 //!
+//! A batch's distinct targets are expanded and fetched once no matter
+//! how many requests in the batch named the same vertex — duplicate
+//! seeds previously re-expanded the same uncached vertex and
+//! double-counted its miss (see `batch_seeds`).
+//!
+//! Under [`PolicyKind::Replan`] the loop additionally drives a per-GPU
+//! [`ReplanState`]: staged plans commit at the top of a batch (never
+//! mid-batch), and the swap's refill is charged to the PCIe meters and
+//! to that batch's service time.
+//!
 //! Everything is driven by seeded RNG streams and integer telemetry, so
 //! the same `(config, dataset, server)` triple reproduces a run down to
 //! byte-identical metric snapshots.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use legion_cache::FifoCache;
 use legion_gnn::{GnnModel, ModelKind};
-use legion_graph::{CsrGraph, FeatureTable};
+use legion_graph::{topology_bytes_for_degree, CsrGraph, FeatureTable, VertexId};
 use legion_hw::pcm::TrafficKind;
 use legion_hw::traffic::Source;
 use legion_hw::{GpuId, MultiGpuServer};
@@ -26,13 +38,14 @@ use legion_pipeline::TimeModel;
 use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
 use legion_sampling::extract::extract_features;
 use legion_sampling::KHopSampler;
-use legion_telemetry::{Counter, Snapshot};
+use legion_telemetry::{Counter, Histogram, Registry, Snapshot};
 
 use crate::batcher::BatchPolicy;
 use crate::cache_policy::{build_static_layout, warmup_hot_vertices, PolicyKind};
 use crate::queue::AdmissionQueue;
-use crate::slo::SloTracker;
-use crate::workload::{generate_workload, TargetSampler};
+use crate::replan::{plan_layout, profile_warmup, ReplanState, SwapDelta};
+use crate::slo::{latency_buckets, SloTracker};
+use crate::workload::{generate_workload, Request, TargetSampler};
 use crate::ServeConfig;
 
 /// Summary of one serving run; `metrics` is the full registry snapshot
@@ -72,6 +85,177 @@ struct FifoMeters {
     rows: Counter,
 }
 
+/// Global meters of the re-planning loop, registered only for
+/// [`PolicyKind::Replan`] runs.
+struct ReplanMeters {
+    count: Counter,
+    swap_bytes: Counter,
+    recover: Histogram,
+}
+
+/// Attributes each batch's feature hit/miss deltas to the drift phase of
+/// its oldest request (`phase = id / drift_period`), plus tail-only
+/// counters covering the second half of each phase — the "settled" hit
+/// rate after a policy has had time to react to the rotation.
+struct PhaseMeter<'a> {
+    registry: &'a Arc<Registry>,
+    drift_period: u64,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl<'a> PhaseMeter<'a> {
+    fn new(registry: &'a Arc<Registry>, drift_period: usize, gpu: GpuId) -> Self {
+        Self {
+            registry,
+            drift_period: drift_period as u64,
+            hits: registry.counter(&format!("cache.gpu{gpu}.feature_hits")),
+            misses: registry.counter(&format!("cache.gpu{gpu}.feature_misses")),
+        }
+    }
+
+    fn totals(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    fn record(&self, first_id: u64, hits_before: u64, misses_before: u64) {
+        let dh = self.hits.get() - hits_before;
+        let dm = self.misses.get() - misses_before;
+        let phase = first_id / self.drift_period;
+        self.registry
+            .counter(&format!("serve.phase{phase:03}.feature_hits"))
+            .add(dh);
+        self.registry
+            .counter(&format!("serve.phase{phase:03}.feature_misses"))
+            .add(dm);
+        if (first_id % self.drift_period) * 2 >= self.drift_period {
+            self.registry
+                .counter(&format!("serve.phase{phase:03}.tail_feature_hits"))
+                .add(dh);
+            self.registry
+                .counter(&format!("serve.phase{phase:03}.tail_feature_misses"))
+                .add(dm);
+        }
+    }
+}
+
+/// The distinct targets of a micro-batch, ascending.
+///
+/// Several requests in one batch frequently name the same (hot) vertex;
+/// expanding each copy separately made the engine re-read the same
+/// uncached adjacency and count one physical topology miss once per
+/// duplicate request. Batched inference resolves one vertex once, so the
+/// seed list is deduplicated here and the per-request results share it.
+fn batch_seeds(batch: &[Request]) -> Vec<VertexId> {
+    let mut seeds: Vec<VertexId> = batch.iter().map(|r| r.target).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds
+}
+
+/// One GPU's arrival/launch event loop, shared by every cache policy.
+/// `run_batch(batch, launch_time)` must meter and time the batch;
+/// returns this GPU's makespan.
+#[allow(clippy::too_many_arguments)]
+fn run_gpu_event_loop(
+    requests: &[Request],
+    gpu: GpuId,
+    num_gpus: usize,
+    batch_policy: &BatchPolicy,
+    queue_capacity: usize,
+    max_batch: usize,
+    slo: &SloTracker,
+    shed_total: &Counter,
+    gpu_shed: &Counter,
+    batches: &Counter,
+    busy: &Counter,
+    phase: Option<&PhaseMeter<'_>>,
+    run_batch: &mut dyn FnMut(&[Request], f64) -> f64,
+) -> f64 {
+    let mut queue = AdmissionQueue::new(queue_capacity);
+    // Round-robin routing: GPU g serves requests with id % num_gpus == g.
+    let mut arrivals = requests
+        .iter()
+        .filter(|r| r.id % num_gpus as u64 == gpu as u64)
+        .peekable();
+    let mut free_at = 0.0f64;
+    let mut makespan = 0.0f64;
+    loop {
+        let launch = batch_policy.launch_time(&queue, free_at);
+        match (arrivals.peek(), launch) {
+            // Arrivals strictly before the next launch are admitted
+            // (or shed) first — the deterministic tie rule.
+            (Some(r), at) if at.is_none_or(|t| r.arrival < t) => {
+                let r = **r;
+                arrivals.next();
+                if !queue.offer(r) {
+                    shed_total.inc();
+                    gpu_shed.inc();
+                }
+            }
+            (_, Some(at)) => {
+                let batch = queue.take(max_batch);
+                let before = phase.map(|p| p.totals());
+                let service = run_batch(&batch, at);
+                if let (Some(p), Some((h0, m0))) = (phase, before) {
+                    p.record(batch[0].id, h0, m0);
+                }
+                batches.inc();
+                busy.add_secs(service);
+                let completion = at + service;
+                for r in &batch {
+                    let latency_us = ((completion - r.arrival) * 1e6).round() as u64;
+                    slo.record(latency_us);
+                }
+                free_at = completion;
+                makespan = makespan.max(completion);
+            }
+            // Only (None, None) reaches here: a pending arrival with
+            // no launch deadline always takes the first arm.
+            _ => break,
+        }
+    }
+    makespan
+}
+
+/// Charges a committed plan swap: the entries the new plan holds that
+/// the old one did not are refilled from CPU memory (PCM transactions +
+/// traffic-matrix bytes), the GPU's memory budget is moved to the new
+/// footprint, and the PCIe transfer time is returned so the committing
+/// batch pays for it.
+#[allow(clippy::too_many_arguments)]
+fn charge_swap(
+    server: &MultiGpuServer,
+    graph: &CsrGraph,
+    time_model: &TimeModel,
+    gpu: GpuId,
+    row_bytes: u64,
+    delta: &SwapDelta,
+    swap_bytes_total: &Counter,
+    gpu_swap_bytes: &Counter,
+) -> f64 {
+    let feat_tx = delta.new_feat.len() as u64 * server.pcie().transactions_for_payload(row_bytes);
+    let mut bytes = delta.new_feat.len() as u64 * row_bytes;
+    let mut topo_tx = 0u64;
+    for &v in &delta.new_topo {
+        let b = topology_bytes_for_degree(graph.degree(v));
+        bytes += b;
+        topo_tx += server.pcie().transactions_for_payload(b);
+    }
+    server.pcm().add(gpu, TrafficKind::Feature, feat_tx);
+    server.pcm().add(gpu, TrafficKind::Topology, topo_tx);
+    server.traffic().add(gpu, Source::Cpu, bytes);
+    server
+        .free(gpu, delta.old_bytes)
+        .expect("retired plan freed");
+    server
+        .alloc(gpu, delta.new_bytes)
+        .expect("replanned cache exceeds GPU memory");
+    swap_bytes_total.add(bytes);
+    gpu_swap_bytes.add(bytes);
+    time_model.extract_seconds(feat_tx + topo_tx, 0)
+}
+
 /// Runs the full serving simulation for `config` against `server`.
 ///
 /// The server is reset first (memory and all counters); on return its
@@ -104,10 +288,12 @@ pub fn serve(
 
     // Cache layout per policy. The static planner profiles warmup traffic
     // drawn from the *initial* (pre-drift) skew — it cannot see the
-    // future, which is exactly the handicap under drift.
+    // future, which is exactly the handicap under drift. The replan
+    // policy starts from the same handicapped position (a warmup-profiled
+    // plan) but may revise it from observed traffic.
     let layout = match config.policy {
         PolicyKind::StaticHot => {
-            let mut warm = TargetSampler::new(all_targets, config.zipf_exponent, 0, 0);
+            let mut warm = TargetSampler::new(all_targets.clone(), config.zipf_exponent, 0, 0);
             let hot = warmup_hot_vertices(
                 graph,
                 &mut warm,
@@ -117,7 +303,7 @@ pub fn serve(
             );
             build_static_layout(graph, features, server, &hot, config.cache_rows_per_gpu)
         }
-        PolicyKind::Fifo => CacheLayout::none(num_gpus),
+        PolicyKind::Fifo | PolicyKind::Replan => CacheLayout::none(num_gpus),
     };
     let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva);
     let time_model = TimeModel::new(server.spec());
@@ -137,43 +323,49 @@ pub fn serve(
     registry.counter("serve.offered").add(requests.len() as u64);
     let shed_total = registry.counter("serve.shed");
     let batch_policy = BatchPolicy::new(config.max_batch, config.max_wait);
-    let mut makespan = 0.0f64;
+    let row_bytes = features.row_bytes();
 
+    // Replan-only shared state: the warmup-profiled initial hotness and
+    // the global swap meters. The budget equals the other policies'
+    // footprint (`cache_rows_per_gpu` feature rows); the cost model's α
+    // splits it between topology and features.
+    let replan_budget = config.cache_rows_per_gpu as u64 * row_bytes;
+    let replan_shared = (config.policy == PolicyKind::Replan).then(|| {
+        let mut warm = TargetSampler::new(all_targets, config.zipf_exponent, 0, 0);
+        let profile = profile_warmup(
+            graph,
+            &mut warm,
+            config.warmup_requests,
+            &config.fanouts,
+            config.seed,
+        );
+        let meters = ReplanMeters {
+            count: registry.counter("serve.replan.count"),
+            swap_bytes: registry.counter("serve.replan.swap_bytes"),
+            recover: registry.histogram("serve.replan.recover_us", &latency_buckets()),
+        };
+        (profile, meters)
+    });
+
+    let mut makespan = 0.0f64;
     for gpu in 0..num_gpus {
         let mut rng = StdRng::seed_from_u64(config.seed ^ (gpu as u64).wrapping_mul(0x517c_c1b7));
-        let mut queue = AdmissionQueue::new(config.queue_capacity);
-        let mut fifo = FifoCache::new(config.cache_rows_per_gpu);
-        let meters = FifoMeters {
-            hits: registry.counter(&format!("cache.gpu{gpu}.feature_hits")),
-            misses: registry.counter(&format!("cache.gpu{gpu}.feature_misses")),
-            rows: registry.counter(&format!("extract.gpu{gpu}.rows")),
-        };
         let batches = registry.counter(&format!("serve.gpu{gpu}.batches"));
         let busy = registry.counter(&format!("serve.gpu{gpu}.busy_ns"));
         let gpu_shed = registry.counter(&format!("serve.gpu{gpu}.shed"));
+        let phase_meter =
+            (config.drift_period > 0).then(|| PhaseMeter::new(registry, config.drift_period, gpu));
 
-        // Round-robin routing: GPU g serves requests with id % num_gpus == g.
-        let mut arrivals = requests
-            .iter()
-            .filter(|r| r.id % num_gpus as u64 == gpu as u64)
-            .peekable();
-        let mut free_at = 0.0f64;
-        loop {
-            let launch = batch_policy.launch_time(&queue, free_at);
-            match (arrivals.peek(), launch) {
-                // Arrivals strictly before the next launch are admitted
-                // (or shed) first — the deterministic tie rule.
-                (Some(r), at) if at.is_none_or(|t| r.arrival < t) => {
-                    let r = **r;
-                    arrivals.next();
-                    if !queue.offer(r) {
-                        shed_total.inc();
-                        gpu_shed.inc();
-                    }
-                }
-                (_, Some(at)) => {
-                    let batch = queue.take(config.max_batch);
-                    let service = batch_service_seconds(
+        let gpu_makespan = match config.policy {
+            PolicyKind::StaticHot | PolicyKind::Fifo => {
+                let mut fifo = FifoCache::new(config.cache_rows_per_gpu);
+                let meters = FifoMeters {
+                    hits: registry.counter(&format!("cache.gpu{gpu}.feature_hits")),
+                    misses: registry.counter(&format!("cache.gpu{gpu}.feature_misses")),
+                    rows: registry.counter(&format!("extract.gpu{gpu}.rows")),
+                };
+                let mut run_batch = |batch: &[Request], _at: f64| {
+                    batch_service_seconds(
                         &engine,
                         server,
                         &time_model,
@@ -183,24 +375,140 @@ pub fn serve(
                         &mut fifo,
                         &meters,
                         gpu,
-                        &batch,
+                        batch,
                         &mut rng,
-                    );
-                    batches.inc();
-                    busy.add_secs(service);
-                    let completion = at + service;
-                    for r in &batch {
-                        let latency_us = ((completion - r.arrival) * 1e6).round() as u64;
-                        slo.record(latency_us);
-                    }
-                    free_at = completion;
-                    makespan = makespan.max(completion);
-                }
-                // Only (None, None) reaches here: a pending arrival with
-                // no launch deadline always takes the first arm.
-                _ => break,
+                    )
+                };
+                run_gpu_event_loop(
+                    &requests,
+                    gpu,
+                    num_gpus,
+                    &batch_policy,
+                    config.queue_capacity,
+                    config.max_batch,
+                    &slo,
+                    &shed_total,
+                    &gpu_shed,
+                    &batches,
+                    &busy,
+                    phase_meter.as_ref(),
+                    &mut run_batch,
+                )
             }
-        }
+            PolicyKind::Replan => {
+                let (profile, replan_meters) = replan_shared.as_ref().expect("replan profile");
+                let cls = server.pcie().cls();
+                let initial = plan_layout(
+                    gpu,
+                    num_gpus,
+                    graph,
+                    features,
+                    &profile.topo,
+                    &profile.feat,
+                    profile.n_tsum,
+                    replan_budget,
+                    config.replan.delta_alpha,
+                    cls,
+                );
+                server
+                    .alloc(gpu, initial.contents.total_bytes())
+                    .expect("replanned cache exceeds GPU memory");
+                let mut state = ReplanState::new(
+                    config.replan.clone(),
+                    initial,
+                    graph.num_vertices(),
+                    gpu,
+                    num_gpus,
+                    replan_budget,
+                    cls,
+                );
+                let gpu_replans = registry.counter(&format!("serve.gpu{gpu}.replans"));
+                let gpu_swap_bytes = registry.counter(&format!("serve.gpu{gpu}.replan.swap_bytes"));
+                let window_gauge = registry.gauge(&format!("serve.gpu{gpu}.window_hit_rate"));
+                let feat_hits = registry.counter(&format!("cache.gpu{gpu}.feature_hits"));
+                let feat_misses = registry.counter(&format!("cache.gpu{gpu}.feature_misses"));
+
+                let mut run_batch = |batch: &[Request], at: f64| -> f64 {
+                    // Batch-boundary swap: in-flight requests finished
+                    // against the old plan; this batch starts on the new
+                    // one and pays its refill.
+                    let mut swap_t = 0.0f64;
+                    if let Some(delta) = state.commit() {
+                        gpu_replans.inc();
+                        replan_meters.count.inc();
+                        swap_t = charge_swap(
+                            server,
+                            graph,
+                            &time_model,
+                            gpu,
+                            row_bytes,
+                            &delta,
+                            &replan_meters.swap_bytes,
+                            &gpu_swap_bytes,
+                        );
+                    }
+                    let plan_engine = AccessEngine::new(
+                        graph,
+                        features,
+                        state.plan.active_layout(),
+                        server,
+                        TopologyPlacement::CpuUva,
+                    );
+                    let seeds = batch_seeds(batch);
+                    let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
+                    let window = &mut state.window;
+                    let mut on_edge = |v: VertexId| window.note_edge(v);
+                    let sample = sampler.sample_batch(
+                        &plan_engine,
+                        gpu,
+                        &seeds,
+                        &mut rng,
+                        Some(&mut on_edge),
+                    );
+                    for &v in &sample.all_vertices {
+                        window.note_feature(v);
+                    }
+                    let topo_tx = server.pcm().gpu_kind(gpu, TrafficKind::Topology) - topo_before;
+                    let sample_t = time_model.sample_seconds(topo_tx, sample.total_edges() as u64);
+                    let feat_tx_before = server.pcm().gpu_kind(gpu, TrafficKind::Feature);
+                    let (h0, m0) = (feat_hits.get(), feat_misses.get());
+                    let _ = extract_features(&plan_engine, gpu, &sample.all_vertices);
+                    let feat_tx = server.pcm().gpu_kind(gpu, TrafficKind::Feature) - feat_tx_before;
+                    let extract_t = time_model.extract_seconds(feat_tx, 0);
+                    window.note_batch(
+                        batch.len(),
+                        feat_hits.get() - h0,
+                        feat_misses.get() - m0,
+                        topo_tx,
+                    );
+                    drop(plan_engine);
+                    if let Some(outcome) = state.roll(at, graph, features) {
+                        window_gauge.set(outcome.window_hit_rate);
+                        if let Some(dt) = outcome.recovered_after {
+                            replan_meters.recover.observe((dt * 1e6).round() as u64);
+                        }
+                    }
+                    let infer_t = time_model.train_seconds(model.inference_flops(&sample));
+                    sample_t.max(extract_t) + infer_t + swap_t
+                };
+                run_gpu_event_loop(
+                    &requests,
+                    gpu,
+                    num_gpus,
+                    &batch_policy,
+                    config.queue_capacity,
+                    config.max_batch,
+                    &slo,
+                    &shed_total,
+                    &gpu_shed,
+                    &batches,
+                    &busy,
+                    phase_meter.as_ref(),
+                    &mut run_batch,
+                )
+            }
+        };
+        makespan = makespan.max(gpu_makespan);
     }
 
     let completed = slo.completed();
@@ -251,10 +559,10 @@ fn batch_service_seconds(
     fifo: &mut FifoCache,
     meters: &FifoMeters,
     gpu: GpuId,
-    batch: &[crate::workload::Request],
+    batch: &[Request],
     rng: &mut StdRng,
 ) -> f64 {
-    let seeds: Vec<u32> = batch.iter().map(|r| r.target).collect();
+    let seeds = batch_seeds(batch);
 
     let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
     let sample = sampler.sample_batch(engine, gpu, &seeds, rng, None);
@@ -301,6 +609,7 @@ fn batch_service_seconds(
             server.traffic().add(gpu, Source::Cpu, bytes);
             (tx, 0)
         }
+        PolicyKind::Replan => unreachable!("replan batches run in the engine's replan closure"),
     };
     let extract_t = time_model.extract_seconds(feat_tx, peer_bytes);
     let infer_t = time_model.train_seconds(model.inference_flops(&sample));
@@ -310,6 +619,7 @@ fn batch_service_seconds(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::replan::{DriftDetector, ReplanConfig};
     use crate::workload::ArrivalProcess;
     use legion_graph::GraphBuilder;
     use legion_hw::ServerSpec;
@@ -359,7 +669,7 @@ mod tests {
     #[test]
     fn serve_is_deterministic_per_policy() {
         let (g, f) = tiny_graph();
-        for policy in [PolicyKind::StaticHot, PolicyKind::Fifo] {
+        for policy in [PolicyKind::StaticHot, PolicyKind::Fifo, PolicyKind::Replan] {
             let run = || {
                 let server = ServerSpec::custom(2, 1 << 30, 1).build();
                 serve(&g, &f, &server, &tiny_config(policy))
@@ -423,5 +733,157 @@ mod tests {
         let report = serve(&g, &f, &server, &config);
         assert_eq!(report.completed + report.shed, report.offered);
         assert!(report.completed > 0);
+    }
+
+    /// Regression test for the duplicate-seed double count: on a
+    /// single-vertex graph every request targets the one vertex, so a
+    /// multi-request batch must expand its (uncached) topology exactly
+    /// once and fetch its feature row exactly once. Before the fix each
+    /// duplicate request re-expanded the vertex, charging one topology
+    /// miss per *request* instead of per *batch*.
+    #[test]
+    fn duplicate_seeds_in_a_batch_meter_one_miss() {
+        let g = GraphBuilder::new(1).build();
+        let f = FeatureTable::zeros(1, 8);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let config = ServeConfig {
+            arrival: ArrivalProcess::Poisson { rate: 1.0e6 },
+            num_requests: 40,
+            max_batch: 8,
+            max_wait: 1e-3,
+            queue_capacity: 64,
+            cache_rows_per_gpu: 4,
+            warmup_requests: 8,
+            fanouts: vec![2],
+            drift_period: 0,
+            policy: PolicyKind::Fifo,
+            ..ServeConfig::default()
+        };
+        let report = serve(&g, &f, &server, &config);
+        let counter = |name: &str| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        let batches = counter("serve.gpu0.batches");
+        assert!(
+            batches < report.completed,
+            "fixture must batch duplicates together ({batches} batches, {} requests)",
+            report.completed
+        );
+        // One topology expansion per batch, not per request.
+        assert_eq!(counter("cache.gpu0.topology_misses"), batches);
+        assert_eq!(counter("cache.gpu0.topology_hits"), 0);
+        // One feature fetch per batch: a cold miss, then FIFO hits.
+        assert_eq!(counter("cache.gpu0.feature_misses"), 1);
+        assert_eq!(counter("cache.gpu0.feature_hits"), batches - 1);
+        assert_eq!(counter("extract.gpu0.rows"), batches);
+
+        // The static policy caches the vertex up front: same dedupe,
+        // all hits.
+        let mut static_config = config.clone();
+        static_config.policy = PolicyKind::StaticHot;
+        static_config.cache_rows_per_gpu = 1;
+        let report = serve(&g, &f, &server, &static_config);
+        let counter = |name: &str| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        let batches = counter("serve.gpu0.batches");
+        assert_eq!(counter("cache.gpu0.topology_misses"), batches);
+        assert_eq!(counter("cache.gpu0.feature_hits"), batches);
+        assert_eq!(counter("cache.gpu0.feature_misses"), 0);
+    }
+
+    /// The replan policy must actually re-plan under rotation drift and
+    /// meter its swaps.
+    #[test]
+    fn replan_policy_swaps_under_drift() {
+        let (g, f) = tiny_graph();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let mut config = tiny_config(PolicyKind::Replan);
+        config.num_requests = 600;
+        config.drift_period = 100;
+        config.drift_stride = 64;
+        config.replan = ReplanConfig {
+            bucket_requests: 8,
+            window_buckets: 2,
+            detector: DriftDetector::HitRateEwma {
+                alpha: 0.7,
+                drop: 0.1,
+            },
+            cooldown_buckets: 0,
+            ..ReplanConfig::default()
+        };
+        let report = serve(&g, &f, &server, &config);
+        assert_eq!(report.completed + report.shed, report.offered);
+        let counter = |name: &str| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        assert!(
+            counter("serve.replan.count") > 0,
+            "drift must trigger replans"
+        );
+        assert!(
+            counter("serve.replan.swap_bytes") > 0,
+            "swaps must move bytes"
+        );
+        assert_eq!(
+            counter("serve.replan.count"),
+            counter("serve.gpu0.replans") + counter("serve.gpu1.replans"),
+        );
+        // Swap refills are real PCIe traffic: they appear in the PCM.
+        assert!(server.pcm().total() > 0);
+        // The windowed hit-rate gauge was exported.
+        assert!(report
+            .metrics
+            .gauges
+            .iter()
+            .any(|g| g.name == "serve.gpu0.window_hit_rate"));
+    }
+
+    /// Phase counters decompose the run's hit/miss totals exactly.
+    #[test]
+    fn phase_counters_partition_hits_and_misses() {
+        let (g, f) = tiny_graph();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let mut config = tiny_config(PolicyKind::Fifo);
+        config.drift_period = 100;
+        config.drift_stride = 64;
+        let report = serve(&g, &f, &server, &config);
+        let sum = |prefix: &str, suffix: &str| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with(prefix) && c.name.ends_with(suffix))
+                .map(|c| c.value)
+                .sum::<u64>()
+        };
+        let phase_hits = sum("serve.phase", ".feature_hits");
+        let phase_misses = sum("serve.phase", ".feature_misses");
+        let total_hits = sum("cache.", "feature_hits");
+        let total_misses = sum("cache.", "feature_misses");
+        assert_eq!(phase_hits, total_hits);
+        assert_eq!(phase_misses, total_misses);
+        assert!(total_hits + total_misses > 0);
+        // Tail counters cover the second half of each phase — a strict
+        // subset of the phase totals.
+        let tail_hits = sum("serve.phase", ".tail_feature_hits");
+        let tail_misses = sum("serve.phase", ".tail_feature_misses");
+        assert!(tail_hits <= phase_hits && tail_misses <= phase_misses);
+        assert!(tail_hits + tail_misses > 0, "tail halves must be sampled");
     }
 }

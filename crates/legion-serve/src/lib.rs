@@ -17,9 +17,13 @@
 //!   `max_batch` requests or `max_wait` simulated seconds
 //!   ([`BatchPolicy`]);
 //! * [`cache_policy`] — the serving-time cache trade-off: a statically
-//!   planned hot set (Legion's offline planner pointed at requests)
-//!   versus a dynamic FIFO cache that follows request-skew drift
-//!   ([`PolicyKind`]);
+//!   planned hot set (Legion's offline planner pointed at requests),
+//!   a dynamic FIFO cache that follows request-skew drift, or the
+//!   re-planned cache ([`PolicyKind`]);
+//! * [`replan`] — online re-planning: a sliding-window hotness
+//!   estimator feeding CSLP + the `(B, α)` cost-model sweep, swapped in
+//!   through a versioned double buffer at batch boundaries
+//!   ([`ReplanState`]);
 //! * [`engine`] — the discrete-event loop that runs real
 //!   sample→extract→infer operators against the metered server and the
 //!   `legion-pipeline` time model ([`serve`]);
@@ -28,13 +32,49 @@
 //! * [`sweep`] — capacity-anchored offered-load sweeps producing
 //!   throughput–latency curves ([`run_sweep`]).
 //!
-//! Every run is deterministic: the same `(config, dataset, server)`
-//! triple yields byte-identical metric snapshots.
+//! # Invariants
+//!
+//! * **Determinism** — the same `(config, dataset, server)` triple
+//!   yields byte-identical metric snapshots. Everything that varies is
+//!   derived from [`ServeConfig::seed`]; counters and histograms are
+//!   integers; gauges are written once per run.
+//! * **Conservation** — `offered == completed + shed` for every run;
+//!   the engine's tests pin this.
+//! * **Open loop** — arrivals never wait for the server. Backpressure
+//!   exists only as bounded admission queues that shed excess load.
+//! * **Plan atomicity** — under [`PolicyKind::Replan`], plans change
+//!   only between batches; no request is served against a mixed
+//!   old/new cache view ([`replan::PlanBuffer`]).
+//! * **Comparable meters** — all three policies account cache hits and
+//!   misses under the same counter names, so snapshots are directly
+//!   comparable across policies.
+//!
+//! # Counter-name glossary
+//!
+//! | Metric | Kind | Meaning |
+//! |---|---|---|
+//! | `serve.offered` / `serve.completed` / `serve.shed` | counter | request conservation triple |
+//! | `serve.slo_ok` | counter | completed requests within the SLO |
+//! | `serve.latency_us` | histogram | end-to-end request latency |
+//! | `serve.gpu{g}.batches` / `.busy_ns` / `.shed` | counter | per-GPU loop activity |
+//! | `serve.p50_us` / `.p95_us` / `.p99_us` | gauge | latency quantiles of the run |
+//! | `serve.slo_attainment` / `.makespan_s` / `.throughput_rps` | gauge | run summary |
+//! | `serve.phase{k}.feature_{hits,misses}` | counter | per-drift-phase hit accounting (drift runs only) |
+//! | `serve.phase{k}.tail_feature_{hits,misses}` | counter | same, second half of each phase only |
+//! | `serve.replan.count` / `serve.gpu{g}.replans` | counter | committed plan swaps |
+//! | `serve.replan.swap_bytes` / `serve.gpu{g}.replan.swap_bytes` | counter | refill traffic charged by swaps |
+//! | `serve.replan.recover_us` | histogram | drift-trigger → hit-rate-recovery time |
+//! | `serve.gpu{g}.window_hit_rate` | gauge | sliding-window feature hit rate |
+//! | `cache.gpu{g}.{topology,feature}_{hits,misses}` | counter | shared with `legion-sampling`'s access engine |
+//!
+//! (`{g}` is a zero-based GPU index; `{k}` a zero-padded drift-phase
+//! index, e.g. `serve.phase003.feature_hits`.)
 
 pub mod batcher;
 pub mod cache_policy;
 pub mod engine;
 pub mod queue;
+pub mod replan;
 pub mod slo;
 pub mod sweep;
 pub mod workload;
@@ -43,6 +83,10 @@ pub use batcher::BatchPolicy;
 pub use cache_policy::{build_static_layout, warmup_hot_vertices, PolicyKind};
 pub use engine::{serve, ServeReport};
 pub use queue::AdmissionQueue;
+pub use replan::{
+    plan_layout, profile_warmup, DriftDetector, PlanBuffer, ReplanConfig, ReplanState,
+    WindowEstimator,
+};
 pub use slo::{latency_buckets, SloTracker};
 pub use sweep::{
     estimate_capacity_rps, run_sweep, LoadPoint, SMOKE_MULTIPLIERS, SWEEP_MULTIPLIERS,
@@ -72,6 +116,8 @@ pub struct ServeConfig {
     pub slo_us: u64,
     /// Feature-cache policy.
     pub policy: PolicyKind,
+    /// Online re-planning knobs (used only by [`PolicyKind::Replan`]).
+    pub replan: ReplanConfig,
     /// Feature rows each GPU's cache holds (static fill size / FIFO
     /// capacity).
     pub cache_rows_per_gpu: usize,
@@ -106,6 +152,7 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             slo_us: 1000,
             policy: PolicyKind::Fifo,
+            replan: ReplanConfig::default(),
             cache_rows_per_gpu: 4096,
             warmup_requests: 512,
             fanouts: vec![10, 5],
@@ -135,6 +182,7 @@ impl ServeConfig {
             self.arrival.mean_rate() > 0.0,
             "arrival rate must be positive"
         );
+        self.replan.validate();
     }
 }
 

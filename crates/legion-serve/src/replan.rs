@@ -1,0 +1,995 @@
+//! Online cache re-planning: the §4.2/§4.3 planner closed into a loop.
+//!
+//! Legion plans its unified cache once, offline, from pre-sampled
+//! hotness. Under serving drift that plan decays (PR 2's experiment), so
+//! this module re-runs the same planning machinery — CSLP ordering plus
+//! the `(B, α)` cost-model sweep — over a *sliding window* of observed
+//! accesses, and swaps the produced plan in without ever exposing a
+//! half-updated cache:
+//!
+//! * [`WindowEstimator`] — a ring of epoch-style buckets; each bucket
+//!   holds its own sparse per-vertex deltas so retiring it subtracts
+//!   exactly what it added from the aggregate [`HotnessMatrix`] pair
+//!   (the window's `H_T` / `H_F`) and the windowed `N_TSUM`;
+//! * [`DriftDetector`] — either a hit-rate EWMA dropping below the best
+//!   level seen since the last swap, or the overlap between the window's
+//!   top-k feature vertices and the active plan's cached set falling
+//!   under a threshold;
+//! * [`plan_layout`] — CSLP + [`CostModel::best_plan`] over the window,
+//!   materialized as a single-GPU [`CliqueCache`] holding both topology
+//!   and feature entries (the serving analogue of Algorithm 1's output);
+//! * [`PlanBuffer`] — a versioned double buffer: a staged plan becomes
+//!   visible only at a batch boundary via [`PlanBuffer::commit`], so
+//!   every request is served entirely against one plan version;
+//! * [`ReplanState`] — the per-GPU controller gluing the above together
+//!   for the engine loop.
+//!
+//! The swap is not free: the engine charges the refill (rows and
+//! adjacency lists absent from the previous plan) to the PCIe meters as
+//! real CPU→GPU traffic and adds the transfer time to the committing
+//! batch's service time.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use legion_cache::{cslp, CliqueCache, CostModel, HotnessMatrix, PlanEvaluation};
+use legion_graph::{CsrGraph, FeatureTable, VertexId};
+use legion_hw::GpuId;
+use legion_sampling::access::{sample_from, CacheLayout};
+
+use crate::workload::TargetSampler;
+
+/// How a serving GPU decides its cache plan has gone stale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftDetector {
+    /// Trigger when the EWMA of per-bucket feature hit rates falls more
+    /// than `drop` below the best EWMA seen since the last swap.
+    HitRateEwma {
+        /// EWMA smoothing factor in `(0, 1]` (1 = last bucket only).
+        alpha: f64,
+        /// Tolerated hit-rate drop before re-planning, in absolute
+        /// hit-rate points (0.15 = 15 points).
+        drop: f64,
+    },
+    /// Trigger when fewer than `min_overlap` of the window's `top_k`
+    /// hottest feature vertices are present in the active plan's feature
+    /// cache — a rank-overlap proxy for the window-vs-plan correlation.
+    RankOverlap {
+        /// How many of the window's hottest feature vertices to check.
+        top_k: usize,
+        /// Minimum tolerated overlap fraction in `[0, 1]`.
+        min_overlap: f64,
+    },
+}
+
+/// Knobs of the re-planning loop; see module docs for the moving parts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanConfig {
+    /// Requests per window bucket (the window's time resolution).
+    pub bucket_requests: usize,
+    /// Buckets the sliding window retains; older buckets retire.
+    pub window_buckets: usize,
+    /// The drift-detection rule.
+    pub detector: DriftDetector,
+    /// Sealed buckets that must pass after a swap before the detector
+    /// may stage another plan (limits churn while a swap takes effect).
+    pub cooldown_buckets: usize,
+    /// `Δα` of the re-planning cost-model sweep (coarser than the
+    /// offline default 0.01 — re-planning runs on the serving path).
+    pub delta_alpha: f64,
+    /// How far below the all-time-high hit-rate watermark the rate may
+    /// sit and still count as recovered (0.05 = within 5 points). The
+    /// watermark — unlike the drop-detection reference — never resets,
+    /// so the recovery bar cannot erode across successive episodes.
+    pub recover_margin: f64,
+    /// Re-plans allowed per drift episode (the detection-time plan plus
+    /// refinements from fresher windows). When the cap is hit without
+    /// the hit rate reaching the recovery target, the episode closes and
+    /// the detector re-baselines on the plan it has — the target may
+    /// simply be unreachable under the new skew.
+    pub max_episode_replans: usize,
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        Self {
+            bucket_requests: 16,
+            window_buckets: 4,
+            detector: DriftDetector::HitRateEwma {
+                alpha: 0.5,
+                drop: 0.08,
+            },
+            cooldown_buckets: 1,
+            delta_alpha: 0.05,
+            recover_margin: 0.05,
+            max_episode_replans: 4,
+        }
+    }
+}
+
+impl ReplanConfig {
+    /// Checks the invariants [`ReplanState`] relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first violated invariant.
+    pub fn validate(&self) {
+        assert!(self.bucket_requests > 0, "bucket_requests must be positive");
+        assert!(self.window_buckets > 0, "window_buckets must be positive");
+        assert!(
+            self.delta_alpha > 0.0 && self.delta_alpha <= 1.0,
+            "delta_alpha must be in (0, 1]"
+        );
+        assert!(self.recover_margin >= 0.0, "recover_margin must be >= 0");
+        assert!(
+            self.max_episode_replans > 0,
+            "max_episode_replans must be positive"
+        );
+        match self.detector {
+            DriftDetector::HitRateEwma { alpha, drop } => {
+                assert!(alpha > 0.0 && alpha <= 1.0, "ewma alpha must be in (0, 1]");
+                assert!(drop > 0.0, "ewma drop must be positive");
+            }
+            DriftDetector::RankOverlap { top_k, min_overlap } => {
+                assert!(top_k > 0, "rank-overlap top_k must be positive");
+                assert!(
+                    (0.0..=1.0).contains(&min_overlap),
+                    "min_overlap must be in [0, 1]"
+                );
+            }
+        }
+    }
+}
+
+/// One bucket of the sliding window: sparse per-vertex deltas plus the
+/// bucket's own traffic/hit tallies, kept so retirement can subtract
+/// exactly this bucket's contribution from the window aggregates.
+#[derive(Debug, Default)]
+struct Bucket {
+    topo: HashMap<VertexId, u64>,
+    feat: HashMap<VertexId, u64>,
+    topo_tx: u64,
+    hits: u64,
+    misses: u64,
+    requests: usize,
+}
+
+/// Per-bucket hit statistics returned when a bucket seals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketStats {
+    /// Feature hit rate of the sealed bucket alone.
+    pub hit_rate: f64,
+}
+
+/// Sliding-window access-frequency estimator: the serving-time stand-in
+/// for pre-sampling's `H_T` / `H_F` / `N_TSUM` triple (§4.2.2), windowed
+/// so old skew ages out instead of diluting the estimate forever.
+#[derive(Debug)]
+pub struct WindowEstimator {
+    bucket_requests: usize,
+    window_buckets: usize,
+    /// Aggregate windowed `H_T` (1 row: this GPU).
+    topo: HotnessMatrix,
+    /// Aggregate windowed `H_F`.
+    feat: HotnessMatrix,
+    /// Windowed `N_TSUM`: topology PCIe transactions in the window.
+    n_tsum: u64,
+    hits: u64,
+    misses: u64,
+    ring: VecDeque<Bucket>,
+    current: Bucket,
+}
+
+impl WindowEstimator {
+    /// An empty window over a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize, bucket_requests: usize, window_buckets: usize) -> Self {
+        assert!(bucket_requests > 0, "bucket_requests must be positive");
+        assert!(window_buckets > 0, "window_buckets must be positive");
+        Self {
+            bucket_requests,
+            window_buckets,
+            topo: HotnessMatrix::new(1, num_vertices),
+            feat: HotnessMatrix::new(1, num_vertices),
+            n_tsum: 0,
+            hits: 0,
+            misses: 0,
+            ring: VecDeque::new(),
+            current: Bucket::default(),
+        }
+    }
+
+    /// Records one traversed edge whose source is `v` (the `H_T` rule:
+    /// "whenever an edge is traversed ... the hotness of its source
+    /// vertex is incremented by 1").
+    pub fn note_edge(&mut self, v: VertexId) {
+        self.topo.add(0, v, 1);
+        *self.current.topo.entry(v).or_insert(0) += 1;
+    }
+
+    /// Records one vertex appearing in a batch's sample results (the
+    /// `H_F` rule).
+    pub fn note_feature(&mut self, v: VertexId) {
+        self.feat.add(0, v, 1);
+        *self.current.feat.entry(v).or_insert(0) += 1;
+    }
+
+    /// Records a completed batch's request count, feature hit/miss deltas
+    /// and topology PCIe transactions.
+    pub fn note_batch(&mut self, requests: usize, hits: u64, misses: u64, topo_tx: u64) {
+        self.current.requests += requests;
+        self.current.hits += hits;
+        self.current.misses += misses;
+        self.current.topo_tx += topo_tx;
+        self.n_tsum += topo_tx;
+        self.hits += hits;
+        self.misses += misses;
+    }
+
+    /// Seals the current bucket if it has accumulated `bucket_requests`
+    /// requests, retiring the oldest bucket when the ring is full.
+    pub fn seal_if_due(&mut self) -> Option<BucketStats> {
+        if self.current.requests < self.bucket_requests {
+            return None;
+        }
+        let sealed = std::mem::take(&mut self.current);
+        let served = sealed.hits + sealed.misses;
+        let hit_rate = if served == 0 {
+            0.0
+        } else {
+            sealed.hits as f64 / served as f64
+        };
+        self.ring.push_back(sealed);
+        if self.ring.len() > self.window_buckets {
+            let old = self.ring.pop_front().expect("ring non-empty");
+            for (&v, &c) in &old.topo {
+                self.topo.sub(0, v, c);
+            }
+            for (&v, &c) in &old.feat {
+                self.feat.sub(0, v, c);
+            }
+            self.n_tsum -= old.topo_tx;
+            self.hits -= old.hits;
+            self.misses -= old.misses;
+        }
+        Some(BucketStats { hit_rate })
+    }
+
+    /// The windowed topology hotness matrix (1 GPU row).
+    pub fn topo(&self) -> &HotnessMatrix {
+        &self.topo
+    }
+
+    /// The windowed feature hotness matrix (1 GPU row).
+    pub fn feat(&self) -> &HotnessMatrix {
+        &self.feat
+    }
+
+    /// The windowed `N_TSUM` (topology transactions over live buckets
+    /// plus the still-open bucket).
+    pub fn n_tsum(&self) -> u64 {
+        self.n_tsum
+    }
+
+    /// Feature hit rate over the whole window (live buckets plus the
+    /// still-open one); 0 when nothing was served yet.
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.misses;
+        if served == 0 {
+            0.0
+        } else {
+            self.hits as f64 / served as f64
+        }
+    }
+
+    /// The window's `top_k` hottest feature vertices (ties break toward
+    /// the smaller vertex id), used by [`DriftDetector::RankOverlap`].
+    pub fn top_feature_vertices(&self, top_k: usize) -> Vec<VertexId> {
+        let row = self.feat.row(0);
+        let mut hot: Vec<VertexId> = row
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h > 0)
+            .map(|(v, _)| v as VertexId)
+            .collect();
+        hot.sort_by(|&a, &b| row[b as usize].cmp(&row[a as usize]).then(a.cmp(&b)));
+        hot.truncate(top_k);
+        hot
+    }
+}
+
+/// What one re-planned cache holds, recorded so a later swap can compute
+/// its refill delta and memory footprint without walking the cache maps.
+#[derive(Debug, Clone)]
+pub struct PlanContents {
+    /// Vertices with cached topology, ascending.
+    pub topo: Vec<VertexId>,
+    /// Vertices with cached feature rows, ascending.
+    pub feat: Vec<VertexId>,
+    /// Equation 3 bytes of the cached topology.
+    pub topo_bytes: u64,
+    /// Equation 6 bytes of the cached feature rows.
+    pub feat_bytes: u64,
+}
+
+impl PlanContents {
+    /// Total cache footprint in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.topo_bytes + self.feat_bytes
+    }
+}
+
+/// One materialized cache plan: the layout the access engine serves
+/// from, its contents summary, and the cost model's prediction for it.
+#[derive(Debug)]
+pub struct Plan {
+    /// Cache layout (a single-GPU clique at the owning GPU's slot).
+    pub layout: CacheLayout,
+    /// What the plan caches.
+    pub contents: PlanContents,
+    /// The `(B, α)` evaluation that chose this plan.
+    pub evaluation: PlanEvaluation,
+}
+
+/// The refill work a committed swap implies: entries the new plan holds
+/// that the old one did not, plus the footprint change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapDelta {
+    /// Topology vertices to fetch fresh from CPU memory, ascending.
+    pub new_topo: Vec<VertexId>,
+    /// Feature vertices to fetch fresh from CPU memory, ascending.
+    pub new_feat: Vec<VertexId>,
+    /// Footprint of the retired plan.
+    pub old_bytes: u64,
+    /// Footprint of the now-active plan.
+    pub new_bytes: u64,
+}
+
+/// Versioned double-buffered plan holder. [`stage`](Self::stage) parks a
+/// new plan without touching the active one; [`commit`](Self::commit)
+/// swaps atomically and bumps the version. The engine commits only at
+/// batch boundaries, so no request ever observes a mixed old/new view.
+#[derive(Debug)]
+pub struct PlanBuffer {
+    version: u64,
+    active: Plan,
+    staged: Option<Plan>,
+}
+
+impl PlanBuffer {
+    /// A buffer whose active plan is `initial` (version 0, nothing
+    /// staged).
+    pub fn new(initial: Plan) -> Self {
+        Self {
+            version: 0,
+            active: initial,
+            staged: None,
+        }
+    }
+
+    /// Monotone plan version; bumped by every [`commit`](Self::commit).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The plan requests are currently served against.
+    pub fn active(&self) -> &Plan {
+        &self.active
+    }
+
+    /// The active plan's cache layout.
+    pub fn active_layout(&self) -> &CacheLayout {
+        &self.active.layout
+    }
+
+    /// Whether a staged plan awaits the next batch boundary.
+    pub fn has_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Parks `plan` for the next commit; replaces any prior staged plan.
+    pub fn stage(&mut self, plan: Plan) {
+        self.staged = Some(plan);
+    }
+
+    /// Promotes the staged plan (if any) to active, returning the refill
+    /// delta the caller must charge to the interconnect meters.
+    pub fn commit(&mut self) -> Option<SwapDelta> {
+        let staged = self.staged.take()?;
+        let delta = SwapDelta {
+            new_topo: sorted_difference(&staged.contents.topo, &self.active.contents.topo),
+            new_feat: sorted_difference(&staged.contents.feat, &self.active.contents.feat),
+            old_bytes: self.active.contents.total_bytes(),
+            new_bytes: staged.contents.total_bytes(),
+        };
+        self.active = staged;
+        self.version += 1;
+        Some(delta)
+    }
+}
+
+/// Elements of sorted `a` absent from sorted `b` (two-pointer merge).
+fn sorted_difference(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &v in a {
+        while j < b.len() && b[j] < v {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != v {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Runs the planning pass over one GPU's windowed hotness: CSLP orders
+/// the candidates (Algorithm 1 with a one-GPU "clique"), the cost model
+/// sweeps `α` (§4.3.3), and the winning `(B, α)` prefix of each order is
+/// materialized into a fresh [`CliqueCache`] holding topology *and*
+/// feature entries. Zero-hotness vertices are never cached even when the
+/// budget would admit them.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_layout(
+    gpu: GpuId,
+    num_gpus: usize,
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    topo: &HotnessMatrix,
+    feat: &HotnessMatrix,
+    n_tsum: u64,
+    budget: u64,
+    delta_alpha: f64,
+    cls: u64,
+) -> Plan {
+    let t = cslp(topo);
+    let f = cslp(feat);
+    let model = CostModel::new(
+        graph,
+        &t.clique_order,
+        &t.accumulated,
+        &f.clique_order,
+        &f.accumulated,
+        n_tsum,
+        features.dim(),
+        cls,
+    );
+    let evaluation = model.best_plan(budget, delta_alpha);
+    let mut cc = CliqueCache::new(vec![gpu], graph.num_vertices(), features.dim());
+    let mut topo_set = Vec::new();
+    for &v in t.clique_order.iter().take(evaluation.topo_cached_vertices) {
+        if t.accumulated[v as usize] == 0 {
+            break;
+        }
+        cc.insert_topology(0, v, graph.neighbors(v));
+        topo_set.push(v);
+    }
+    let mut feat_set = Vec::new();
+    for &v in f.clique_order.iter().take(evaluation.feat_cached_vertices) {
+        if f.accumulated[v as usize] == 0 {
+            break;
+        }
+        cc.insert_feature(0, v, features.row(v));
+        feat_set.push(v);
+    }
+    topo_set.sort_unstable();
+    feat_set.sort_unstable();
+    let contents = PlanContents {
+        topo_bytes: cc.cache(0).topology_bytes(),
+        feat_bytes: cc.cache(0).feature_bytes(),
+        topo: topo_set,
+        feat: feat_set,
+    };
+    Plan {
+        layout: CacheLayout::from_cliques(num_gpus, vec![cc]),
+        contents,
+        evaluation,
+    }
+}
+
+/// CPU-side warmup profile standing in for pre-sampling (§4.2.2 S1)
+/// before any live traffic exists: windowed `H_T` / `H_F` hotness plus
+/// an analytic `N_TSUM` (one offset transaction plus one per sampled
+/// edge, the UVA charge of `legion-sampling`'s CPU fallback path).
+#[derive(Debug, Clone)]
+pub struct WarmupProfile {
+    /// Profiled topology hotness (1 row).
+    pub topo: HotnessMatrix,
+    /// Profiled feature hotness (1 row).
+    pub feat: HotnessMatrix,
+    /// Analytic topology transaction total of the profile.
+    pub n_tsum: u64,
+}
+
+/// Profiles `warmup_requests` request neighborhoods on the CPU-resident
+/// graph (no simulated traffic is charged — this is an offline planning
+/// step, like [`warmup_hot_vertices`](crate::cache_policy::warmup_hot_vertices)).
+pub fn profile_warmup(
+    graph: &CsrGraph,
+    targets: &mut TargetSampler,
+    warmup_requests: usize,
+    fanouts: &[usize],
+    seed: u64,
+) -> WarmupProfile {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e57_ab1e_5eed_0001);
+    let n = graph.num_vertices();
+    let mut topo = HotnessMatrix::new(1, n);
+    let mut feat = HotnessMatrix::new(1, n);
+    let mut n_tsum = 0u64;
+    for _ in 0..warmup_requests {
+        let target = targets.next(&mut rng);
+        let mut touched = vec![target];
+        let mut frontier = vec![target];
+        for &fanout in fanouts {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                let edges_read = (graph.degree(v) as usize).min(fanout) as u64;
+                topo.add(0, v, edges_read);
+                n_tsum += 1 + edges_read;
+                next.extend(sample_from(graph.neighbors(v), fanout, &mut rng));
+            }
+            next.sort_unstable();
+            next.dedup();
+            touched.extend_from_slice(&next);
+            frontier = next;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &v in &touched {
+            feat.add(0, v, 1);
+        }
+    }
+    WarmupProfile { topo, feat, n_tsum }
+}
+
+/// What a sealed bucket told the controller, for the engine to export as
+/// telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketOutcome {
+    /// The sealed bucket's own feature hit rate.
+    pub bucket_hit_rate: f64,
+    /// Feature hit rate over the full window after sealing.
+    pub window_hit_rate: f64,
+    /// Simulated seconds from drift detection to recovery, when this
+    /// bucket's hit rate first climbed back above the recovery target.
+    pub recovered_after: Option<f64>,
+    /// Whether this seal staged a new plan.
+    pub staged: bool,
+}
+
+/// Per-GPU re-planning controller: owns the window, the plan buffer and
+/// the detector state. The engine calls [`commit`](Self::commit) at the
+/// top of every batch and [`roll`](Self::roll) after metering it.
+#[derive(Debug)]
+pub struct ReplanState {
+    /// The sliding-window hotness estimator.
+    pub window: WindowEstimator,
+    /// The double-buffered plan.
+    pub plan: PlanBuffer,
+    config: ReplanConfig,
+    gpu: GpuId,
+    num_gpus: usize,
+    budget: u64,
+    cls: u64,
+    ewma: Option<f64>,
+    reference: f64,
+    watermark: f64,
+    buckets_since_swap: usize,
+    drift_at: Option<f64>,
+    recover_target: f64,
+    episode_replans: usize,
+}
+
+impl ReplanState {
+    /// A controller for `gpu` starting from `initial` (normally a
+    /// [`profile_warmup`]-derived plan), re-planning against `budget`
+    /// bytes at PCIe cache-line size `cls`.
+    pub fn new(
+        config: ReplanConfig,
+        initial: Plan,
+        num_vertices: usize,
+        gpu: GpuId,
+        num_gpus: usize,
+        budget: u64,
+        cls: u64,
+    ) -> Self {
+        config.validate();
+        let window =
+            WindowEstimator::new(num_vertices, config.bucket_requests, config.window_buckets);
+        Self {
+            window,
+            plan: PlanBuffer::new(initial),
+            config,
+            gpu,
+            num_gpus,
+            budget,
+            cls,
+            ewma: None,
+            reference: 0.0,
+            watermark: 0.0,
+            buckets_since_swap: 0,
+            drift_at: None,
+            recover_target: 0.0,
+            episode_replans: 0,
+        }
+    }
+
+    /// Promotes any staged plan (batch-boundary swap), resetting the
+    /// detector's cooldown and its hit-rate baseline: the EWMA and the
+    /// reference restart from the new plan's own behavior, so a lucky
+    /// early bucket under the old plan cannot keep the detector
+    /// permanently tripped. Returns the refill delta to charge.
+    pub fn commit(&mut self) -> Option<SwapDelta> {
+        let delta = self.plan.commit();
+        if delta.is_some() {
+            self.buckets_since_swap = 0;
+            self.ewma = None;
+            self.reference = 0.0;
+        }
+        delta
+    }
+
+    /// Advances the controller after a metered batch at simulated time
+    /// `now`: seals a due bucket, updates the EWMA and recovery state,
+    /// and stages a re-planned cache when the detector fires.
+    pub fn roll(
+        &mut self,
+        now: f64,
+        graph: &CsrGraph,
+        features: &FeatureTable,
+    ) -> Option<BucketOutcome> {
+        let stats = self.window.seal_if_due()?;
+        let rate = stats.hit_rate;
+        let smoothing = match self.config.detector {
+            DriftDetector::HitRateEwma { alpha, .. } => alpha,
+            DriftDetector::RankOverlap { .. } => 0.5,
+        };
+        let ewma = match self.ewma {
+            None => rate,
+            Some(prev) => smoothing * rate + (1.0 - smoothing) * prev,
+        };
+        self.ewma = Some(ewma);
+        let recovered_after = match self.drift_at {
+            Some(t0) if rate >= self.recover_target => {
+                self.drift_at = None;
+                self.episode_replans = 0;
+                Some(now - t0)
+            }
+            _ => None,
+        };
+        self.reference = self.reference.max(ewma);
+        self.watermark = self.watermark.max(ewma);
+        self.buckets_since_swap += 1;
+        let drifted = match self.config.detector {
+            DriftDetector::HitRateEwma { drop, .. } => ewma < self.reference - drop,
+            DriftDetector::RankOverlap { top_k, min_overlap } => {
+                let top = self.window.top_feature_vertices(top_k);
+                if top.is_empty() {
+                    false
+                } else {
+                    let cached = &self.plan.active().contents.feat;
+                    let overlap = top
+                        .iter()
+                        .filter(|v| cached.binary_search(v).is_ok())
+                        .count();
+                    (overlap as f64 / top.len() as f64) < min_overlap
+                }
+            }
+        };
+        // An episode that exhausted its re-plan budget without reaching
+        // the recovery target closes here: the target is unreachable
+        // under the new skew, so the detector re-baselines on the plan
+        // it has instead of churning forever.
+        if self.drift_at.is_some() && self.episode_replans >= self.config.max_episode_replans {
+            self.drift_at = None;
+            self.episode_replans = 0;
+        }
+        // Stage on a fresh detector trip, and also *refine* while an
+        // episode is open (drifted but not yet recovered): the plan
+        // staged at detection time was built from a window still partly
+        // covering pre-drift traffic, so later re-plans from an
+        // ever-fresher window keep improving until the hit rate climbs
+        // back to the recovery target.
+        let mut staged = false;
+        if (drifted || self.drift_at.is_some())
+            && !self.plan.has_staged()
+            && self.buckets_since_swap > self.config.cooldown_buckets
+        {
+            let plan = plan_layout(
+                self.gpu,
+                self.num_gpus,
+                graph,
+                features,
+                self.window.topo(),
+                self.window.feat(),
+                self.window.n_tsum(),
+                self.budget,
+                self.config.delta_alpha,
+                self.cls,
+            );
+            if std::env::var("LEGION_REPLAN_DEBUG").is_ok() {
+                eprintln!(
+                    "[replan gpu{} t={now:.4}] rate {rate:.3} ewma {ewma:.3} ref {:.3} | alpha {:.2} topo {} feat {} (active feat {})",
+                    self.gpu,
+                    self.reference,
+                    plan.evaluation.alpha,
+                    plan.contents.topo.len(),
+                    plan.contents.feat.len(),
+                    self.plan.active().contents.feat.len(),
+                );
+            }
+            self.plan.stage(plan);
+            if self.drift_at.is_none() {
+                self.drift_at = Some(now);
+                // Recovery is judged against the all-time watermark, not
+                // the (commit-reset) drop reference: a reference that
+                // rebuilt from a degraded plan would lower the bar every
+                // episode, letting refinement stop earlier at a worse
+                // plan each phase.
+                self.recover_target = self.watermark - self.config.recover_margin;
+                self.episode_replans = 0;
+            }
+            self.episode_replans += 1;
+            staged = true;
+        }
+        Some(BucketOutcome {
+            bucket_hit_rate: rate,
+            window_hit_rate: self.window.hit_rate(),
+            recovered_after,
+            staged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::GraphBuilder;
+
+    fn ring_graph(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as u32 {
+            b.push_edge(v, (v + 1) % n as u32);
+            b.push_edge(v, (v + 2) % n as u32);
+        }
+        b.build()
+    }
+
+    fn hot_matrices(n: usize, hot: &[(VertexId, u64)]) -> (HotnessMatrix, HotnessMatrix) {
+        let mut t = HotnessMatrix::new(1, n);
+        let mut f = HotnessMatrix::new(1, n);
+        for &(v, h) in hot {
+            t.add(0, v, h);
+            f.add(0, v, h);
+        }
+        (t, f)
+    }
+
+    fn plan_for(hot: &[(VertexId, u64)], budget: u64) -> Plan {
+        let g = ring_graph(16);
+        let feats = FeatureTable::zeros(16, 4);
+        let (t, f) = hot_matrices(16, hot);
+        plan_layout(0, 1, &g, &feats, &t, &f, 100, budget, 0.25, 64)
+    }
+
+    #[test]
+    fn window_retires_buckets_exactly() {
+        let mut w = WindowEstimator::new(8, 2, 2);
+        // Bucket 1: vertex 3 twice.
+        w.note_edge(3);
+        w.note_edge(3);
+        w.note_feature(3);
+        w.note_batch(2, 1, 1, 10);
+        assert!(w.seal_if_due().is_some());
+        // Buckets 2 and 3: vertex 5.
+        for _ in 0..2 {
+            w.note_edge(5);
+            w.note_feature(5);
+            w.note_batch(2, 2, 0, 4);
+            assert!(w.seal_if_due().is_some());
+        }
+        // Bucket 1 retired: vertex 3's contribution is fully gone.
+        assert_eq!(w.topo().get(0, 3), 0);
+        assert_eq!(w.feat().get(0, 3), 0);
+        assert_eq!(w.topo().get(0, 5), 2);
+        assert_eq!(w.n_tsum(), 8);
+        assert_eq!(w.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn window_seals_only_when_due() {
+        let mut w = WindowEstimator::new(4, 10, 2);
+        w.note_batch(4, 1, 3, 0);
+        assert!(w.seal_if_due().is_none());
+        w.note_batch(6, 0, 6, 0);
+        let stats = w.seal_if_due().expect("bucket due");
+        assert!((stats.hit_rate - 0.1).abs() < 1e-12);
+        assert!(w.seal_if_due().is_none(), "fresh bucket is empty");
+    }
+
+    #[test]
+    fn plan_layout_caches_hottest_and_respects_budget() {
+        // Feature rows are 4 floats = 16 bytes; budget of 64 bytes fits
+        // at most 4 rows across both halves of the split.
+        let plan = plan_for(&[(1, 50), (2, 30), (3, 10)], 64);
+        assert!(plan.contents.total_bytes() <= 64);
+        assert!(!plan.contents.feat.is_empty() || !plan.contents.topo.is_empty());
+        // Zero-hotness vertices are never cached.
+        for &v in plan.contents.feat.iter().chain(&plan.contents.topo) {
+            assert!([1, 2, 3].contains(&v), "cold vertex {v} cached");
+        }
+        let (cache, slot) = plan.layout.for_gpu(0).expect("gpu 0 has a cache");
+        assert_eq!(slot, 0);
+        for &v in &plan.contents.feat {
+            assert!(cache.lookup_feature(0, v).is_some());
+        }
+        for &v in &plan.contents.topo {
+            assert!(cache.lookup_topology(0, v).is_some());
+        }
+    }
+
+    #[test]
+    fn plan_buffer_commit_is_atomic_and_versioned() {
+        // The mid-batch invariant: staging never changes what in-flight
+        // requests see; only an explicit batch-boundary commit does, and
+        // then the view is entirely the new plan.
+        let mut buf = PlanBuffer::new(plan_for(&[(1, 10), (2, 5)], 64));
+        let old_feat = buf.active().contents.feat.clone();
+        assert_eq!(buf.version(), 0);
+
+        // Mid-batch: a replan is staged while "requests are in flight".
+        buf.stage(plan_for(&[(7, 20), (2, 5)], 64));
+        assert!(buf.has_staged());
+        assert_eq!(buf.version(), 0, "staging must not bump the version");
+        assert_eq!(
+            buf.active().contents.feat,
+            old_feat,
+            "staging must not leak into the active view"
+        );
+        let (cache, _) = buf.active_layout().for_gpu(0).expect("cache");
+        assert!(
+            cache.lookup_feature(0, 7).is_none(),
+            "staged entries must be invisible before commit"
+        );
+
+        // Batch boundary: the swap is total, not partial.
+        let delta = buf.commit().expect("staged plan");
+        assert_eq!(buf.version(), 1);
+        assert!(!buf.has_staged());
+        let (cache, _) = buf.active_layout().for_gpu(0).expect("cache");
+        for &v in &buf.active().contents.feat {
+            assert!(cache.lookup_feature(0, v).is_some());
+        }
+        assert!(delta.new_feat.contains(&7), "7 is new to the plan");
+        assert!(!delta.new_feat.contains(&2), "2 was already cached");
+        assert!(buf.commit().is_none(), "nothing left to commit");
+    }
+
+    #[test]
+    fn sorted_difference_is_setwise() {
+        assert_eq!(sorted_difference(&[1, 2, 4, 6], &[2, 3, 6]), vec![1, 4]);
+        assert_eq!(sorted_difference(&[], &[1]), Vec::<VertexId>::new());
+        assert_eq!(sorted_difference(&[5], &[]), vec![5]);
+    }
+
+    #[test]
+    fn ewma_detector_stages_on_hit_rate_drop() {
+        let g = ring_graph(16);
+        let f = FeatureTable::zeros(16, 4);
+        let config = ReplanConfig {
+            bucket_requests: 4,
+            window_buckets: 2,
+            detector: DriftDetector::HitRateEwma {
+                alpha: 1.0,
+                drop: 0.3,
+            },
+            cooldown_buckets: 0,
+            ..ReplanConfig::default()
+        };
+        let mut state = ReplanState::new(config, plan_for(&[(1, 10)], 64), 16, 0, 1, 64, 64);
+        // Two healthy buckets establish the reference.
+        for _ in 0..2 {
+            state.window.note_feature(1);
+            state.window.note_batch(4, 9, 1, 5);
+            let out = state.roll(1.0, &g, &f).expect("sealed");
+            assert!(!out.staged);
+        }
+        // A collapsed bucket crosses the drop threshold.
+        state.window.note_feature(9);
+        state.window.note_batch(4, 1, 9, 5);
+        let out = state.roll(2.0, &g, &f).expect("sealed");
+        assert!(out.staged, "EWMA drop must stage a replan");
+        assert!(state.plan.has_staged());
+        // Committing applies it and resets the cooldown.
+        assert!(state.commit().is_some());
+        assert_eq!(state.plan.version(), 1);
+    }
+
+    #[test]
+    fn rank_overlap_detector_stages_on_disjoint_hot_set() {
+        let g = ring_graph(16);
+        let f = FeatureTable::zeros(16, 4);
+        let config = ReplanConfig {
+            bucket_requests: 2,
+            window_buckets: 2,
+            detector: DriftDetector::RankOverlap {
+                top_k: 2,
+                min_overlap: 0.5,
+            },
+            cooldown_buckets: 0,
+            ..ReplanConfig::default()
+        };
+        // Active plan caches vertex 1; the window is all about 8 and 9.
+        let mut state = ReplanState::new(config, plan_for(&[(1, 10)], 64), 16, 0, 1, 64, 64);
+        state.window.note_feature(8);
+        state.window.note_feature(9);
+        state.window.note_batch(2, 0, 2, 3);
+        let out = state.roll(0.5, &g, &f).expect("sealed");
+        assert!(out.staged, "disjoint top-k must stage a replan");
+    }
+
+    #[test]
+    fn recovery_is_reported_once() {
+        let g = ring_graph(16);
+        let f = FeatureTable::zeros(16, 4);
+        let config = ReplanConfig {
+            bucket_requests: 2,
+            window_buckets: 2,
+            detector: DriftDetector::HitRateEwma {
+                alpha: 1.0,
+                drop: 0.2,
+            },
+            cooldown_buckets: 0,
+            recover_margin: 0.05,
+            ..ReplanConfig::default()
+        };
+        let mut state = ReplanState::new(config, plan_for(&[(1, 10)], 64), 16, 0, 1, 64, 64);
+        // Establish a high reference, then collapse.
+        state.window.note_batch(2, 10, 0, 1);
+        state.roll(1.0, &g, &f);
+        state.window.note_batch(2, 0, 10, 1);
+        let out = state.roll(2.0, &g, &f).expect("sealed");
+        assert!(out.staged);
+        assert!(out.recovered_after.is_none());
+        state.commit();
+        // Hit rate climbs back above reference - margin.
+        state.window.note_batch(2, 10, 0, 1);
+        let out = state.roll(5.0, &g, &f).expect("sealed");
+        let dt = out.recovered_after.expect("recovered");
+        assert!((dt - 3.0).abs() < 1e-9, "recovery measured from trigger");
+        // Subsequent healthy buckets do not re-report recovery.
+        state.window.note_batch(2, 10, 0, 1);
+        let out = state.roll(6.0, &g, &f).expect("sealed");
+        assert!(out.recovered_after.is_none());
+    }
+
+    #[test]
+    fn profile_warmup_is_deterministic_and_counts_edges() {
+        let g = ring_graph(32);
+        let run = || {
+            let mut t = TargetSampler::new((0..32).collect(), 1.2, 0, 0);
+            profile_warmup(&g, &mut t, 50, &[2, 2], 9)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.topo, b.topo);
+        assert_eq!(a.feat, b.feat);
+        assert_eq!(a.n_tsum, b.n_tsum);
+        // Every expansion charges 1 offset + edges transactions, so
+        // n_tsum must exceed the total edge hotness.
+        let edge_hot: u64 = a.topo.row(0).iter().sum();
+        assert!(a.n_tsum > edge_hot);
+        assert!(edge_hot > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_requests must be positive")]
+    fn config_rejects_zero_bucket() {
+        ReplanConfig {
+            bucket_requests: 0,
+            ..ReplanConfig::default()
+        }
+        .validate();
+    }
+}

@@ -35,7 +35,7 @@ pub const SMOKE_MULTIPLIERS: [f64; 3] = [0.3, 0.9, 4.0];
 /// One row of the throughput–latency curve.
 #[derive(Debug, Clone, Serialize)]
 pub struct LoadPoint {
-    /// Cache policy name (`static` / `fifo`).
+    /// Cache policy name (`static` / `fifo` / `replan`).
     pub policy: &'static str,
     /// Offered load as a multiple of estimated capacity.
     pub load_multiplier: f64,
@@ -101,9 +101,12 @@ pub fn estimate_capacity_rps(
     const PROBES: usize = 4;
     let mut total = 0.0f64;
     for i in 0..WARMUP_BATCHES + PROBES {
-        let seeds: Vec<u32> = (0..config.max_batch)
+        let mut seeds: Vec<u32> = (0..config.max_batch)
             .map(|_| targets.next(&mut rng))
             .collect();
+        // Same dedupe as the engine: duplicate targets expand once.
+        seeds.sort_unstable();
+        seeds.dedup();
         let topo_before = server.pcm().gpu_kind(0, TrafficKind::Topology);
         let sample = sampler.sample_batch(&engine, 0, &seeds, &mut rng, None);
         let topo_tx = server.pcm().gpu_kind(0, TrafficKind::Topology) - topo_before;

@@ -9,7 +9,7 @@
 //! * [`tape::Tape`] — reverse-mode autograd over those kernels, including
 //!   the graph-specific edge-mean aggregation used by GraphSAGE/GCN,
 //! * [`optim`] — SGD and Adam, and
-//! * [`loss`]-related ops (log-softmax + NLL) implemented as tape ops.
+//! * loss-related ops (log-softmax + NLL) implemented as tape ops.
 //!
 //! Gradients are verified against finite differences in the test suite.
 //!

@@ -20,6 +20,9 @@ done
 echo "==> cargo clippy --all-targets -D warnings (first-party crates)"
 cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps -D warnings (first-party crates)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet "${FIRST_PARTY[@]}"
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -34,7 +34,7 @@ fn config(policy: PolicyKind) -> ServeConfig {
 #[test]
 fn same_seed_serving_runs_are_byte_identical() {
     let d = pr_dataset();
-    for policy in [PolicyKind::StaticHot, PolicyKind::Fifo] {
+    for policy in [PolicyKind::StaticHot, PolicyKind::Fifo, PolicyKind::Replan] {
         let run = || {
             let server = server();
             let report = serve(&d.graph, &d.features, &server, &config(policy));
