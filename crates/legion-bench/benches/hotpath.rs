@@ -1,0 +1,240 @@
+//! Hot-path microbenchmarks: the allocation-free batched
+//! sample→extract→cache-read path this perf trajectory is judged by.
+//!
+//! Unlike the other benches this one has a hand-written `main` so it can
+//! drain the vendored criterion's collected measurements and emit
+//! machine-readable `BENCH_hotpath.json` (ns/op and ops/sec per bench,
+//! grouped). All seeds are fixed, so the JSON is deterministic modulo
+//! the timing fields.
+//!
+//! * `LEGION_BENCH_SMOKE=1` shrinks sample counts for CI smoke runs.
+//! * `LEGION_BENCH_OUT=<path>` overrides the output path (default:
+//!   `BENCH_hotpath.json` at the repository root).
+
+use criterion::{take_results, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use legion_cache::CliqueCache;
+use legion_graph::generate::ChungLuConfig;
+use legion_graph::{CsrGraph, FeatureTable};
+use legion_hw::ServerSpec;
+use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
+use legion_sampling::extract::extract_features;
+use legion_sampling::{BatchTotals, KHopSampler, SampleScratch};
+use legion_serve::{serve, PolicyKind, ServeConfig};
+
+fn bench_graph(num_vertices: usize, num_edges: usize) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(1);
+    ChungLuConfig {
+        num_vertices,
+        num_edges,
+        exponent: 0.85,
+        shuffle_ids: true,
+        ..Default::default()
+    }
+    .generate(&mut rng)
+}
+
+/// Dense-slot cache lookups: the two-array-load fast path that replaced
+/// the per-lookup `HashMap` probe.
+fn bench_cache_lookup(c: &mut Criterion, smoke: bool) {
+    let n = if smoke { 10_000 } else { 100_000 };
+    let queries = if smoke { 1_000 } else { 10_000 };
+    let mut cache = CliqueCache::new(vec![0, 1], n, 16);
+    let row = vec![0f32; 16];
+    let topo = vec![7u32; 12];
+    for v in 0..(n as u32) / 2 {
+        cache.insert_feature((v % 2) as usize, v, &row);
+    }
+    for v in 0..(n as u32) / 4 {
+        cache.insert_topology((v % 2) as usize, v, &topo);
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let q: Vec<u32> = (0..queries).map(|_| rng.gen_range(0..n as u32)).collect();
+
+    let mut group = c.benchmark_group("cache_lookup");
+    group.bench_function(BenchmarkId::new("feature", queries), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &v in &q {
+                if cache.lookup_feature(0, v).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function(BenchmarkId::new("topology", queries), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &v in &q {
+                if cache.lookup_topology(0, v).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+/// The scratch-arena k-hop sampler over a 100k-vertex power-law graph
+/// (same workload shape as the pre-existing `sampling` bench, so before
+/// and after numbers are directly comparable).
+fn bench_k_hop(c: &mut Criterion, smoke: bool) {
+    let n = if smoke { 20_000 } else { 100_000 };
+    let graph = bench_graph(n, n * 16);
+    let features = FeatureTable::zeros(n, 8);
+    let layout = CacheLayout::none(1);
+    let server = ServerSpec::custom(1, 1 << 40, 1).build();
+    let engine = AccessEngine::new(
+        &graph,
+        &features,
+        &layout,
+        &server,
+        TopologyPlacement::CpuUva,
+    );
+    let seeds: Vec<u32> = (0..1000u32).map(|i| i * 97 % n as u32).collect();
+
+    let mut group = c.benchmark_group("k_hop_sampling");
+    for fanouts in [vec![10], vec![25, 10]] {
+        let sampler = KHopSampler::new(fanouts.clone());
+        group.bench_with_input(
+            BenchmarkId::new("batch1000", format!("{fanouts:?}")),
+            &sampler,
+            |b, s| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut scratch = SampleScratch::new();
+                b.iter(|| s.sample_batch_with(&engine, 0, &seeds, &mut rng, None, &mut scratch));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Feature gather, scalar vs batched, against a half-cached clique so the
+/// loop exercises hit, peer-hit, and CPU-miss rows.
+fn bench_feature_extraction(c: &mut Criterion, smoke: bool) {
+    let n = if smoke { 10_000 } else { 100_000 };
+    let rows = if smoke { 1_000 } else { 10_000 };
+    let dim = 16;
+    let graph = CsrGraph::empty(n);
+    let features = FeatureTable::zeros(n, dim);
+    let mut cc = CliqueCache::new(vec![0, 1], n, dim);
+    for v in 0..(n as u32) / 2 {
+        cc.insert_feature((v % 2) as usize, v, features.row(v));
+    }
+    let layout = CacheLayout::from_cliques(2, vec![cc]);
+    let server = ServerSpec::custom(2, 1 << 40, 1).build();
+    let engine = AccessEngine::new(
+        &graph,
+        &features,
+        &layout,
+        &server,
+        TopologyPlacement::CpuUva,
+    );
+    let mut rng = StdRng::seed_from_u64(11);
+    let vertices: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..n as u32)).collect();
+
+    let mut group = c.benchmark_group("feature_extraction");
+    group.bench_function(BenchmarkId::new("scalar", rows), |b| {
+        b.iter(|| extract_features(&engine, 0, &vertices))
+    });
+    group.bench_function(BenchmarkId::new("batched", rows), |b| {
+        let mut out: Vec<f32> = Vec::new();
+        let mut totals = BatchTotals::new(2);
+        b.iter(|| {
+            engine.read_features_batch(0, &vertices, &mut out, &mut totals);
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+/// A steady-state serving run: admission, micro-batching, the batched
+/// sample→extract→infer operators, and SLO accounting end to end.
+fn bench_serve_tick(c: &mut Criterion, smoke: bool) {
+    let n = if smoke { 2_000 } else { 20_000 };
+    let graph = bench_graph(n, n * 8);
+    let features = FeatureTable::zeros(n, 16);
+    let config = ServeConfig {
+        num_requests: if smoke { 200 } else { 2_000 },
+        max_batch: 16,
+        cache_rows_per_gpu: n / 8,
+        warmup_requests: 128,
+        fanouts: vec![5, 5],
+        policy: PolicyKind::StaticHot,
+        ..ServeConfig::default()
+    };
+
+    let mut group = c.benchmark_group("serve_tick");
+    group.bench_function(BenchmarkId::new("static_hot", config.num_requests), |b| {
+        let server = ServerSpec::custom(2, 1 << 40, 1).build();
+        b.iter(|| serve(&graph, &features, &server, &config).completed)
+    });
+    group.finish();
+}
+
+#[derive(serde::Serialize)]
+struct BenchEntry {
+    name: String,
+    ns_per_op: f64,
+    ops_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchGroup {
+    group: String,
+    benches: Vec<BenchEntry>,
+}
+
+#[derive(serde::Serialize)]
+struct BenchOutput {
+    schema: String,
+    smoke: bool,
+    groups: Vec<BenchGroup>,
+}
+
+fn main() {
+    let smoke = std::env::var("LEGION_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let mut c = Criterion::default().sample_size(if smoke { 3 } else { 10 });
+    bench_cache_lookup(&mut c, smoke);
+    bench_k_hop(&mut c, smoke);
+    bench_feature_extraction(&mut c, smoke);
+    bench_serve_tick(&mut c, smoke);
+
+    let mut groups: Vec<BenchGroup> = Vec::new();
+    for r in take_results() {
+        let (group, name) = r
+            .label
+            .split_once('/')
+            .unwrap_or(("ungrouped", r.label.as_str()));
+        let entry = BenchEntry {
+            name: name.to_string(),
+            ns_per_op: r.ns_per_iter,
+            ops_per_sec: if r.ns_per_iter > 0.0 {
+                1e9 / r.ns_per_iter
+            } else {
+                0.0
+            },
+        };
+        match groups.iter_mut().find(|g| g.group == group) {
+            Some(g) => g.benches.push(entry),
+            None => groups.push(BenchGroup {
+                group: group.to_string(),
+                benches: vec![entry],
+            }),
+        }
+    }
+    let output = BenchOutput {
+        schema: "legion-bench-hotpath/v1".to_string(),
+        smoke,
+        groups,
+    };
+    let out = std::env::var("LEGION_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_hotpath.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, serde_json::to_string_pretty(&output).unwrap() + "\n")
+        .expect("write BENCH_hotpath.json");
+    println!("wrote {out}");
+}

@@ -10,8 +10,11 @@
 //! caches of an NVLink clique and resolves lookups to *local hit*, *peer
 //! (NVLink) hit* or *miss* — the classification the traffic accounting in
 //! `legion-sampling` turns into PCIe/NVLink transactions.
-
-use std::collections::HashMap;
+//!
+//! Lookups are on the simulator's hottest path (one per simulated vertex
+//! read), so vertex→slot indexing is a dense array per cache — mirroring
+//! the dense `topo_owner`/`feat_owner` arrays of [`CliqueCache`] — rather
+//! than a hash map: a lookup is two array loads and a branch.
 
 use legion_graph::{topology_bytes_for_degree, VertexId};
 use legion_hw::GpuId;
@@ -25,30 +28,40 @@ pub enum CacheHit {
     Peer(GpuId),
 }
 
+/// Sentinel slot meaning "vertex not cached" in the dense slot tables.
+const NO_SLOT: u32 = u32::MAX;
+
 /// One GPU's topology + feature cache.
 #[derive(Debug, Clone)]
 pub struct GpuUnifiedCache {
     gpu: GpuId,
     feature_dim: usize,
-    // Topology cache: CSR over the cached vertices only.
-    topo_map: HashMap<VertexId, u32>,
+    // Topology cache: CSR over the cached vertices only. `topo_slot[v]`
+    // is the vertex's CSR row, or `NO_SLOT`.
+    topo_slot: Vec<u32>,
+    topo_entries: usize,
     topo_offsets: Vec<u64>,
     topo_cols: Vec<VertexId>,
     // Feature cache: 2-D array over the cached vertices only.
-    feat_map: HashMap<VertexId, u32>,
+    // `feat_slot[v]` is the vertex's row, or `NO_SLOT`.
+    feat_slot: Vec<u32>,
+    feat_entries: usize,
     feat_data: Vec<f32>,
 }
 
 impl GpuUnifiedCache {
-    /// An empty cache for `gpu` holding `feature_dim`-wide feature rows.
-    pub fn new(gpu: GpuId, feature_dim: usize) -> Self {
+    /// An empty cache for `gpu` over a graph of `num_vertices` vertices,
+    /// holding `feature_dim`-wide feature rows.
+    pub fn new(gpu: GpuId, num_vertices: usize, feature_dim: usize) -> Self {
         Self {
             gpu,
             feature_dim,
-            topo_map: HashMap::new(),
+            topo_slot: vec![NO_SLOT; num_vertices],
+            topo_entries: 0,
             topo_offsets: vec![0],
             topo_cols: Vec::new(),
-            feat_map: HashMap::new(),
+            feat_slot: vec![NO_SLOT; num_vertices],
+            feat_entries: 0,
             feat_data: Vec::new(),
         }
     }
@@ -60,67 +73,81 @@ impl GpuUnifiedCache {
 
     /// Inserts `v`'s adjacency into the topology cache. Re-inserting an
     /// already cached vertex is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the vertex range given at construction.
     pub fn insert_topology(&mut self, v: VertexId, neighbors: &[VertexId]) {
-        if self.topo_map.contains_key(&v) {
+        if self.topo_slot[v as usize] != NO_SLOT {
             return;
         }
         let slot = self.topo_offsets.len() as u32 - 1;
         self.topo_cols.extend_from_slice(neighbors);
         self.topo_offsets.push(self.topo_cols.len() as u64);
-        self.topo_map.insert(v, slot);
+        self.topo_slot[v as usize] = slot;
+        self.topo_entries += 1;
     }
 
     /// Inserts `v`'s feature row. Re-inserting is a no-op.
     ///
     /// # Panics
     ///
-    /// Panics if `row.len() != feature_dim`.
+    /// Panics if `row.len() != feature_dim` or `v` is out of range.
     pub fn insert_feature(&mut self, v: VertexId, row: &[f32]) {
         assert_eq!(row.len(), self.feature_dim, "feature dim mismatch");
-        if self.feat_map.contains_key(&v) {
+        if self.feat_slot[v as usize] != NO_SLOT {
             return;
         }
         let slot = (self.feat_data.len() / self.feature_dim.max(1)) as u32;
         self.feat_data.extend_from_slice(row);
-        self.feat_map.insert(v, slot);
+        self.feat_slot[v as usize] = slot;
+        self.feat_entries += 1;
     }
 
     /// Cached adjacency of `v`, if present.
+    #[inline]
     pub fn topology(&self, v: VertexId) -> Option<&[VertexId]> {
-        self.topo_map.get(&v).map(|&slot| {
-            let lo = self.topo_offsets[slot as usize] as usize;
-            let hi = self.topo_offsets[slot as usize + 1] as usize;
-            &self.topo_cols[lo..hi]
-        })
+        match self.topo_slot.get(v as usize).copied() {
+            Some(slot) if slot != NO_SLOT => {
+                let lo = self.topo_offsets[slot as usize] as usize;
+                let hi = self.topo_offsets[slot as usize + 1] as usize;
+                Some(&self.topo_cols[lo..hi])
+            }
+            _ => None,
+        }
     }
 
     /// Cached feature row of `v`, if present.
+    #[inline]
     pub fn feature(&self, v: VertexId) -> Option<&[f32]> {
-        self.feat_map.get(&v).map(|&slot| {
-            let lo = slot as usize * self.feature_dim;
-            &self.feat_data[lo..lo + self.feature_dim]
-        })
+        match self.feat_slot.get(v as usize).copied() {
+            Some(slot) if slot != NO_SLOT => {
+                let lo = slot as usize * self.feature_dim;
+                Some(&self.feat_data[lo..lo + self.feature_dim])
+            }
+            _ => None,
+        }
     }
 
     /// Number of vertices in the topology cache.
     pub fn topology_entries(&self) -> usize {
-        self.topo_map.len()
+        self.topo_entries
     }
 
     /// Number of vertices in the feature cache.
     pub fn feature_entries(&self) -> usize {
-        self.feat_map.len()
+        self.feat_entries
     }
 
     /// Bytes of topology payload cached, per Equation 3 accounting.
     pub fn topology_bytes(&self) -> u64 {
-        self.topo_map.len() as u64 * legion_graph::ROW_OFFSET_BYTES
+        self.topo_entries as u64 * legion_graph::ROW_OFFSET_BYTES
             + self.topo_cols.len() as u64 * legion_graph::COL_INDEX_BYTES
     }
 
     /// Bytes of feature payload cached, per Equation 6 accounting.
     pub fn feature_bytes(&self) -> u64 {
-        self.feat_map.len() as u64 * legion_graph::feature_bytes_for_dim(self.feature_dim as u64)
+        self.feat_entries as u64 * legion_graph::feature_bytes_for_dim(self.feature_dim as u64)
     }
 
     /// Bytes `v`'s adjacency would add to this cache.
@@ -157,7 +184,7 @@ impl CliqueCache {
         assert!(gpus.len() < NONE as usize, "clique too large");
         let caches = gpus
             .iter()
-            .map(|&g| GpuUnifiedCache::new(g, feature_dim))
+            .map(|&g| GpuUnifiedCache::new(g, num_vertices, feature_dim))
             .collect();
         Self {
             gpus,
@@ -196,6 +223,7 @@ impl CliqueCache {
 
     /// Resolves a topology lookup from `from_slot`: local hit, peer hit,
     /// or `None` (CPU fallback).
+    #[inline]
     pub fn lookup_topology(
         &self,
         from_slot: usize,
@@ -218,6 +246,7 @@ impl CliqueCache {
     }
 
     /// Resolves a feature lookup from `from_slot`.
+    #[inline]
     pub fn lookup_feature(&self, from_slot: usize, v: VertexId) -> Option<(CacheHit, &[f32])> {
         let owner = self.feat_owner[v as usize];
         if owner == NONE {
@@ -236,11 +265,13 @@ impl CliqueCache {
     }
 
     /// Whether `v`'s topology is cached anywhere in the clique.
+    #[inline]
     pub fn has_topology(&self, v: VertexId) -> bool {
         self.topo_owner[v as usize] != NONE
     }
 
     /// Whether `v`'s features are cached anywhere in the clique.
+    #[inline]
     pub fn has_feature(&self, v: VertexId) -> bool {
         self.feat_owner[v as usize] != NONE
     }
@@ -262,7 +293,7 @@ mod tests {
 
     #[test]
     fn gpu_cache_topology_roundtrip() {
-        let mut c = GpuUnifiedCache::new(0, 2);
+        let mut c = GpuUnifiedCache::new(0, 16, 2);
         c.insert_topology(5, &[1, 2, 3]);
         c.insert_topology(9, &[]);
         assert_eq!(c.topology(5), Some(&[1, 2, 3][..]));
@@ -275,7 +306,7 @@ mod tests {
 
     #[test]
     fn gpu_cache_feature_roundtrip() {
-        let mut c = GpuUnifiedCache::new(0, 3);
+        let mut c = GpuUnifiedCache::new(0, 16, 3);
         c.insert_feature(7, &[1.0, 2.0, 3.0]);
         assert_eq!(c.feature(7), Some(&[1.0, 2.0, 3.0][..]));
         assert_eq!(c.feature(8), None);
@@ -284,7 +315,7 @@ mod tests {
 
     #[test]
     fn reinsert_is_noop() {
-        let mut c = GpuUnifiedCache::new(0, 1);
+        let mut c = GpuUnifiedCache::new(0, 4, 1);
         c.insert_topology(1, &[0]);
         c.insert_topology(1, &[0, 0, 0]);
         assert_eq!(c.topology(1), Some(&[0][..]));
@@ -296,7 +327,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dim mismatch")]
     fn feature_dim_enforced() {
-        let mut c = GpuUnifiedCache::new(0, 2);
+        let mut c = GpuUnifiedCache::new(0, 16, 2);
         c.insert_feature(0, &[1.0]);
     }
 

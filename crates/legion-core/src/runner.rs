@@ -21,9 +21,9 @@ use legion_pipeline::{
     epoch_time_factored, epoch_time_pipelined, epoch_time_serial, BatchCost, StageRecorder,
     TimeModel,
 };
-use legion_sampling::access::AccessEngine;
-use legion_sampling::extract::{extract_features, HitStats};
-use legion_sampling::{BatchGenerator, KHopSampler};
+use legion_sampling::access::{AccessEngine, BatchTotals};
+use legion_sampling::extract::HitStats;
+use legion_sampling::{BatchGenerator, KHopSampler, SampleScratch};
 use legion_telemetry::{Snapshot, NANOS_PER_SEC};
 
 use legion_baselines::BuildContext;
@@ -158,6 +158,111 @@ fn finalize_report(name: String, server: &MultiGpuServer, epoch_seconds: f64) ->
     }
 }
 
+/// Reusable per-worker state for the shared sample→extract→train batch
+/// step. One instance lives per training GPU worker (one total in the
+/// sequential runner, one per thread in the parallel runner), so the
+/// sampler's scratch arena, the feature gather buffer, and the
+/// batch-local meter totals are allocated once and reused across every
+/// batch of the epoch.
+struct BatchStep<'a, 'b> {
+    engine: &'a AccessEngine<'b>,
+    time_model: &'a TimeModel,
+    flops_model: &'a GnnModel,
+    server: &'a MultiGpuServer,
+    scratch: SampleScratch,
+    features: Vec<f32>,
+    totals: BatchTotals,
+}
+
+impl<'a, 'b> BatchStep<'a, 'b> {
+    fn new(
+        engine: &'a AccessEngine<'b>,
+        time_model: &'a TimeModel,
+        flops_model: &'a GnnModel,
+        server: &'a MultiGpuServer,
+    ) -> Self {
+        Self {
+            engine,
+            time_model,
+            flops_model,
+            server,
+            scratch: SampleScratch::new(),
+            features: Vec::new(),
+            totals: BatchTotals::new(server.num_gpus()),
+        }
+    }
+
+    /// Runs one mini-batch through sampling (charged to `sampling_gpu`),
+    /// feature extraction, and training (charged to `trainer_gpu`),
+    /// returning the three stage times. Stage timing reads the PCM /
+    /// traffic deltas around each batched call, which is exact because
+    /// the batched paths flush their totals before returning.
+    fn run(
+        &mut self,
+        sampler: &KHopSampler,
+        trainer_gpu: usize,
+        sampling_gpu: usize,
+        batch: &[legion_graph::VertexId],
+        rng: &mut StdRng,
+        schedule: &ScheduleKind,
+    ) -> (f64, f64, f64) {
+        // Stage 1: neighbor sampling (charged to the sampling GPU).
+        let topo_before = self
+            .server
+            .pcm()
+            .gpu_kind(sampling_gpu, TrafficKind::Topology);
+        let sample = sampler.sample_batch_with(
+            self.engine,
+            sampling_gpu,
+            batch,
+            rng,
+            None,
+            &mut self.scratch,
+        );
+        let topo_tx = self
+            .server
+            .pcm()
+            .gpu_kind(sampling_gpu, TrafficKind::Topology)
+            - topo_before;
+        let edges = sample.total_edges() as u64;
+        let sample_t = match schedule {
+            ScheduleKind::CpuSampling => self.time_model.cpu_sample_seconds(edges),
+            _ => self.time_model.sample_seconds(topo_tx, edges),
+        };
+        // Stage 2: feature extraction (charged to the trainer GPU).
+        let n = self.server.num_gpus();
+        let feat_before = self
+            .server
+            .pcm()
+            .gpu_kind(trainer_gpu, TrafficKind::Feature);
+        let peer_before: u64 = (0..n)
+            .map(|s| self.server.traffic().gpu_to_gpu(s, trainer_gpu))
+            .sum();
+        self.engine.read_features_batch(
+            trainer_gpu,
+            sample.input_vertices(),
+            &mut self.features,
+            &mut self.totals,
+        );
+        let feat_tx = self
+            .server
+            .pcm()
+            .gpu_kind(trainer_gpu, TrafficKind::Feature)
+            - feat_before;
+        let peer_after: u64 = (0..n)
+            .map(|s| self.server.traffic().gpu_to_gpu(s, trainer_gpu))
+            .sum();
+        let extract_t = self
+            .time_model
+            .extract_seconds(feat_tx, peer_after - peer_before);
+        // Stage 3: training.
+        let train_t = self
+            .time_model
+            .train_seconds(self.flops_model.training_flops(&sample));
+        (sample_t, extract_t, train_t)
+    }
+}
+
 /// Runs one epoch of `setup` under `config`, returning the full report.
 ///
 /// Counters are reset at entry, so the report covers exactly this epoch.
@@ -213,6 +318,7 @@ pub fn run_epoch_with_model(
 
     // Round-robin cursor over dedicated samplers (factored design).
     let mut sampler_cursor = 0usize;
+    let mut step = BatchStep::new(&engine, &time_model, &flops_model, server);
     for gpu in 0..n {
         if setup.tablets[gpu].is_empty() {
             continue;
@@ -229,26 +335,14 @@ pub fn run_epoch_with_model(
                 }
                 _ => gpu,
             };
-            // Stage 1: neighbor sampling (charged to the sampling GPU).
-            let topo_tx_before = server.pcm().gpu_kind(sampling_gpu, TrafficKind::Topology);
-            let sample = sampler.sample_batch(&engine, sampling_gpu, &batch, &mut rng, None);
-            let topo_tx =
-                server.pcm().gpu_kind(sampling_gpu, TrafficKind::Topology) - topo_tx_before;
-            let edges = sample.total_edges() as u64;
-            let sample_t = match setup.schedule {
-                ScheduleKind::CpuSampling => time_model.cpu_sample_seconds(edges),
-                _ => time_model.sample_seconds(topo_tx, edges),
-            };
-            // Stage 2: feature extraction (charged to the trainer GPU).
-            let inputs = sample.input_vertices().to_vec();
-            let feat_tx_before = server.pcm().gpu_kind(gpu, TrafficKind::Feature);
-            let peer_before: u64 = (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
-            let _ = extract_features(&engine, gpu, &inputs);
-            let feat_tx = server.pcm().gpu_kind(gpu, TrafficKind::Feature) - feat_tx_before;
-            let peer_after: u64 = (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
-            let extract_t = time_model.extract_seconds(feat_tx, peer_after - peer_before);
-            // Stage 3: training.
-            let train_t = time_model.train_seconds(flops_model.training_flops(&sample));
+            let (sample_t, extract_t, train_t) = step.run(
+                &sampler,
+                gpu,
+                sampling_gpu,
+                &batch,
+                &mut rng,
+                &setup.schedule,
+            );
 
             // Stage times accrue to the trainer GPU's counters (for a
             // factored schedule the sampling ran elsewhere, but the batch
@@ -350,32 +444,14 @@ pub fn run_epoch_parallel(
                         StdRng::seed_from_u64(config.seed ^ (gpu as u64).wrapping_mul(0x517c_c1b7));
                     let mut generator = BatchGenerator::new(tablet, ctx.batch_size)
                         .with_telemetry(server.telemetry(), gpu);
+                    let mut step = BatchStep::new(engine, time_model, flops_model, server);
                     let mut result = GpuResult {
                         gpu,
                         costs: Vec::new(),
                     };
                     for batch in generator.epoch(&mut rng) {
-                        let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
-                        let sample = sampler.sample_batch(engine, gpu, &batch, &mut rng, None);
-                        let topo_tx =
-                            server.pcm().gpu_kind(gpu, TrafficKind::Topology) - topo_before;
-                        let edges = sample.total_edges() as u64;
-                        let sample_t = match schedule {
-                            ScheduleKind::CpuSampling => time_model.cpu_sample_seconds(edges),
-                            _ => time_model.sample_seconds(topo_tx, edges),
-                        };
-                        let inputs = sample.input_vertices().to_vec();
-                        let feat_before = server.pcm().gpu_kind(gpu, TrafficKind::Feature);
-                        let peer_before: u64 =
-                            (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
-                        let _ = extract_features(engine, gpu, &inputs);
-                        let feat_tx =
-                            server.pcm().gpu_kind(gpu, TrafficKind::Feature) - feat_before;
-                        let peer_after: u64 =
-                            (0..n).map(|s| server.traffic().gpu_to_gpu(s, gpu)).sum();
-                        let extract_t =
-                            time_model.extract_seconds(feat_tx, peer_after - peer_before);
-                        let train_t = time_model.train_seconds(flops_model.training_flops(&sample));
+                        let (sample_t, extract_t, train_t) =
+                            step.run(&sampler, gpu, gpu, &batch, &mut rng, &schedule);
                         recorder.record(sample_t, extract_t, train_t);
                         result.costs.push(match schedule {
                             ScheduleKind::Serial => BatchCost::serial(sample_t, extract_t, train_t),

@@ -11,6 +11,18 @@
 //!   4-byte transaction per sampled edge;
 //! * feature reads move whole rows: a CPU read books
 //!   `ceil(D * 4 / CLS)` transactions (Equation 8).
+//!
+//! # Scalar vs. batched reads
+//!
+//! The scalar entry points ([`AccessEngine::sample_neighbors`],
+//! [`AccessEngine::read_feature`]) update every meter with one atomic RMW
+//! per vertex read. The batched entry points
+//! ([`AccessEngine::sample_neighbors_into`],
+//! [`AccessEngine::read_features_batch`]) accumulate the same quantities
+//! in a caller-owned [`BatchTotals`] of plain `u64`s and flush each
+//! counter with **one** atomic add per batch — observationally identical
+//! totals (the counters are commutative sums), but the per-vertex hot
+//! loop touches no shared cache lines and allocates nothing.
 
 use rand::Rng;
 
@@ -89,6 +101,59 @@ struct GpuMeters {
     blocks: Counter,
 }
 
+/// Locally accumulated meter deltas for one batch of reads.
+///
+/// Every field mirrors a counter the scalar read path updates per vertex;
+/// [`AccessEngine::flush_totals`] empties the struct into the shared
+/// atomics with one `fetch_add` per non-zero field. Reusing one
+/// `BatchTotals` across batches keeps the hot path allocation-free
+/// (`peer_bytes` is sized to the server's GPU count once).
+#[derive(Debug, Default, Clone)]
+pub struct BatchTotals {
+    topology_hits: u64,
+    topology_misses: u64,
+    feature_hits: u64,
+    feature_misses: u64,
+    sampled_edges: u64,
+    extracted_rows: u64,
+    topology_tx: u64,
+    feature_tx: u64,
+    cpu_bytes: u64,
+    /// NVLink bytes read from each peer GPU (indexed by source GPU id).
+    peer_bytes: Vec<u64>,
+}
+
+impl BatchTotals {
+    /// Empty totals for a server with `num_gpus` GPUs.
+    pub fn new(num_gpus: usize) -> Self {
+        Self {
+            peer_bytes: vec![0; num_gpus],
+            ..Self::default()
+        }
+    }
+
+    /// Grows the peer-byte table if the engine spans more GPUs.
+    pub(crate) fn ensure_gpus(&mut self, num_gpus: usize) {
+        if self.peer_bytes.len() < num_gpus {
+            self.peer_bytes.resize(num_gpus, 0);
+        }
+    }
+
+    /// Whether nothing has been accumulated since the last flush.
+    pub fn is_empty(&self) -> bool {
+        self.topology_hits == 0
+            && self.topology_misses == 0
+            && self.feature_hits == 0
+            && self.feature_misses == 0
+            && self.sampled_edges == 0
+            && self.extracted_rows == 0
+            && self.topology_tx == 0
+            && self.feature_tx == 0
+            && self.cpu_bytes == 0
+            && self.peer_bytes.iter().all(|&b| b == 0)
+    }
+}
+
 /// The metered read path used by samplers and extractors.
 ///
 /// Besides charging the server's PCM counters and traffic matrix, every
@@ -153,6 +218,11 @@ impl<'a> AccessEngine<'a> {
     /// Feature dimensionality.
     pub fn feature_dim(&self) -> usize {
         self.features.dim()
+    }
+
+    /// Number of GPUs on the metered server.
+    pub fn num_gpus(&self) -> usize {
+        self.meters.len()
     }
 
     /// Samples up to `fanout` distinct neighbors of `v` on behalf of
@@ -228,6 +298,146 @@ impl<'a> AccessEngine<'a> {
         self.features.row(v)
     }
 
+    /// Batched variant of [`Self::sample_neighbors`]: appends the sampled
+    /// neighbors of `v` to `out` (after clearing it) and accumulates all
+    /// meter deltas into `totals` instead of touching the shared atomics.
+    ///
+    /// Draws the exact same RNG sequence and produces the exact same
+    /// neighbor list as the scalar path; the caller must eventually
+    /// [`AccessEngine::flush_totals`] so the registry converges to
+    /// identical values.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_neighbors_into<R: Rng + ?Sized>(
+        &self,
+        gpu: GpuId,
+        v: VertexId,
+        fanout: usize,
+        rng: &mut R,
+        seen: &mut FloydSet,
+        out: &mut Vec<VertexId>,
+        totals: &mut BatchTotals,
+    ) {
+        let neighbors = self.read_topology_batched(gpu, v, fanout, totals);
+        out.clear();
+        sample_from_into(neighbors, fanout, rng, seen, out);
+    }
+
+    /// Topology read metered into `totals` (no atomics touched).
+    #[inline]
+    fn read_topology_batched(
+        &self,
+        gpu: GpuId,
+        v: VertexId,
+        fanout: usize,
+        totals: &mut BatchTotals,
+    ) -> &[VertexId] {
+        let degree = self.graph.degree(v) as usize;
+        let edges_read = degree.min(fanout) as u64;
+        totals.sampled_edges += edges_read;
+        if self.topology_placement == TopologyPlacement::ReplicatedGpu {
+            totals.topology_hits += 1;
+            return self.graph.neighbors(v);
+        }
+        if let Some((cache, slot)) = self.layout.for_gpu(gpu) {
+            if let Some((hit, data)) = cache.lookup_topology(slot, v) {
+                if let CacheHit::Peer(owner) = hit {
+                    totals.ensure_gpus(owner + 1);
+                    totals.peer_bytes[owner] += edges_read * 4 + 8;
+                }
+                totals.topology_hits += 1;
+                return data;
+            }
+        }
+        totals.topology_misses += 1;
+        totals.topology_tx += 1 + edges_read;
+        totals.cpu_bytes += edges_read * 4 + 8;
+        self.graph.neighbors(v)
+    }
+
+    /// Batched feature gather: clears `out` and fills it with the
+    /// row-major features of `vertices` (in order), metering every row
+    /// read locally and flushing each counter with one atomic add.
+    ///
+    /// Counter totals are identical to `vertices.len()` scalar
+    /// [`Self::read_feature`] calls; the per-row loop performs no atomic
+    /// RMW and no allocation beyond `out`'s amortized growth.
+    pub fn read_features_batch(
+        &self,
+        gpu: GpuId,
+        vertices: &[VertexId],
+        out: &mut Vec<f32>,
+        totals: &mut BatchTotals,
+    ) {
+        let row_bytes = self.features.row_bytes();
+        let dim = self.features.dim();
+        out.clear();
+        out.reserve(vertices.len() * dim);
+        totals.extracted_rows += vertices.len() as u64;
+        let row_tx = self.server.pcie().transactions_for_payload(row_bytes);
+        let cache_slot = self.layout.for_gpu(gpu);
+        for &v in vertices {
+            if let Some((cache, slot)) = cache_slot {
+                if let Some((hit, data)) = cache.lookup_feature(slot, v) {
+                    if let CacheHit::Peer(owner) = hit {
+                        totals.ensure_gpus(owner + 1);
+                        totals.peer_bytes[owner] += row_bytes;
+                    }
+                    totals.feature_hits += 1;
+                    out.extend_from_slice(data);
+                    continue;
+                }
+            }
+            totals.feature_misses += 1;
+            totals.feature_tx += row_tx;
+            totals.cpu_bytes += row_bytes;
+            out.extend_from_slice(self.features.row(v));
+        }
+        self.flush_totals(gpu, totals);
+    }
+
+    /// Flushes locally accumulated `totals` into the shared meters: one
+    /// atomic add per non-zero counter, then clears `totals` for reuse.
+    pub fn flush_totals(&self, gpu: GpuId, totals: &mut BatchTotals) {
+        let meters = &self.meters[gpu];
+        meters.topology_hits.add(totals.topology_hits);
+        meters.topology_misses.add(totals.topology_misses);
+        meters.feature_hits.add(totals.feature_hits);
+        meters.feature_misses.add(totals.feature_misses);
+        meters.sampled_edges.add(totals.sampled_edges);
+        meters.extracted_rows.add(totals.extracted_rows);
+        if totals.topology_tx > 0 {
+            self.server
+                .pcm()
+                .add(gpu, TrafficKind::Topology, totals.topology_tx);
+        }
+        if totals.feature_tx > 0 {
+            self.server
+                .pcm()
+                .add(gpu, TrafficKind::Feature, totals.feature_tx);
+        }
+        if totals.cpu_bytes > 0 {
+            self.server
+                .traffic()
+                .add(gpu, Source::Cpu, totals.cpu_bytes);
+        }
+        for (owner, &bytes) in totals.peer_bytes.iter().enumerate() {
+            if bytes > 0 {
+                self.server.traffic().add(gpu, Source::Gpu(owner), bytes);
+            }
+        }
+        totals.topology_hits = 0;
+        totals.topology_misses = 0;
+        totals.feature_hits = 0;
+        totals.feature_misses = 0;
+        totals.sampled_edges = 0;
+        totals.extracted_rows = 0;
+        totals.topology_tx = 0;
+        totals.feature_tx = 0;
+        totals.cpu_bytes = 0;
+        totals.peer_bytes.fill(0);
+    }
+
     /// Records a completed subgraph block (one hop of one mini-batch) of
     /// `edges` edges built on `gpu`.
     pub fn note_block(&self, gpu: GpuId, edges: u64) {
@@ -256,6 +466,73 @@ impl<'a> AccessEngine<'a> {
     }
 }
 
+/// Open-addressing membership set over the indices Floyd's algorithm has
+/// already chosen.
+///
+/// The old implementation scanned a `Vec` per draw (`chosen.contains`),
+/// making `sample_from` O(fanout²); this probe table answers the same
+/// membership query in expected O(1) without sorting — sorting would
+/// reorder the output and change the sampled id sequence. The table is
+/// reused across calls (cleared in O(capacity) ≈ O(fanout)) so the
+/// batched sampling path allocates nothing per vertex.
+#[derive(Debug, Clone, Default)]
+pub struct FloydSet {
+    /// Linear-probe table of chosen indices; `usize::MAX` = empty.
+    table: Vec<usize>,
+    mask: usize,
+}
+
+impl FloydSet {
+    const EMPTY: usize = usize::MAX;
+
+    /// An empty set; the table is sized lazily when a sampling call
+    /// resets it for a fanout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the set and sizes it for `fanout` insertions (load factor
+    /// at most 1/2).
+    fn reset(&mut self, fanout: usize) {
+        let capacity = (fanout * 2).next_power_of_two().max(8);
+        if self.table.len() < capacity {
+            self.table = vec![Self::EMPTY; capacity];
+        } else {
+            self.table.fill(Self::EMPTY);
+        }
+        self.mask = capacity - 1;
+    }
+
+    #[inline]
+    fn slot_of(&self, value: usize) -> usize {
+        // Fibonacci hashing spreads consecutive indices across the table.
+        (value.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.mask
+    }
+
+    /// Whether `value` was inserted since the last reset.
+    #[inline]
+    fn contains(&self, value: usize) -> bool {
+        let mut slot = self.slot_of(value);
+        loop {
+            match self.table[slot] {
+                Self::EMPTY => return false,
+                x if x == value => return true,
+                _ => slot = (slot + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Inserts `value` (must not already be present).
+    #[inline]
+    fn insert(&mut self, value: usize) {
+        let mut slot = self.slot_of(value);
+        while self.table[slot] != Self::EMPTY {
+            slot = (slot + 1) & self.mask;
+        }
+        self.table[slot] = value;
+    }
+}
+
 /// Uniformly samples `min(fanout, neighbors.len())` distinct entries.
 /// Matches DGL's fixed-fanout neighbor sampling: when the degree is at
 /// most the fanout, all neighbors are taken.
@@ -264,21 +541,37 @@ pub fn sample_from<R: Rng + ?Sized>(
     fanout: usize,
     rng: &mut R,
 ) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(fanout.min(neighbors.len()));
+    let mut seen = FloydSet::new();
+    sample_from_into(neighbors, fanout, rng, &mut seen, &mut out);
+    out
+}
+
+/// [`sample_from`] into caller-owned buffers: appends the sampled ids to
+/// `out`, using `seen` as the membership scratch. Draws the identical RNG
+/// sequence and emits the identical ids (in the identical order) as the
+/// original Floyd's-algorithm implementation.
+#[inline]
+pub fn sample_from_into<R: Rng + ?Sized>(
+    neighbors: &[VertexId],
+    fanout: usize,
+    rng: &mut R,
+    seen: &mut FloydSet,
+    out: &mut Vec<VertexId>,
+) {
     if neighbors.len() <= fanout {
-        return neighbors.to_vec();
+        out.extend_from_slice(neighbors);
+        return;
     }
     // Floyd's algorithm for distinct indices.
     let n = neighbors.len();
-    let mut chosen: Vec<usize> = Vec::with_capacity(fanout);
+    seen.reset(fanout);
     for j in n - fanout..n {
         let t = rng.gen_range(0..=j);
-        if chosen.contains(&t) {
-            chosen.push(j);
-        } else {
-            chosen.push(t);
-        }
+        let pick = if seen.contains(t) { j } else { t };
+        seen.insert(pick);
+        out.push(neighbors[pick]);
     }
-    chosen.into_iter().map(|i| neighbors[i]).collect()
 }
 
 #[cfg(test)]
@@ -314,6 +607,52 @@ mod tests {
         d.sort_unstable();
         d.dedup();
         assert_eq!(d.len(), 10, "samples must be distinct");
+    }
+
+    #[test]
+    fn sample_from_large_fanout_pins_ids() {
+        // Pins the exact Floyd's-algorithm output for a large fanout so
+        // any change to the membership structure (the FloydSet replacing
+        // the old O(fanout²) `Vec::contains` scan) that perturbs the RNG
+        // draw sequence or the pick order fails loudly.
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        let pool: Vec<VertexId> = (0..1000).map(|v| v * 3).collect();
+        let s = sample_from(&pool, 64, &mut rng);
+        assert_eq!(s.len(), 64);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 64, "samples must be distinct");
+        assert_eq!(
+            s,
+            vec![
+                2103, 2238, 294, 2796, 1173, 2052, 681, 996, 2262, 1896, 1560, 1818, 150, 2679,
+                2001, 543, 1302, 1233, 54, 888, 2361, 99, 2547, 324, 609, 2634, 9, 882, 2763, 2556,
+                627, 876, 1686, 2316, 15, 2349, 2085, 1533, 2097, 1038, 1065, 408, 1224, 2034,
+                2616, 2208, 2856, 2844, 381, 1608, 2199, 2121, 2010, 363, 1230, 741, 1830, 1689,
+                912, 2985, 195, 963, 2439, 387
+            ]
+        );
+    }
+
+    #[test]
+    fn sample_from_into_matches_sample_from() {
+        let pool: Vec<VertexId> = (0..500).collect();
+        for fanout in [1usize, 7, 63, 64, 255, 499, 500, 600] {
+            let mut rng_a = StdRng::seed_from_u64(fanout as u64);
+            let mut rng_b = StdRng::seed_from_u64(fanout as u64);
+            let scalar = sample_from(&pool, fanout, &mut rng_a);
+            let mut seen = FloydSet::new();
+            let mut out = Vec::new();
+            sample_from_into(&pool, fanout, &mut rng_b, &mut seen, &mut out);
+            assert_eq!(scalar, out, "fanout {fanout}");
+            // Both consumed the same number of RNG draws.
+            assert_eq!(
+                rng_a.gen::<u64>(),
+                rng_b.gen::<u64>(),
+                "RNG streams diverged at fanout {fanout}"
+            );
+        }
     }
 
     #[test]

@@ -44,10 +44,10 @@ pub mod extract;
 pub mod presample;
 pub mod sampler;
 
-pub use access::{AccessEngine, CacheLayout, TopologyPlacement};
+pub use access::{AccessEngine, BatchTotals, CacheLayout, FloydSet, TopologyPlacement};
 pub use batch::BatchGenerator;
 pub use presample::{presample, PresampleOutput};
-pub use sampler::{Block, KHopSampler, MiniBatchSample};
+pub use sampler::{Block, KHopSampler, MiniBatchSample, SampleScratch};
 
 /// The paper's GraphSAGE/GCN sampling fan-outs: "The sampling fan-outs are
 /// 25 and 10" for 2-hop models (§6.1).

@@ -22,7 +22,7 @@ use legion_hw::{GpuId, MultiGpuServer};
 
 use crate::access::{AccessEngine, CacheLayout, TopologyPlacement};
 use crate::batch::BatchGenerator;
-use crate::sampler::KHopSampler;
+use crate::sampler::{KHopSampler, SampleScratch};
 
 /// Pre-sampling output for one NVLink clique.
 #[derive(Debug, Clone)]
@@ -70,14 +70,21 @@ pub fn presample(
     let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva);
 
     server.pcm().reset();
+    let mut scratch = SampleScratch::new();
     for (slot, (&gpu, tablet)) in clique_gpus.iter().zip(tablets).enumerate() {
         let mut rng = StdRng::seed_from_u64(seed ^ (gpu as u64).wrapping_mul(0x9E37_79B9));
         let mut generator = BatchGenerator::new(tablet.clone(), batch_size);
         for _ in 0..epochs {
             for batch in generator.epoch(&mut rng) {
                 let mut on_edge = |src: VertexId| h_t.add(slot, src, 1);
-                let sample =
-                    sampler.sample_batch(&engine, gpu, &batch, &mut rng, Some(&mut on_edge));
+                let sample = sampler.sample_batch_with(
+                    &engine,
+                    gpu,
+                    &batch,
+                    &mut rng,
+                    Some(&mut on_edge),
+                    &mut scratch,
+                );
                 for &v in &sample.all_vertices {
                     h_f.add(slot, v, 1);
                 }

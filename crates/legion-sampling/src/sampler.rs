@@ -1,12 +1,19 @@
 //! L-hop fixed-fanout neighbor sampling (Figure 1's workflow, step 2) and
 //! message-flow-graph construction (the §5 "graph constructor" operator).
+//!
+//! Sampling is the simulator's hottest loop (the paper's "random and
+//! fine-grained" reads, §3.2), so the per-hop source-index is a dense
+//! epoch-stamped marker array in a reusable [`SampleScratch`] rather than
+//! a per-hop `HashMap`, neighbor draws land in a reused buffer instead of
+//! a fresh `Vec` per vertex, and all meters accumulate locally and flush
+//! once per batch ([`crate::access::BatchTotals`]).
 
 use rand::Rng;
 
 use legion_graph::VertexId;
 use legion_hw::GpuId;
 
-use crate::access::AccessEngine;
+use crate::access::{AccessEngine, BatchTotals, FloydSet};
 
 /// One hop's bipartite message block: edges from source vertices (the next
 /// hop's frontier) into destination vertices (this hop's frontier).
@@ -60,6 +67,58 @@ impl MiniBatchSample {
     }
 }
 
+/// Reusable working memory for [`KHopSampler::sample_batch_with`].
+///
+/// Holds the dense epoch-stamped vertex→source-index marker (replacing
+/// the per-hop `HashMap<VertexId, u32>`), the per-vertex neighbor draw
+/// buffer, the Floyd's-sampler membership scratch, and the batch meter
+/// accumulator. One scratch per worker keeps the steady-state sampling
+/// path free of per-vertex heap allocation and per-vertex atomic RMWs.
+#[derive(Debug, Clone, Default)]
+pub struct SampleScratch {
+    /// `stamp[v] == epoch` ⇔ `v` is a source of the current hop.
+    stamp: Vec<u32>,
+    /// `index[v]` = `v`'s index in the current hop's `src_vertices`
+    /// (valid only when the stamp matches).
+    index: Vec<u32>,
+    /// The current hop's stamp; bumped per hop, never reused.
+    epoch: u32,
+    /// Neighbor ids drawn for the vertex being expanded.
+    neighbors: Vec<VertexId>,
+    /// Membership scratch for Floyd's distinct-index sampling.
+    seen: FloydSet,
+    /// Locally accumulated meter deltas, flushed once per batch.
+    totals: BatchTotals,
+}
+
+impl SampleScratch {
+    /// An empty scratch; buffers are sized lazily from the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the marker arrays for the engine's graph and the totals for
+    /// its server. No-op once sized.
+    fn ensure(&mut self, engine: &AccessEngine<'_>) {
+        let n = engine.graph().num_vertices();
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.index.resize(n, 0);
+        }
+        self.totals.ensure_gpus(engine.num_gpus());
+    }
+
+    /// Starts a new hop: returns a stamp no marker currently holds.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
 /// L-hop uniform neighbor sampler.
 #[derive(Debug, Clone)]
 pub struct KHopSampler {
@@ -87,52 +146,95 @@ impl KHopSampler {
     /// Samples the multi-hop neighborhood of `seeds` on behalf of `gpu`,
     /// charging all topology traffic through `engine`. Optionally records
     /// per-edge-traversal hotness through `on_edge(source_vertex)`.
+    ///
+    /// Convenience wrapper allocating a fresh [`SampleScratch`] per call;
+    /// steady-state callers should hold a scratch and use
+    /// [`Self::sample_batch_with`].
     pub fn sample_batch<R: Rng + ?Sized>(
         &self,
         engine: &AccessEngine<'_>,
         gpu: GpuId,
         seeds: &[VertexId],
         rng: &mut R,
-        mut on_edge: Option<&mut dyn FnMut(VertexId)>,
+        on_edge: Option<&mut dyn FnMut(VertexId)>,
     ) -> MiniBatchSample {
-        let mut blocks = Vec::with_capacity(self.fanouts.len());
-        let mut frontier: Vec<VertexId> = seeds.to_vec();
+        let mut scratch = SampleScratch::new();
+        self.sample_batch_with(engine, gpu, seeds, rng, on_edge, &mut scratch)
+    }
+
+    /// [`Self::sample_batch`] with caller-owned working memory: no heap
+    /// allocation per vertex, no per-vertex atomic RMW (meters accumulate
+    /// in the scratch's [`BatchTotals`] and flush once at the end), and
+    /// an identical RNG draw sequence and result to the scalar path.
+    pub fn sample_batch_with<R: Rng + ?Sized>(
+        &self,
+        engine: &AccessEngine<'_>,
+        gpu: GpuId,
+        seeds: &[VertexId],
+        rng: &mut R,
+        mut on_edge: Option<&mut dyn FnMut(VertexId)>,
+        scratch: &mut SampleScratch,
+    ) -> MiniBatchSample {
+        scratch.ensure(engine);
+        let mut blocks: Vec<Block> = Vec::with_capacity(self.fanouts.len());
         let mut all: Vec<VertexId> = seeds.to_vec();
-        for &fanout in &self.fanouts {
-            // Sample each destination's neighbors.
-            let mut src_vertices: Vec<VertexId> = frontier.clone();
-            let mut src_index: std::collections::HashMap<VertexId, u32> = src_vertices
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, i as u32))
-                .collect();
-            let mut edge_dst = Vec::new();
-            let mut edge_src = Vec::new();
-            for (di, &dst) in frontier.iter().enumerate() {
-                let sampled = engine.sample_neighbors(gpu, dst, fanout, rng);
-                for s in sampled {
+        for (hop, &fanout) in self.fanouts.iter().enumerate() {
+            let epoch = scratch.next_epoch();
+            let SampleScratch {
+                stamp,
+                index,
+                neighbors,
+                seen,
+                totals,
+                ..
+            } = scratch;
+            // This hop's destinations are the previous hop's sources; its
+            // source list starts with a copy of them (the MFG layout
+            // convention), extended by newly discovered vertices.
+            let frontier: &[VertexId] = match hop {
+                0 => seeds,
+                _ => &blocks[hop - 1].src_vertices,
+            };
+            let num_dst = frontier.len();
+            let mut src_vertices: Vec<VertexId> =
+                Vec::with_capacity(num_dst + num_dst * fanout / 2);
+            src_vertices.extend_from_slice(frontier);
+            for (i, &v) in src_vertices.iter().enumerate() {
+                stamp[v as usize] = epoch;
+                index[v as usize] = i as u32;
+            }
+            let mut edge_dst: Vec<u32> = Vec::with_capacity(num_dst * fanout / 2);
+            let mut edge_src: Vec<u32> = Vec::with_capacity(num_dst * fanout / 2);
+            for di in 0..num_dst {
+                let dst = src_vertices[di];
+                engine.sample_neighbors_into(gpu, dst, fanout, rng, seen, neighbors, totals);
+                for &s in neighbors.iter() {
                     if let Some(f) = on_edge.as_deref_mut() {
                         f(dst);
                     }
-                    let si = *src_index.entry(s).or_insert_with(|| {
+                    let si = if stamp[s as usize] == epoch {
+                        index[s as usize]
+                    } else {
+                        let i = src_vertices.len() as u32;
                         src_vertices.push(s);
-                        (src_vertices.len() - 1) as u32
-                    });
+                        stamp[s as usize] = epoch;
+                        index[s as usize] = i;
+                        i
+                    };
                     edge_dst.push(di as u32);
                     edge_src.push(si);
                 }
             }
-            all.extend_from_slice(&src_vertices[frontier.len()..]);
-            let next_frontier = src_vertices.clone();
+            all.extend_from_slice(&src_vertices[num_dst..]);
             engine.note_block(gpu, edge_dst.len() as u64);
             blocks.push(Block {
-                num_dst: frontier.len(),
+                num_dst,
                 src_vertices,
                 edge_dst,
                 edge_src,
             });
-            frontier = next_frontier;
         }
+        engine.flush_totals(gpu, &mut scratch.totals);
         all.sort_unstable();
         all.dedup();
         MiniBatchSample {

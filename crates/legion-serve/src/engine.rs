@@ -35,9 +35,8 @@ use legion_hw::pcm::TrafficKind;
 use legion_hw::traffic::Source;
 use legion_hw::{GpuId, MultiGpuServer};
 use legion_pipeline::TimeModel;
-use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
-use legion_sampling::extract::extract_features;
-use legion_sampling::KHopSampler;
+use legion_sampling::access::{AccessEngine, BatchTotals, CacheLayout, TopologyPlacement};
+use legion_sampling::{KHopSampler, SampleScratch};
 use legion_telemetry::{Counter, Histogram, Registry, Snapshot};
 
 use crate::batcher::BatchPolicy;
@@ -146,11 +145,33 @@ impl<'a> PhaseMeter<'a> {
 /// uncached adjacency and count one physical topology miss once per
 /// duplicate request. Batched inference resolves one vertex once, so the
 /// seed list is deduplicated here and the per-request results share it.
-fn batch_seeds(batch: &[Request]) -> Vec<VertexId> {
-    let mut seeds: Vec<VertexId> = batch.iter().map(|r| r.target).collect();
+fn batch_seeds(batch: &[Request], seeds: &mut Vec<VertexId>) {
+    seeds.clear();
+    seeds.extend(batch.iter().map(|r| r.target));
     seeds.sort_unstable();
     seeds.dedup();
-    seeds
+}
+
+/// Per-GPU scratch reused across every micro-batch of the event loop:
+/// the deduplicated seed list, the sampler's arena, the feature gather
+/// buffer, and the batch-local meter totals. Steady-state batches
+/// therefore run without per-vertex heap allocation or atomic RMWs.
+struct BatchScratch {
+    seeds: Vec<VertexId>,
+    sample: SampleScratch,
+    features: Vec<f32>,
+    totals: BatchTotals,
+}
+
+impl BatchScratch {
+    fn new(num_gpus: usize) -> Self {
+        Self {
+            seeds: Vec::new(),
+            sample: SampleScratch::new(),
+            features: Vec::new(),
+            totals: BatchTotals::new(num_gpus),
+        }
+    }
 }
 
 /// One GPU's arrival/launch event loop, shared by every cache policy.
@@ -364,6 +385,7 @@ pub fn serve(
                     misses: registry.counter(&format!("cache.gpu{gpu}.feature_misses")),
                     rows: registry.counter(&format!("extract.gpu{gpu}.rows")),
                 };
+                let mut scratch = BatchScratch::new(num_gpus);
                 let mut run_batch = |batch: &[Request], _at: f64| {
                     batch_service_seconds(
                         &engine,
@@ -377,6 +399,7 @@ pub fn serve(
                         gpu,
                         batch,
                         &mut rng,
+                        &mut scratch,
                     )
                 };
                 run_gpu_event_loop(
@@ -427,6 +450,7 @@ pub fn serve(
                 let window_gauge = registry.gauge(&format!("serve.gpu{gpu}.window_hit_rate"));
                 let feat_hits = registry.counter(&format!("cache.gpu{gpu}.feature_hits"));
                 let feat_misses = registry.counter(&format!("cache.gpu{gpu}.feature_misses"));
+                let mut scratch = BatchScratch::new(num_gpus);
 
                 let mut run_batch = |batch: &[Request], at: f64| -> f64 {
                     // Batch-boundary swap: in-flight requests finished
@@ -454,16 +478,17 @@ pub fn serve(
                         server,
                         TopologyPlacement::CpuUva,
                     );
-                    let seeds = batch_seeds(batch);
+                    batch_seeds(batch, &mut scratch.seeds);
                     let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
                     let window = &mut state.window;
                     let mut on_edge = |v: VertexId| window.note_edge(v);
-                    let sample = sampler.sample_batch(
+                    let sample = sampler.sample_batch_with(
                         &plan_engine,
                         gpu,
-                        &seeds,
+                        &scratch.seeds,
                         &mut rng,
                         Some(&mut on_edge),
+                        &mut scratch.sample,
                     );
                     for &v in &sample.all_vertices {
                         window.note_feature(v);
@@ -472,7 +497,12 @@ pub fn serve(
                     let sample_t = time_model.sample_seconds(topo_tx, sample.total_edges() as u64);
                     let feat_tx_before = server.pcm().gpu_kind(gpu, TrafficKind::Feature);
                     let (h0, m0) = (feat_hits.get(), feat_misses.get());
-                    let _ = extract_features(&plan_engine, gpu, &sample.all_vertices);
+                    plan_engine.read_features_batch(
+                        gpu,
+                        &sample.all_vertices,
+                        &mut scratch.features,
+                        &mut scratch.totals,
+                    );
                     let feat_tx = server.pcm().gpu_kind(gpu, TrafficKind::Feature) - feat_tx_before;
                     let extract_t = time_model.extract_seconds(feat_tx, 0);
                     window.note_batch(
@@ -561,11 +591,13 @@ fn batch_service_seconds(
     gpu: GpuId,
     batch: &[Request],
     rng: &mut StdRng,
+    scratch: &mut BatchScratch,
 ) -> f64 {
-    let seeds = batch_seeds(batch);
+    batch_seeds(batch, &mut scratch.seeds);
 
     let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
-    let sample = sampler.sample_batch(engine, gpu, &seeds, rng, None);
+    let sample =
+        sampler.sample_batch_with(engine, gpu, &scratch.seeds, rng, None, &mut scratch.sample);
     let topo_tx = server.pcm().gpu_kind(gpu, TrafficKind::Topology) - topo_before;
     let sample_t = time_model.sample_seconds(topo_tx, sample.total_edges() as u64);
 
@@ -577,7 +609,12 @@ fn batch_service_seconds(
             let peer_before: u64 = (0..server.num_gpus())
                 .map(|s| server.traffic().gpu_to_gpu(s, gpu))
                 .sum();
-            let _ = extract_features(engine, gpu, &sample.all_vertices);
+            engine.read_features_batch(
+                gpu,
+                &sample.all_vertices,
+                &mut scratch.features,
+                &mut scratch.totals,
+            );
             let tx = server.pcm().gpu_kind(gpu, TrafficKind::Feature) - tx_before;
             let peer: u64 = (0..server.num_gpus())
                 .map(|s| server.traffic().gpu_to_gpu(s, gpu))
@@ -588,23 +625,28 @@ fn batch_service_seconds(
         PolicyKind::Fifo => {
             // Dynamic cache: the resident set mutates per access, so the
             // extraction is metered manually with the same counter names
-            // and per-row transaction charge as the engine's path.
+            // and per-row transaction charge as the engine's path,
+            // accumulated locally and flushed with one add per counter.
             // Replacement bookkeeping itself is not charged to time
             // (an intentional simplification; see DESIGN.md).
             let row_bytes = engine.features().row_bytes();
             let row_tx = server.pcie().transactions_for_payload(row_bytes);
+            let mut hits = 0u64;
+            let mut misses = 0u64;
             let mut tx = 0u64;
             let mut bytes = 0u64;
             for &v in &sample.all_vertices {
-                meters.rows.inc();
                 if fifo.access(v) {
-                    meters.hits.inc();
+                    hits += 1;
                 } else {
-                    meters.misses.inc();
+                    misses += 1;
                     tx += row_tx;
                     bytes += row_bytes;
                 }
             }
+            meters.rows.add(sample.all_vertices.len() as u64);
+            meters.hits.add(hits);
+            meters.misses.add(misses);
             server.pcm().add(gpu, TrafficKind::Feature, tx);
             server.traffic().add(gpu, Source::Cpu, bytes);
             (tx, 0)

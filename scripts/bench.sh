@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Hot-path microbenchmark runner: builds and runs the `hotpath` criterion
+# suite and leaves machine-readable results in BENCH_hotpath.json at the
+# repo root (schema: legion-bench-hotpath/v1; ns/op and ops/sec per
+# bench, grouped). Seeds are fixed, so the output is deterministic
+# modulo the timing fields.
+#
+#   scripts/bench.sh           full measurement run
+#   scripts/bench.sh --smoke   shrunken inputs, for CI gating
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+    esac
+done
+
+if [[ "$SMOKE" == 1 ]]; then
+    LEGION_BENCH_SMOKE=1 cargo bench -q -p legion-bench --bench hotpath
+else
+    cargo bench -q -p legion-bench --bench hotpath
+fi
+
+echo "bench: OK (BENCH_hotpath.json)"

@@ -29,7 +29,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run (benches must compile)"
+cargo bench --no-run -q -p legion-bench
+
 echo "==> servectl --smoke"
 cargo run --release -q -p legion-bench --bin servectl -- --smoke
+
+echo "==> bench.sh --smoke"
+scripts/bench.sh --smoke
 
 echo "verify: OK"

@@ -72,6 +72,198 @@ fn different_seed_different_traffic() {
     assert_ne!(a.1, b.1, "different seeds should change sampling traffic");
 }
 
+/// The batched engine entry points must be observationally identical to
+/// the retained scalar paths: same outputs, same RNG stream, and a
+/// byte-identical telemetry snapshot once the totals flush.
+#[test]
+fn batched_reads_match_scalar_reads_byte_identically() {
+    use legion_cache::CliqueCache;
+    use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
+    use legion_sampling::{BatchTotals, FloydSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let ds = spec_by_name("PR").unwrap().instantiate(1000, 9);
+    let n = ds.graph.num_vertices();
+    let vertices: Vec<u32> = (0..n as u32).step_by(3).collect();
+    // A two-GPU clique cache so the runs exercise local hits, NVLink
+    // peer hits, and CPU misses.
+    let build_layout = || {
+        let mut cc = CliqueCache::new(vec![0, 1], n, ds.features.dim());
+        for v in (0..n as u32).step_by(5) {
+            cc.insert_topology((v % 2) as usize, v, ds.graph.neighbors(v));
+        }
+        for v in (0..n as u32).step_by(4) {
+            cc.insert_feature(((v / 4) % 2) as usize, v, ds.features.row(v));
+        }
+        CacheLayout::from_cliques(2, vec![cc])
+    };
+
+    // Scalar run.
+    let server_a = ServerSpec::custom(2, 64 << 20, 2).build();
+    let layout_a = build_layout();
+    let engine_a = AccessEngine::new(
+        &ds.graph,
+        &ds.features,
+        &layout_a,
+        &server_a,
+        TopologyPlacement::CpuUva,
+    );
+    let mut rng_a = StdRng::seed_from_u64(77);
+    let mut scalar_neighbors = Vec::new();
+    for &v in &vertices {
+        scalar_neighbors.push(engine_a.sample_neighbors(0, v, 8, &mut rng_a));
+    }
+    let mut scalar_rows: Vec<f32> = Vec::new();
+    for &v in &vertices {
+        scalar_rows.extend_from_slice(engine_a.read_feature(1, v));
+    }
+    let snap_a = serde_json::to_string_pretty(&server_a.telemetry().snapshot()).unwrap();
+
+    // Batched run, same seed, fresh server.
+    let server_b = ServerSpec::custom(2, 64 << 20, 2).build();
+    let layout_b = build_layout();
+    let engine_b = AccessEngine::new(
+        &ds.graph,
+        &ds.features,
+        &layout_b,
+        &server_b,
+        TopologyPlacement::CpuUva,
+    );
+    let mut rng_b = StdRng::seed_from_u64(77);
+    let mut seen = FloydSet::new();
+    let mut out = Vec::new();
+    let mut totals = BatchTotals::new(2);
+    for (i, &v) in vertices.iter().enumerate() {
+        engine_b.sample_neighbors_into(0, v, 8, &mut rng_b, &mut seen, &mut out, &mut totals);
+        assert_eq!(out, scalar_neighbors[i], "neighbors differ at vertex {v}");
+    }
+    engine_b.flush_totals(0, &mut totals);
+    let mut batched_rows: Vec<f32> = Vec::new();
+    engine_b.read_features_batch(1, &vertices, &mut batched_rows, &mut totals);
+    assert_eq!(batched_rows, scalar_rows, "gathered feature rows differ");
+    let snap_b = serde_json::to_string_pretty(&server_b.telemetry().snapshot()).unwrap();
+    assert_eq!(
+        snap_a, snap_b,
+        "scalar and batched runs must flush identical counter totals"
+    );
+}
+
+/// The scratch-arena sampler must reproduce the original HashMap-based
+/// scalar sampler exactly: identical `MiniBatchSample`s and a
+/// byte-identical telemetry snapshot for the same seed.
+#[test]
+fn sample_batch_with_matches_reference_scalar_sampler() {
+    use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
+    use legion_sampling::{Block, KHopSampler, MiniBatchSample, SampleScratch};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    // The pre-scratch implementation, kept verbatim as the reference.
+    fn reference_sample_batch<R: Rng + ?Sized>(
+        fanouts: &[usize],
+        engine: &AccessEngine<'_>,
+        gpu: usize,
+        seeds: &[u32],
+        rng: &mut R,
+    ) -> MiniBatchSample {
+        let mut blocks = Vec::with_capacity(fanouts.len());
+        let mut frontier: Vec<u32> = seeds.to_vec();
+        let mut all: Vec<u32> = seeds.to_vec();
+        for &fanout in fanouts {
+            let mut src_vertices: Vec<u32> = frontier.clone();
+            let mut src_index: std::collections::HashMap<u32, u32> = src_vertices
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
+            let mut edge_dst = Vec::new();
+            let mut edge_src = Vec::new();
+            for (di, &dst) in frontier.iter().enumerate() {
+                let sampled = engine.sample_neighbors(gpu, dst, fanout, rng);
+                for s in sampled {
+                    let si = *src_index.entry(s).or_insert_with(|| {
+                        src_vertices.push(s);
+                        (src_vertices.len() - 1) as u32
+                    });
+                    edge_dst.push(di as u32);
+                    edge_src.push(si);
+                }
+            }
+            all.extend_from_slice(&src_vertices[frontier.len()..]);
+            let next_frontier = src_vertices.clone();
+            engine.note_block(gpu, edge_dst.len() as u64);
+            blocks.push(Block {
+                num_dst: frontier.len(),
+                src_vertices,
+                edge_dst,
+                edge_src,
+            });
+            frontier = next_frontier;
+        }
+        all.sort_unstable();
+        all.dedup();
+        MiniBatchSample {
+            seeds: seeds.to_vec(),
+            blocks,
+            all_vertices: all,
+        }
+    }
+
+    let ds = spec_by_name("PR").unwrap().instantiate(1200, 3);
+    let seeds: Vec<u32> = ds.train_vertices.iter().copied().take(96).collect();
+    let fanouts = vec![5usize, 3];
+
+    let server_a = ServerSpec::custom(2, 64 << 20, 2).build();
+    let layout_a = CacheLayout::none(2);
+    let engine_a = AccessEngine::new(
+        &ds.graph,
+        &ds.features,
+        &layout_a,
+        &server_a,
+        TopologyPlacement::CpuUva,
+    );
+    let mut rng_a = StdRng::seed_from_u64(1234);
+    let reference = reference_sample_batch(&fanouts, &engine_a, 0, &seeds, &mut rng_a);
+    let snap_a = serde_json::to_string_pretty(&server_a.telemetry().snapshot()).unwrap();
+
+    let server_b = ServerSpec::custom(2, 64 << 20, 2).build();
+    let layout_b = CacheLayout::none(2);
+    let engine_b = AccessEngine::new(
+        &ds.graph,
+        &ds.features,
+        &layout_b,
+        &server_b,
+        TopologyPlacement::CpuUva,
+    );
+    let sampler = KHopSampler::new(fanouts);
+    let mut rng_b = StdRng::seed_from_u64(1234);
+    let mut scratch = SampleScratch::new();
+    let batched = sampler.sample_batch_with(&engine_b, 0, &seeds, &mut rng_b, None, &mut scratch);
+    let snap_b = serde_json::to_string_pretty(&server_b.telemetry().snapshot()).unwrap();
+
+    assert_eq!(reference, batched, "MiniBatchSamples must be identical");
+    assert_eq!(snap_a, snap_b, "sampling telemetry must be identical");
+    // A second batch through the same scratch stays equivalent (epoch
+    // stamping must not leak state between batches).
+    let reference2 = reference_sample_batch(
+        &[5, 3],
+        &engine_a,
+        1,
+        &seeds[..40.min(seeds.len())],
+        &mut rng_a,
+    );
+    let batched2 = sampler.sample_batch_with(
+        &engine_b,
+        1,
+        &seeds[..40.min(seeds.len())],
+        &mut rng_b,
+        None,
+        &mut scratch,
+    );
+    assert_eq!(reference2, batched2);
+}
+
 #[test]
 fn dataset_instantiation_is_stable_across_calls() {
     let d1 = spec_by_name("CO").unwrap().instantiate(4000, 7);

@@ -7,7 +7,27 @@
 
 use std::fmt;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark label (`group/function/parameter`).
+    pub label: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded since the last call (or process
+/// start), in execution order. Lets hand-written bench `main`s export
+/// machine-readable results (the upstream crate writes JSON itself; this
+/// vendored subset delegates that to the caller).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
 
 /// Opaque identity function that defeats constant folding.
 pub fn black_box<T>(value: T) -> T {
@@ -118,6 +138,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, settings: &Settings, mut f: F)
     f(&mut bencher);
     let per_iter = bencher.elapsed.as_secs_f64() / iters as f64;
     println!("bench {label:<48} {:>12.3} us/iter", per_iter * 1e6);
+    RESULTS.lock().unwrap().push(BenchResult {
+        label: label.to_string(),
+        ns_per_iter: per_iter * 1e9,
+    });
 }
 
 /// Top-level benchmark driver.
@@ -282,6 +306,18 @@ mod tests {
     fn groups_run() {
         simple();
         configured();
+    }
+
+    #[test]
+    fn results_are_collected() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("collected_marker", |b| {
+            b.iter(|| black_box(1u64) + black_box(1))
+        });
+        let results = take_results();
+        assert!(results
+            .iter()
+            .any(|r| r.label == "collected_marker" && r.ns_per_iter >= 0.0));
     }
 
     #[test]
