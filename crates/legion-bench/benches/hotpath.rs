@@ -19,6 +19,7 @@ use legion_cache::CliqueCache;
 use legion_graph::generate::ChungLuConfig;
 use legion_graph::{CsrGraph, FeatureTable};
 use legion_hw::ServerSpec;
+use legion_router::{ClassedQueue, Dispatcher, PriorityClass, QueuedRequest};
 use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
 use legion_sampling::extract::extract_features;
 use legion_sampling::{BatchTotals, KHopSampler, SampleScratch};
@@ -176,6 +177,81 @@ fn bench_serve_tick(c: &mut Criterion, smoke: bool) {
     group.finish();
 }
 
+/// The routing tier's per-request costs: a residency-scored dispatch
+/// decision over a 9-vertex probe, and a QoS admission offer/drain
+/// cycle on a saturated classed queue.
+fn bench_router(c: &mut Criterion, smoke: bool) {
+    let n = if smoke { 10_000 } else { 100_000 };
+    let decisions = if smoke { 1_000 } else { 10_000 };
+
+    // Two cliques of two with half the vertex range resident per clique,
+    // split even/odd so probes always straddle both residency sets.
+    let mut dispatcher = Dispatcher::new(vec![vec![0, 1], vec![2, 3]], n, 64);
+    let evens: Vec<u32> = (0..n as u32).step_by(2).collect();
+    let odds: Vec<u32> = (1..n as u32).step_by(2).collect();
+    dispatcher.refresh_group(0, &evens);
+    dispatcher.refresh_group(1, &odds);
+    let mut rng = StdRng::seed_from_u64(17);
+    let probes: Vec<[u32; 9]> = (0..decisions)
+        .map(|_| std::array::from_fn(|_| rng.gen_range(0..n as u32)))
+        .collect();
+    let queue_lens = [12usize, 3, 7, 9];
+
+    let mut group = c.benchmark_group("router");
+    group.bench_function(BenchmarkId::new("route", decisions), |b| {
+        b.iter(|| {
+            let mut local = 0usize;
+            for p in &probes {
+                let d = dispatcher.route(p, &queue_lens);
+                if !d.spilled {
+                    local += 1;
+                }
+            }
+            local
+        })
+    });
+
+    #[derive(Clone, Copy)]
+    struct Req {
+        seq: u64,
+        class: PriorityClass,
+    }
+    impl QueuedRequest for Req {
+        fn seq(&self) -> u64 {
+            self.seq
+        }
+        fn arrival(&self) -> f64 {
+            self.seq as f64
+        }
+        fn class(&self) -> PriorityClass {
+            self.class
+        }
+    }
+    let offers: Vec<Req> = (0..decisions as u64)
+        .map(|seq| Req {
+            seq,
+            class: PriorityClass::from_index((seq % 3) as usize),
+        })
+        .collect();
+    group.bench_function(BenchmarkId::new("qos_offer_take", decisions), |b| {
+        b.iter(|| {
+            // Capacity 64 against a uniform class mix: the queue saturates
+            // almost immediately, so most offers exercise the eviction
+            // scan and every 16th step drains a priority-ordered batch.
+            let mut q: ClassedQueue<Req> = ClassedQueue::new_qos(64, [0.5, 0.3, 0.2]);
+            let mut drained = 0usize;
+            for (i, r) in offers.iter().enumerate() {
+                q.offer(*r);
+                if i % 16 == 15 {
+                    drained += q.take(16).len();
+                }
+            }
+            drained
+        })
+    });
+    group.finish();
+}
+
 #[derive(serde::Serialize)]
 struct BenchEntry {
     name: String,
@@ -203,6 +279,7 @@ fn main() {
     bench_k_hop(&mut c, smoke);
     bench_feature_extraction(&mut c, smoke);
     bench_serve_tick(&mut c, smoke);
+    bench_router(&mut c, smoke);
 
     let mut groups: Vec<BenchGroup> = Vec::new();
     for r in take_results() {

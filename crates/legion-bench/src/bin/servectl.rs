@@ -26,8 +26,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use legion_graph::dataset::{spec_by_name, Dataset};
 use legion_hw::{MultiGpuServer, ServerSpec};
 use legion_serve::{
-    estimate_capacity_rps, run_sweep, serve, LoadPoint, PolicyKind, ReplanConfig, ServeConfig,
-    ServeReport, SMOKE_MULTIPLIERS, SWEEP_MULTIPLIERS,
+    estimate_capacity_rps, run_sweep, serve, ClassConfig, LoadPoint, PolicyKind, PriorityClass,
+    ReplanConfig, RouterPolicy, ServeConfig, ServeReport, SMOKE_MULTIPLIERS, SWEEP_MULTIPLIERS,
 };
 use legion_telemetry::Snapshot;
 
@@ -95,6 +95,213 @@ fn tail_hit_rates(metrics: &Snapshot) -> BTreeMap<u64, f64> {
         .collect()
 }
 
+/// One row of the router head-to-head: a (router policy, QoS, load) cell
+/// with the routing and per-class QoS outcomes that matter for the
+/// comparison.
+#[derive(serde::Serialize)]
+struct RouterRow {
+    label: &'static str,
+    router: &'static str,
+    qos: bool,
+    load_multiplier: f64,
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    hit_rate: f64,
+    route_locality: f64,
+    spilled: u64,
+    interactive_p99_us: u64,
+    interactive_slo_attainment: f64,
+    class_shed: [u64; legion_serve::CLASS_COUNT],
+}
+
+/// Head-to-head for the routing tier on a two-clique server: residency
+/// dispatch vs blind round-robin at the saturation knee, then QoS vs
+/// class-blind FIFO admission under overload. Asserts the wins the
+/// router exists for.
+fn router_head_to_head(dataset: &Dataset, base: &ServeConfig) -> Vec<RouterRow> {
+    // Two NVLink cliques of two — the smallest topology where clique
+    // residency is distinguishable from per-GPU or global state.
+    let clique_server = || ServerSpec::custom(4, 1 << 30, 2).build();
+    let cfg_for = |router: RouterPolicy, qos: bool| {
+        let mut cfg = base.clone();
+        cfg.policy = PolicyKind::StaticHot;
+        cfg.router.policy = router;
+        cfg.classes = ClassConfig {
+            mix: [0.2, 0.5, 0.3],
+            qos,
+            slo_us: [base.classes.slo_us[0], 1000, 8000],
+            ..ClassConfig::default()
+        };
+        cfg
+    };
+    let server = clique_server();
+    let capacity = estimate_capacity_rps(
+        &dataset.graph,
+        &dataset.features,
+        &server,
+        &cfg_for(RouterPolicy::Residency, true),
+    );
+    println!(
+        "\nrouter head-to-head on 2x2-clique server (capacity {capacity:.0}/s, mix 20/50/30, interactive SLO {} us):",
+        base.classes.slo_us[0]
+    );
+    println!(
+        "  {:<22} {:>6} {:>8} {:>7} {:>9} {:>7} {:>9} {:>9} {:>16}",
+        "config", "load", "hits", "local", "spilled", "shed", "i_p99", "i_SLO", "shed I/S/B"
+    );
+    let mut rows = Vec::new();
+    let mut run =
+        |label: &'static str, router: RouterPolicy, qos: bool, mult: f64, queue: usize| {
+            let server = clique_server();
+            let mut cfg = cfg_for(router, qos);
+            cfg.arrival = base
+                .arrival
+                .scaled(mult * capacity / base.arrival.mean_rate());
+            cfg.queue_capacity = queue;
+            let r = serve(&dataset.graph, &dataset.features, &server, &cfg);
+            let i = PriorityClass::Interactive.index();
+            let row = RouterRow {
+                label,
+                router: router.as_str(),
+                qos,
+                load_multiplier: mult,
+                offered: r.offered,
+                completed: r.completed,
+                shed: r.shed,
+                hit_rate: feature_hit_rate(&r.metrics),
+                route_locality: r.route_locality,
+                spilled: r.spilled,
+                interactive_p99_us: r.class_p99_us[i],
+                interactive_slo_attainment: r.class_slo_attainment[i],
+                class_shed: r.class_shed,
+            };
+            println!(
+                "  {:<22} {:>5.1}x {:>7.1}% {:>6.1}% {:>9} {:>7} {:>7}us {:>8.1}% {:>7}/{}/{}",
+                label,
+                mult,
+                row.hit_rate * 100.0,
+                row.route_locality * 100.0,
+                row.spilled,
+                row.shed,
+                row.interactive_p99_us,
+                row.interactive_slo_attainment * 100.0,
+                row.class_shed[0],
+                row.class_shed[1],
+                row.class_shed[2]
+            );
+            if router == RouterPolicy::Residency {
+                assert_eq!(
+                    r.routed + r.spilled,
+                    r.offered,
+                    "router must see every request"
+                );
+            }
+            rows.push(row);
+        };
+
+    // Below saturation routing quality shows up purely as hit rate: the
+    // age trigger, not queueing, sets the tail here.
+    run(
+        "round_robin @knee",
+        RouterPolicy::RoundRobin,
+        true,
+        0.9,
+        base.queue_capacity,
+    );
+    run(
+        "residency @knee",
+        RouterPolicy::Residency,
+        true,
+        0.9,
+        base.queue_capacity,
+    );
+    // Past the knee with a shallow queue the service-rate gap compounds:
+    // slower batches mean deeper backlogs, more sheds, and a worse tail.
+    // The FIFO pair isolates routing (class-blind admission on both
+    // sides); the QoS pair isolates admission order (same routing).
+    run("rr+qos @3x", RouterPolicy::RoundRobin, true, 3.0, 128);
+    run("rr+fifo @3x", RouterPolicy::RoundRobin, false, 3.0, 128);
+    run(
+        "residency+fifo @3x",
+        RouterPolicy::Residency,
+        false,
+        3.0,
+        128,
+    );
+    run("residency+qos @3x", RouterPolicy::Residency, true, 3.0, 128);
+
+    let (rr_knee, res_knee) = (&rows[0], &rows[1]);
+    let (rr_fifo, res_fifo, res_qos) = (&rows[3], &rows[4], &rows[5]);
+    // Routing wins: strictly higher hit rate everywhere, and at
+    // saturation a strictly lower class-blind Interactive tail plus
+    // fewer sheds (faster batches drain deeper backlogs).
+    assert!(
+        res_knee.hit_rate > rr_knee.hit_rate,
+        "residency routing hit rate {:.4} must beat round-robin {:.4} at the knee",
+        res_knee.hit_rate,
+        rr_knee.hit_rate
+    );
+    // No p99 assert at the knee: below saturation the tail is set by the
+    // batch age trigger, not by service rate, so routing can't move it.
+    assert!(
+        res_fifo.hit_rate > rr_fifo.hit_rate,
+        "residency routing hit rate {:.4} must beat round-robin {:.4} at saturation",
+        res_fifo.hit_rate,
+        rr_fifo.hit_rate
+    );
+    assert!(
+        res_fifo.interactive_p99_us < rr_fifo.interactive_p99_us,
+        "residency interactive p99 {} must strictly beat round-robin {} at saturation",
+        res_fifo.interactive_p99_us,
+        rr_fifo.interactive_p99_us
+    );
+    assert!(
+        res_fifo.shed < rr_fifo.shed,
+        "residency routing must shed less at saturation: {} vs {}",
+        res_fifo.shed,
+        rr_fifo.shed
+    );
+    // QoS wins at the same routing: Batch shed first, Interactive kept
+    // whole with its SLO intact and a tail no worse than class-blind.
+    let b = PriorityClass::Batch.index();
+    assert!(res_qos.shed > 0, "overload point must shed");
+    assert!(
+        res_qos.class_shed[b] > 0 && res_qos.class_shed[0] == 0,
+        "QoS must shed Batch first and keep Interactive whole: {:?}",
+        res_qos.class_shed
+    );
+    assert!(
+        res_qos.interactive_slo_attainment >= 0.95,
+        "QoS interactive SLO attainment {:.3} must stay above 95% under overload",
+        res_qos.interactive_slo_attainment
+    );
+    assert!(
+        res_qos.interactive_slo_attainment >= res_fifo.interactive_slo_attainment,
+        "QoS interactive attainment {:.3} must not trail class-blind FIFO {:.3}",
+        res_qos.interactive_slo_attainment,
+        res_fifo.interactive_slo_attainment
+    );
+    assert!(
+        res_qos.interactive_p99_us <= res_fifo.interactive_p99_us,
+        "QoS interactive p99 {} must not trail class-blind FIFO {}",
+        res_qos.interactive_p99_us,
+        res_fifo.interactive_p99_us
+    );
+    println!(
+        "  [router] hit rate +{:.1} pts at the knee; saturation interactive p99 {} -> {} us, \
+         sheds {} -> {}; QoS interactive attainment {:.1}% (class-blind {:.1}%)",
+        (res_knee.hit_rate - rr_knee.hit_rate) * 100.0,
+        rr_fifo.interactive_p99_us,
+        res_fifo.interactive_p99_us,
+        rr_fifo.shed,
+        res_fifo.shed,
+        res_qos.interactive_slo_attainment * 100.0,
+        res_fifo.interactive_slo_attainment * 100.0
+    );
+    rows
+}
+
 fn print_points(points: &[LoadPoint]) {
     for p in points {
         println!(
@@ -116,6 +323,7 @@ fn print_points(points: &[LoadPoint]) {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let drift_only = std::env::args().any(|a| a == "--drift-only");
+    let router_only = std::env::args().any(|a| a == "--router");
     let dataset_name = "PR";
     let divisor = if smoke {
         legion_bench::dataset_divisor(dataset_name).max(500)
@@ -159,6 +367,12 @@ fn main() {
     let dataset: Dataset = spec_by_name(dataset_name)
         .expect("PR is registered")
         .instantiate(divisor, base.seed);
+    if router_only {
+        let rows = router_head_to_head(&dataset, &base);
+        legion_bench::save_json("servectl_router", &rows);
+        println!("\nservectl: OK");
+        return;
+    }
     let spec = ServerSpec::dgx_v100().truncated(4);
     let server: MultiGpuServer = spec.build();
     println!(
@@ -379,6 +593,8 @@ fn main() {
     }
     if !drift_only {
         legion_bench::save_json("servectl_curves", &rows);
+        let router_rows = router_head_to_head(&dataset, &base);
+        legion_bench::save_json("servectl_router", &router_rows);
     }
     println!("\nservectl: OK");
 }

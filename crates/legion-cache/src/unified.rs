@@ -276,6 +276,28 @@ impl CliqueCache {
         self.feat_owner[v as usize] != NONE
     }
 
+    /// All vertices whose topology is cached anywhere in the clique,
+    /// in ascending id order. Residency export for the serving router.
+    pub fn topology_vertices(&self) -> Vec<VertexId> {
+        self.topo_owner
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o != NONE)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// All vertices whose features are cached anywhere in the clique,
+    /// in ascending id order. Residency export for the serving router.
+    pub fn feature_vertices(&self) -> Vec<VertexId> {
+        self.feat_owner
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o != NONE)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
     /// Total topology bytes cached across the clique.
     pub fn total_topology_bytes(&self) -> u64 {
         self.caches.iter().map(|c| c.topology_bytes()).sum()
@@ -363,6 +385,20 @@ mod tests {
         cc.insert_feature(0, 2, &[1.0, 2.0]);
         assert_eq!(cc.total_topology_bytes(), (8 + 2 * 4) + (8 + 4));
         assert_eq!(cc.total_feature_bytes(), 8);
+    }
+
+    #[test]
+    fn clique_residency_export_is_sorted_and_complete() {
+        let mut cc = CliqueCache::new(vec![0, 1], 8, 1);
+        cc.insert_feature(1, 6, &[1.0]);
+        cc.insert_feature(0, 2, &[2.0]);
+        cc.insert_feature(0, 4, &[3.0]);
+        cc.insert_topology(1, 7, &[0]);
+        cc.insert_topology(0, 3, &[1, 2]);
+        assert_eq!(cc.feature_vertices(), vec![2, 4, 6]);
+        assert_eq!(cc.topology_vertices(), vec![3, 7]);
+        let empty = CliqueCache::new(vec![2], 8, 1);
+        assert!(empty.feature_vertices().is_empty());
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod stage;
 pub mod time_model;
 
 pub use schedule::{epoch_time_factored, epoch_time_pipelined, epoch_time_serial, BatchCost};
-pub use stage::StageRecorder;
+pub use stage::{QueueDepthMeter, StageRecorder};
 pub use time_model::TimeModel;

@@ -9,7 +9,7 @@
 //! identical whether batches run sequentially or on parallel workers.
 
 use legion_hw::GpuId;
-use legion_telemetry::{Counter, Registry};
+use legion_telemetry::{Counter, Histogram, Registry};
 
 /// Accumulates one GPU's simulated stage times into registry counters.
 #[derive(Debug, Clone)]
@@ -52,6 +52,38 @@ impl StageRecorder {
     }
 }
 
+/// Samples one GPU's admission-queue depth at each batch launch into a
+/// power-of-two-bucketed histogram (`pipeline.gpu{g}.queue_depth`).
+///
+/// Queue depth at launch is the pipeline's backpressure signal: a depth
+/// stuck near the queue capacity means the serving front end is routing
+/// more work to this GPU than its sample→extract→infer pipeline drains.
+#[derive(Debug, Clone)]
+pub struct QueueDepthMeter {
+    depth: Histogram,
+}
+
+impl QueueDepthMeter {
+    /// Bucket upper bounds 1, 2, 4, … 4096 (depths beyond the last
+    /// bound land in the implicit overflow bucket).
+    fn bounds() -> Vec<u64> {
+        (0..13).map(|i| 1u64 << i).collect()
+    }
+
+    /// Binds the `pipeline.gpu{gpu}.queue_depth` histogram in
+    /// `registry`.
+    pub fn for_gpu(registry: &Registry, gpu: GpuId) -> Self {
+        Self {
+            depth: registry.histogram(&format!("pipeline.gpu{gpu}.queue_depth"), &Self::bounds()),
+        }
+    }
+
+    /// Records the queue depth observed at one batch launch.
+    pub fn observe(&self, depth: usize) {
+        self.depth.observe(depth as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +108,21 @@ mod tests {
         a.record(1.0, 0.0, 0.0);
         b.record(1.0, 0.0, 0.0);
         assert!((a.sample_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_depth_meter_buckets_observations() {
+        let reg = Registry::new();
+        let m = QueueDepthMeter::for_gpu(&reg, 1);
+        m.observe(0);
+        m.observe(3);
+        m.observe(5000);
+        let snap = reg.snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "pipeline.gpu1.queue_depth")
+            .expect("histogram registered");
+        assert_eq!(h.counts.iter().sum::<u64>(), 3);
     }
 }

@@ -1,0 +1,317 @@
+//! Residency-aware dispatcher.
+//!
+//! [`Dispatcher`] routes each request to an NVLink clique (a *route
+//! group* of GPUs) by scoring candidate groups on expected
+//! cached-neighborhood coverage: how many of the request's target
+//! vertex plus a deterministic probe of its first few neighbors are
+//! resident in the group's cache ([`ResidencyIndex`]). The two
+//! top-scoring groups are compared power-of-two-choices style — equal
+//! coverage falls through to total queued load, then to the lower group
+//! index — and within the chosen group the shortest per-GPU queue wins.
+//! When every queue in the best group is at or past the spill
+//! threshold, the request *spills* to the globally least-loaded GPU,
+//! trading locality for queueing delay exactly like the paper's
+//! cross-clique fallback trades NVLink reads for PCIe.
+//!
+//! Routing is deterministic: scores, loads, and all tie-breaks depend
+//! only on the request stream and queue states, never on an RNG.
+
+use legion_graph::VertexId;
+use legion_hw::GpuId;
+
+use crate::residency::ResidencyIndex;
+
+/// Front-end routing policy for the serving tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Legacy behavior: request id modulo GPU count, no residency
+    /// index, no routing counters.
+    RoundRobin,
+    /// Residency-scored clique routing with load tie-break and spill.
+    Residency,
+}
+
+impl RouterPolicy {
+    /// Stable name used in flags and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round_robin",
+            RouterPolicy::Residency => "residency",
+        }
+    }
+}
+
+/// Front-end routing knobs of a serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Which dispatcher the serving front end runs.
+    pub policy: RouterPolicy,
+    /// Neighbors of the target probed for the coverage score (the
+    /// target itself is always probed).
+    pub probe_neighbors: usize,
+    /// Fraction of per-GPU queue capacity at which a clique counts as
+    /// saturated and requests spill, in `(0, 1]`.
+    pub spill_threshold: f64,
+    /// Fraction of each clique's pooled cache budget spent replicating
+    /// the globally hottest vertices across cliques (the rest holds the
+    /// clique's own partition's hottest), in `[0, 1]`.
+    pub replicate_frac: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            policy: RouterPolicy::RoundRobin,
+            probe_neighbors: 8,
+            spill_threshold: 0.75,
+            replicate_frac: 0.5,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Checks the invariants the dispatcher relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first violated
+    /// invariant.
+    pub fn validate(&self) {
+        assert!(
+            self.spill_threshold > 0.0 && self.spill_threshold <= 1.0,
+            "spill_threshold must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.replicate_frac),
+            "replicate_frac must be in [0, 1]"
+        );
+    }
+}
+
+/// Where one request was routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Destination GPU.
+    pub gpu: GpuId,
+    /// Route group (clique index) the GPU belongs to.
+    pub group: usize,
+    /// True when the best group was saturated and the request was
+    /// diverted to the globally least-loaded GPU.
+    pub spilled: bool,
+}
+
+/// Clique-aware request dispatcher.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    groups: Vec<Vec<GpuId>>,
+    group_of_gpu: Vec<usize>,
+    residency: ResidencyIndex,
+    spill_len: usize,
+}
+
+impl Dispatcher {
+    /// A dispatcher over `groups` (one entry per clique, each a
+    /// non-empty list of GPU ids). `num_vertices` sizes the residency
+    /// bitsets; `spill_len` is the absolute per-GPU queue length at
+    /// which a group counts as saturated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty or contains an empty group.
+    pub fn new(groups: Vec<Vec<GpuId>>, num_vertices: usize, spill_len: usize) -> Self {
+        assert!(!groups.is_empty(), "dispatcher needs at least one group");
+        let max_gpu = groups
+            .iter()
+            .flat_map(|g| {
+                assert!(!g.is_empty(), "route group must not be empty");
+                g.iter().copied()
+            })
+            .max()
+            .expect("non-empty groups");
+        let mut group_of_gpu = vec![usize::MAX; max_gpu + 1];
+        for (gi, members) in groups.iter().enumerate() {
+            for &gpu in members {
+                group_of_gpu[gpu] = gi;
+            }
+        }
+        let residency = ResidencyIndex::new(num_vertices, groups.len());
+        Dispatcher {
+            groups,
+            group_of_gpu,
+            residency,
+            spill_len: spill_len.max(1),
+        }
+    }
+
+    /// Number of route groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// GPU members of group `g`.
+    pub fn group_members(&self, g: usize) -> &[GpuId] {
+        &self.groups[g]
+    }
+
+    /// Group the given GPU belongs to.
+    pub fn group_of(&self, gpu: GpuId) -> usize {
+        self.group_of_gpu[gpu]
+    }
+
+    /// Replace group `g`'s residency set (called at layout build and on
+    /// every plan commit).
+    pub fn refresh_group(&mut self, g: usize, vertices: &[VertexId]) {
+        self.residency.refresh_group(g, vertices);
+    }
+
+    /// Read access to the residency index.
+    pub fn residency(&self) -> &ResidencyIndex {
+        &self.residency
+    }
+
+    /// Coverage score of group `g` for a probe slice (target vertex
+    /// first, then its leading neighbors).
+    pub fn score(&self, g: usize, probe: &[VertexId]) -> usize {
+        self.residency.coverage(g, probe)
+    }
+
+    /// Route one request. `probe` is the target vertex followed by its
+    /// first few neighbors; `queue_lens[gpu]` is the current admission
+    /// queue depth of each GPU.
+    pub fn route(&self, probe: &[VertexId], queue_lens: &[usize]) -> RouteDecision {
+        let group_load =
+            |g: usize| -> usize { self.groups[g].iter().map(|&gpu| queue_lens[gpu]).sum() };
+
+        // Top two groups by (coverage desc, index asc).
+        let mut best = 0usize;
+        let mut best_score = self.score(0, probe);
+        let mut second: Option<(usize, usize)> = None;
+        for g in 1..self.groups.len() {
+            let s = self.score(g, probe);
+            if s > best_score {
+                second = Some((best, best_score));
+                best = g;
+                best_score = s;
+            } else if second.is_none_or(|(_, ss)| s > ss) {
+                second = Some((g, s));
+            }
+        }
+
+        // Power-of-two-choices tie-break: equal coverage goes to the
+        // less-loaded of the top two, further ties to the lower index
+        // (`best` already is the lower index on equal scores).
+        let mut chosen = best;
+        if let Some((g, s)) = second {
+            if s == best_score && group_load(g) < group_load(best) {
+                chosen = g;
+            }
+        }
+
+        // Saturation check: if every GPU in the chosen group is at or
+        // past the spill threshold, divert to the globally
+        // least-loaded GPU.
+        let (gpu_in_group, min_len) = Self::least_loaded(&self.groups[chosen], queue_lens);
+        if min_len >= self.spill_len {
+            let all: Vec<GpuId> = (0..queue_lens.len()).collect();
+            let (gpu, _) = Self::least_loaded(&all, queue_lens);
+            return RouteDecision {
+                gpu,
+                group: self.group_of_gpu[gpu],
+                spilled: true,
+            };
+        }
+        RouteDecision {
+            gpu: gpu_in_group,
+            group: chosen,
+            spilled: false,
+        }
+    }
+
+    /// GPU with the shortest queue among `gpus` (ties to the lowest
+    /// id), plus that queue length.
+    fn least_loaded(gpus: &[GpuId], queue_lens: &[usize]) -> (GpuId, usize) {
+        let mut best = gpus[0];
+        let mut best_len = queue_lens[best];
+        for &gpu in &gpus[1..] {
+            if queue_lens[gpu] < best_len {
+                best = gpu;
+                best_len = queue_lens[gpu];
+            }
+        }
+        (best, best_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two cliques of two GPUs: group 0 = {0, 1}, group 1 = {2, 3}.
+    fn two_clique_dispatcher(spill_len: usize) -> Dispatcher {
+        let mut d = Dispatcher::new(vec![vec![0, 1], vec![2, 3]], 100, spill_len);
+        d.refresh_group(0, &[0, 1, 2, 3]);
+        d.refresh_group(1, &[50, 51, 52, 53]);
+        d
+    }
+
+    #[test]
+    fn routes_to_the_highest_coverage_group() {
+        let d = two_clique_dispatcher(100);
+        let lens = [5, 5, 0, 0];
+        // Target 1 + neighbors 2, 3 are all resident in group 0, none
+        // in group 1 — coverage wins even though group 1 is idle.
+        let dec = d.route(&[1, 2, 3], &lens);
+        assert_eq!(dec.group, 0);
+        assert!(!dec.spilled);
+        // Shortest queue within the group (tie → lowest id).
+        assert_eq!(dec.gpu, 0);
+
+        let dec = d.route(&[51, 52, 9], &lens);
+        assert_eq!(dec.group, 1);
+        assert_eq!(dec.gpu, 2);
+    }
+
+    #[test]
+    fn equal_coverage_breaks_by_group_load_then_index() {
+        let d = two_clique_dispatcher(100);
+        // Vertex 99 is resident nowhere: scores tie at 0.
+        let dec = d.route(&[99], &[3, 3, 1, 1]);
+        assert_eq!(dec.group, 1, "less-loaded group wins the tie");
+        let dec = d.route(&[99], &[2, 2, 2, 2]);
+        assert_eq!(dec.group, 0, "full tie falls to the lower index");
+    }
+
+    #[test]
+    fn within_group_shortest_queue_wins() {
+        let d = two_clique_dispatcher(100);
+        let dec = d.route(&[1, 2], &[7, 2, 0, 0]);
+        assert_eq!(dec.group, 0);
+        assert_eq!(dec.gpu, 1);
+    }
+
+    #[test]
+    fn spills_to_globally_least_loaded_when_best_group_saturates() {
+        let d = two_clique_dispatcher(4);
+        // Group 0 holds the whole probe but both its queues are at the
+        // threshold; GPU 3 is the global minimum.
+        let dec = d.route(&[1, 2, 3], &[4, 6, 5, 2]);
+        assert!(dec.spilled);
+        assert_eq!(dec.gpu, 3);
+        assert_eq!(dec.group, 1);
+        // One queue under the threshold keeps routing local.
+        let dec = d.route(&[1, 2, 3], &[4, 3, 0, 0]);
+        assert!(!dec.spilled);
+        assert_eq!(dec.gpu, 1);
+        assert_eq!(dec.group, 0);
+    }
+
+    #[test]
+    fn higher_coverage_beats_lower_load() {
+        let d = two_clique_dispatcher(100);
+        // Group 0 scores 1, group 1 scores 0: load does not override a
+        // strict coverage win.
+        let dec = d.route(&[1, 99], &[9, 9, 0, 0]);
+        assert_eq!(dec.group, 0);
+        assert!(!dec.spilled);
+    }
+}

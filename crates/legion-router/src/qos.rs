@@ -1,0 +1,426 @@
+//! Classed admission queue with weighted quotas and inverse-priority
+//! shedding.
+//!
+//! [`ClassedQueue`] replaces the serving tier's flat bounded FIFO. It
+//! keeps one FIFO deque per [`PriorityClass`] under a single shared
+//! capacity and runs in one of two modes:
+//!
+//! * **FIFO mode** (`qos = false`) reproduces the legacy queue exactly:
+//!   drain order is global arrival order (merged on the monotone
+//!   request sequence number) and a full queue sheds the arrival,
+//!   whatever its class.
+//! * **QoS mode** (`qos = true`) drains in strict priority order (FIFO
+//!   within a class) and sheds in strict *inverse* priority order: a
+//!   full queue evicts the newest request of the lowest-priority class
+//!   that is over its weighted quota, so `Batch` drains first and
+//!   `Interactive` tail latency survives overload. Quotas are floors,
+//!   not caps — an under-quota class is protected from eviction, and
+//!   spare capacity is work-conserving (any class may use it until a
+//!   higher-priority arrival reclaims it).
+//!
+//! Accounting invariant: every offered request is counted exactly once
+//! as either admitted or shed — an admitted-then-evicted request moves
+//! from the admitted count to its class's shed count, so
+//! `admitted() + shed_total()` always equals the number of offers.
+
+use std::collections::VecDeque;
+
+use crate::class::{PriorityClass, QueuedRequest, CLASS_COUNT};
+
+/// Outcome of [`ClassedQueue::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request was enqueued.
+    Admitted,
+    /// The request was enqueued after evicting the newest queued
+    /// request of the given lower-priority class.
+    AdmittedEvicting(PriorityClass),
+    /// The queue was full and the request was dropped.
+    Shed,
+}
+
+/// Bounded per-class admission queue for one GPU.
+#[derive(Debug, Clone)]
+pub struct ClassedQueue<R: QueuedRequest> {
+    deques: [VecDeque<R>; CLASS_COUNT],
+    capacity: usize,
+    quotas: [usize; CLASS_COUNT],
+    qos: bool,
+    admitted: u64,
+    shed: [u64; CLASS_COUNT],
+}
+
+impl<R: QueuedRequest> ClassedQueue<R> {
+    /// A legacy-compatible FIFO queue: global arrival-order drain,
+    /// shed-the-arrival when full.
+    pub fn new_fifo(capacity: usize) -> Self {
+        ClassedQueue {
+            deques: std::array::from_fn(|_| VecDeque::new()),
+            capacity,
+            quotas: [0; CLASS_COUNT],
+            qos: false,
+            admitted: 0,
+            shed: [0; CLASS_COUNT],
+        }
+    }
+
+    /// A QoS queue with per-class quota floors `floor(weights[c] *
+    /// capacity)`. Weights should sum to at most 1 so the floors are
+    /// jointly satisfiable; this is validated by the serving config,
+    /// not here.
+    pub fn new_qos(capacity: usize, weights: [f64; CLASS_COUNT]) -> Self {
+        let quotas = std::array::from_fn(|c| (weights[c] * capacity as f64).floor() as usize);
+        ClassedQueue {
+            deques: std::array::from_fn(|_| VecDeque::new()),
+            capacity,
+            quotas,
+            qos: true,
+            admitted: 0,
+            shed: [0; CLASS_COUNT],
+        }
+    }
+
+    /// Whether this queue runs the QoS (priority) discipline.
+    pub fn is_qos(&self) -> bool {
+        self.qos
+    }
+
+    /// Total queued requests across all classes.
+    pub fn len(&self) -> usize {
+        self.deques.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.deques.iter().all(VecDeque::is_empty)
+    }
+
+    /// Queued requests of one class.
+    pub fn class_len(&self, c: PriorityClass) -> usize {
+        self.deques[c.index()].len()
+    }
+
+    /// Requests admitted so far (and not later evicted).
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests shed so far for one class (arrival drops plus
+    /// evictions).
+    pub fn shed(&self, c: PriorityClass) -> u64 {
+        self.shed[c.index()]
+    }
+
+    /// Requests shed so far across all classes.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Offer an arriving request.
+    pub fn offer(&mut self, r: R) -> Admission {
+        let class = r.class();
+        if self.len() < self.capacity {
+            self.deques[class.index()].push_back(r);
+            self.admitted += 1;
+            return Admission::Admitted;
+        }
+        if !self.qos {
+            self.shed[class.index()] += 1;
+            return Admission::Shed;
+        }
+        // Full queue: evict the newest request of the lowest-priority
+        // class that is strictly below the arrival AND over its quota
+        // floor. If every lower class is within quota, the arrival is
+        // shed instead.
+        for victim_idx in (class.index() + 1..CLASS_COUNT).rev() {
+            if self.deques[victim_idx].len() > self.quotas[victim_idx] {
+                self.deques[victim_idx].pop_back();
+                self.shed[victim_idx] += 1;
+                self.admitted -= 1;
+                self.deques[class.index()].push_back(r);
+                self.admitted += 1;
+                return Admission::AdmittedEvicting(PriorityClass::from_index(victim_idx));
+            }
+        }
+        self.shed[class.index()] += 1;
+        Admission::Shed
+    }
+
+    /// Arrival time of the `i`-th request in drain order (`i = 0` is
+    /// the next request [`take`](Self::take) would return).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn kth_arrival(&self, i: usize) -> f64 {
+        assert!(i < self.len(), "kth_arrival past end of queue");
+        if self.qos {
+            // Priority order, FIFO within class.
+            let mut i = i;
+            for dq in &self.deques {
+                if i < dq.len() {
+                    return dq[i].arrival();
+                }
+                i -= dq.len();
+            }
+            unreachable!("index checked against len");
+        }
+        // FIFO mode: i-th smallest sequence number across the deques.
+        let mut cursors = [0usize; CLASS_COUNT];
+        for _ in 0..i {
+            let next = self
+                .min_seq_class(&cursors)
+                .expect("index checked against len");
+            cursors[next] += 1;
+        }
+        let next = self
+            .min_seq_class(&cursors)
+            .expect("index checked against len");
+        self.deques[next][cursors[next]].arrival()
+    }
+
+    /// Remove and return up to `k` requests in drain order.
+    pub fn take(&mut self, k: usize) -> Vec<R> {
+        let n = k.min(self.len());
+        let mut out = Vec::with_capacity(n);
+        if self.qos {
+            for dq in &mut self.deques {
+                while out.len() < n {
+                    match dq.pop_front() {
+                        Some(r) => out.push(r),
+                        None => break,
+                    }
+                }
+            }
+            return out;
+        }
+        let cursors = [0usize; CLASS_COUNT];
+        while out.len() < n {
+            let next = self.min_seq_class(&cursors).expect("len checked");
+            out.push(self.deques[next].pop_front().expect("non-empty deque"));
+        }
+        out
+    }
+
+    /// Earliest arrival time among all pending requests (independent of
+    /// drain order — the age trigger protects even the lowest class
+    /// from waiting forever).
+    pub fn oldest_arrival(&self) -> Option<f64> {
+        self.deques
+            .iter()
+            .filter_map(|dq| dq.front())
+            .map(QueuedRequest::arrival)
+            .fold(None, |acc: Option<f64>, a| {
+                Some(acc.map_or(a, |b| b.min(a)))
+            })
+    }
+
+    /// Latest arrival among the first `k` requests in drain order — the
+    /// time at which a size-`k` batch became available — or `None` when
+    /// fewer than `k` (or zero) requests are pending.
+    pub fn filled_at(&self, k: usize) -> Option<f64> {
+        if k == 0 || self.len() < k {
+            return None;
+        }
+        if !self.qos {
+            // FIFO drain order is sequence order, and sequence numbers
+            // are assigned in arrival order, so the k-th request in
+            // drain order is the latest of the first k.
+            return Some(self.kth_arrival(k - 1));
+        }
+        let mut remaining = k;
+        let mut latest = f64::NEG_INFINITY;
+        for dq in &self.deques {
+            let take = remaining.min(dq.len());
+            for r in dq.iter().take(take) {
+                latest = latest.max(r.arrival());
+            }
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+        Some(latest)
+    }
+
+    /// Index of the deque whose element at `cursors[c]` has the
+    /// smallest sequence number, or `None` if all cursors are past
+    /// their deque's end.
+    fn min_seq_class(&self, cursors: &[usize; CLASS_COUNT]) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (c, dq) in self.deques.iter().enumerate() {
+            if let Some(r) = dq.get(cursors[c]) {
+                let seq = r.seq();
+                if best.is_none_or(|(s, _)| seq < s) {
+                    best = Some((seq, c));
+                }
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy)]
+    struct TestReq {
+        seq: u64,
+        arrival: f64,
+        class: PriorityClass,
+    }
+
+    impl QueuedRequest for TestReq {
+        fn seq(&self) -> u64 {
+            self.seq
+        }
+        fn arrival(&self) -> f64 {
+            self.arrival
+        }
+        fn class(&self) -> PriorityClass {
+            self.class
+        }
+    }
+
+    fn req(seq: u64, class: PriorityClass) -> TestReq {
+        TestReq {
+            seq,
+            arrival: seq as f64 * 1e-3,
+            class,
+        }
+    }
+
+    #[test]
+    fn fifo_mode_drains_in_arrival_order_across_classes() {
+        let mut q: ClassedQueue<TestReq> = ClassedQueue::new_fifo(8);
+        for (seq, class) in [
+            (0, PriorityClass::Batch),
+            (1, PriorityClass::Interactive),
+            (2, PriorityClass::Standard),
+            (3, PriorityClass::Batch),
+            (4, PriorityClass::Interactive),
+        ] {
+            assert_eq!(q.offer(req(seq, class)), Admission::Admitted);
+        }
+        assert_eq!(q.kth_arrival(0), 0.0);
+        assert_eq!(q.kth_arrival(3), 3e-3);
+        let taken: Vec<u64> = q.take(4).iter().map(|r| r.seq).collect();
+        assert_eq!(taken, vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.take(4).len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_mode_sheds_the_arrival_when_full() {
+        let mut q: ClassedQueue<TestReq> = ClassedQueue::new_fifo(2);
+        q.offer(req(0, PriorityClass::Batch));
+        q.offer(req(1, PriorityClass::Batch));
+        assert_eq!(q.offer(req(2, PriorityClass::Interactive)), Admission::Shed);
+        assert_eq!(q.shed(PriorityClass::Interactive), 1);
+        assert_eq!(q.shed(PriorityClass::Batch), 0);
+        assert_eq!(q.admitted(), 2);
+    }
+
+    #[test]
+    fn qos_drain_is_priority_ordered_fifo_within_class() {
+        let mut q: ClassedQueue<TestReq> = ClassedQueue::new_qos(8, [0.5, 0.3, 0.2]);
+        q.offer(req(0, PriorityClass::Batch));
+        q.offer(req(1, PriorityClass::Standard));
+        q.offer(req(2, PriorityClass::Interactive));
+        q.offer(req(3, PriorityClass::Interactive));
+        q.offer(req(4, PriorityClass::Batch));
+        assert_eq!(q.kth_arrival(0), 2e-3);
+        let taken: Vec<u64> = q.take(5).iter().map(|r| r.seq).collect();
+        assert_eq!(taken, vec![2, 3, 1, 0, 4]);
+    }
+
+    #[test]
+    fn qos_full_queue_evicts_batch_strictly_before_interactive() {
+        // Shed-order pin: all capacity held by Batch; arriving
+        // Interactive evicts Batch (newest first), never the reverse.
+        let mut q: ClassedQueue<TestReq> = ClassedQueue::new_qos(4, [0.5, 0.3, 0.0]);
+        for seq in 0..4 {
+            assert_eq!(q.offer(req(seq, PriorityClass::Batch)), Admission::Admitted);
+        }
+        for seq in 4..8 {
+            assert_eq!(
+                q.offer(req(seq, PriorityClass::Interactive)),
+                Admission::AdmittedEvicting(PriorityClass::Batch)
+            );
+        }
+        assert_eq!(q.shed(PriorityClass::Batch), 4);
+        assert_eq!(q.shed(PriorityClass::Interactive), 0);
+        assert_eq!(q.class_len(PriorityClass::Interactive), 4);
+        assert_eq!(q.class_len(PriorityClass::Batch), 0);
+        // The evicted Batch requests were the newest ones.
+        let taken: Vec<u64> = q.take(4).iter().map(|r| r.seq).collect();
+        assert_eq!(taken, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn quota_floor_protects_an_under_quota_class() {
+        // capacity 4, quotas: interactive 2, standard 1, batch 2.
+        let mut q: ClassedQueue<TestReq> = ClassedQueue::new_qos(4, [0.5, 0.25, 0.5]);
+        q.offer(req(0, PriorityClass::Batch));
+        q.offer(req(1, PriorityClass::Batch));
+        q.offer(req(2, PriorityClass::Standard));
+        q.offer(req(3, PriorityClass::Standard));
+        // Batch is at its quota floor (2 <= 2); Standard is over its
+        // floor (2 > 1), so Standard's newest is the victim.
+        assert_eq!(
+            q.offer(req(4, PriorityClass::Interactive)),
+            Admission::AdmittedEvicting(PriorityClass::Standard)
+        );
+        assert_eq!(q.shed(PriorityClass::Standard), 1);
+        assert_eq!(q.shed(PriorityClass::Batch), 0);
+    }
+
+    #[test]
+    fn lowest_class_arrival_is_shed_not_evicting() {
+        let mut q: ClassedQueue<TestReq> = ClassedQueue::new_qos(2, [0.5, 0.5, 0.0]);
+        q.offer(req(0, PriorityClass::Interactive));
+        q.offer(req(1, PriorityClass::Standard));
+        assert_eq!(q.offer(req(2, PriorityClass::Batch)), Admission::Shed);
+        assert_eq!(q.shed(PriorityClass::Batch), 1);
+    }
+
+    #[test]
+    fn window_views_track_drain_order_and_true_age() {
+        let mut q: ClassedQueue<TestReq> = ClassedQueue::new_qos(8, [0.5, 0.3, 0.2]);
+        assert_eq!(q.oldest_arrival(), None);
+        assert_eq!(q.filled_at(1), None);
+        q.offer(req(0, PriorityClass::Batch));
+        q.offer(req(1, PriorityClass::Interactive));
+        q.offer(req(2, PriorityClass::Standard));
+        // True age: the Batch request is oldest even though it drains
+        // last.
+        assert_eq!(q.oldest_arrival(), Some(0.0));
+        // First two in drain order are Interactive (1e-3) then Standard
+        // (2e-3): the pair is complete at 2e-3.
+        assert_eq!(q.filled_at(2), Some(2e-3));
+        assert_eq!(q.filled_at(3), Some(2e-3));
+        assert_eq!(q.filled_at(4), None);
+
+        let mut fifo: ClassedQueue<TestReq> = ClassedQueue::new_fifo(8);
+        fifo.offer(req(0, PriorityClass::Batch));
+        fifo.offer(req(1, PriorityClass::Interactive));
+        assert_eq!(fifo.filled_at(2), Some(1e-3));
+        assert_eq!(fifo.oldest_arrival(), Some(0.0));
+    }
+
+    #[test]
+    fn accounting_conserves_offers() {
+        let mut q: ClassedQueue<TestReq> = ClassedQueue::new_qos(3, [0.4, 0.3, 0.0]);
+        let mut offered = 0u64;
+        for seq in 0..10 {
+            let class = PriorityClass::from_index((seq % 3) as usize);
+            q.offer(req(seq, class));
+            offered += 1;
+        }
+        assert_eq!(q.admitted() + q.shed_total(), offered);
+        let taken = q.take(10);
+        assert_eq!(taken.len() as u64, q.admitted());
+    }
+}

@@ -7,7 +7,50 @@
 //! or when the oldest pending request has waited `max_wait` simulated
 //! seconds, whichever comes first (and never before the GPU is free).
 
+use legion_router::ClassedQueue;
+
 use crate::queue::AdmissionQueue;
+use crate::workload::Request;
+
+/// What the batcher needs to see of a pending-request queue: how many
+/// requests wait, when a size-`k` batch became available, and the true
+/// age of the oldest request. Implemented by the legacy FIFO
+/// [`AdmissionQueue`] and by the router's [`ClassedQueue`] (whose drain
+/// order may differ from arrival order under QoS).
+pub trait PendingWindow {
+    /// Requests currently pending.
+    fn pending(&self) -> usize;
+    /// Latest arrival among the first `k` requests in drain order, or
+    /// `None` when fewer than `k` are pending.
+    fn filled_at(&self, k: usize) -> Option<f64>;
+    /// Earliest arrival among all pending requests.
+    fn oldest_arrival(&self) -> Option<f64>;
+}
+
+impl PendingWindow for AdmissionQueue {
+    fn pending(&self) -> usize {
+        self.len()
+    }
+    fn filled_at(&self, k: usize) -> Option<f64> {
+        // FIFO order: the k-th oldest is the latest of the first k.
+        k.checked_sub(1).and_then(|i| self.arrival(i))
+    }
+    fn oldest_arrival(&self) -> Option<f64> {
+        self.arrival(0)
+    }
+}
+
+impl PendingWindow for ClassedQueue<Request> {
+    fn pending(&self) -> usize {
+        self.len()
+    }
+    fn filled_at(&self, k: usize) -> Option<f64> {
+        ClassedQueue::filled_at(self, k)
+    }
+    fn oldest_arrival(&self) -> Option<f64> {
+        ClassedQueue::oldest_arrival(self)
+    }
+}
 
 /// The close-batch policy: size trigger plus age trigger.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,15 +83,15 @@ impl BatchPolicy {
     ///   requests, is simply its recorded arrival time);
     /// * partial batch — launch when the oldest request's wait expires,
     ///   clamped to the GPU-free time.
-    pub fn launch_time(&self, queue: &AdmissionQueue, free_at: f64) -> Option<f64> {
-        if queue.len() >= self.max_batch {
+    pub fn launch_time<Q: PendingWindow>(&self, queue: &Q, free_at: f64) -> Option<f64> {
+        if queue.pending() >= self.max_batch {
             let filled_at = queue
-                .arrival(self.max_batch - 1)
+                .filled_at(self.max_batch)
                 .expect("queue holds at least max_batch requests");
             Some(free_at.max(filled_at))
         } else {
             queue
-                .arrival(0)
+                .oldest_arrival()
                 .map(|oldest| free_at.max(oldest + self.max_wait))
         }
     }
@@ -57,7 +100,7 @@ impl BatchPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::Request;
+    use legion_router::PriorityClass;
 
     fn queue_with(arrivals: &[f64]) -> AdmissionQueue {
         let mut q = AdmissionQueue::new(64);
@@ -66,6 +109,7 @@ mod tests {
                 id: i as u64,
                 arrival: a,
                 target: 0,
+                class: PriorityClass::Standard,
             });
         }
         q
@@ -113,5 +157,32 @@ mod tests {
     #[should_panic(expected = "max_batch must be positive")]
     fn zero_batch_rejected() {
         let _ = BatchPolicy::new(0, 0.1);
+    }
+
+    /// Under a QoS queue the age trigger follows the truly-oldest
+    /// request (even a low-priority one that drains last), and the size
+    /// trigger follows the drain-order prefix.
+    #[test]
+    fn qos_queue_launch_uses_true_age_and_drain_prefix() {
+        let mut q: ClassedQueue<Request> = ClassedQueue::new_qos(16, [0.5, 0.3, 0.2]);
+        q.offer(Request {
+            id: 0,
+            arrival: 1.0,
+            target: 0,
+            class: PriorityClass::Batch,
+        });
+        q.offer(Request {
+            id: 1,
+            arrival: 1.4,
+            target: 0,
+            class: PriorityClass::Interactive,
+        });
+        let p = BatchPolicy::new(4, 0.5);
+        // Age trigger: oldest is the Batch request at 1.0.
+        assert_eq!(p.launch_time(&q, 0.0), Some(1.5));
+        // Size trigger: a 2-batch became available at the Interactive
+        // arrival (1.4), which drains first but arrived last.
+        let p2 = BatchPolicy::new(2, 10.0);
+        assert_eq!(p2.launch_time(&q, 0.0), Some(1.4));
     }
 }

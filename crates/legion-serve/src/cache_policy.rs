@@ -23,7 +23,8 @@ use rand::SeedableRng;
 
 use legion_cache::CliqueCache;
 use legion_graph::{CsrGraph, FeatureTable, VertexId};
-use legion_hw::MultiGpuServer;
+use legion_hw::{GpuId, MultiGpuServer};
+use legion_partition::{detect_cliques, LdgPartitioner, Partitioner};
 use legion_sampling::access::{sample_from, CacheLayout};
 
 use crate::workload::TargetSampler;
@@ -129,6 +130,85 @@ pub fn build_static_layout(
     CacheLayout::from_cliques(num_gpus, cliques)
 }
 
+/// Builds the clique-partitioned hybrid layout the residency router
+/// dispatches over: each NVLink clique pools its members' cache budgets
+/// (`rows_per_gpu` rows per member GPU), spends `replicate_frac` of the
+/// pool replicating the globally hottest vertices into *every* clique
+/// (so the ultra-hot head is always a local hit regardless of routing),
+/// and fills the remainder with the hottest vertices the LDG
+/// partitioner (§4.1) assigned to that clique — backfilled from the
+/// global hotness ranking when the clique's partition runs short. Rows
+/// are striped round-robin across the clique's member slots, so each
+/// GPU stores an equal share and a within-clique remote row costs one
+/// NVLink read instead of a PCIe fetch.
+///
+/// Returns the layout plus the clique membership (`groups[g]` is the
+/// list of GPU ids in route group `g`) for the dispatcher.
+///
+/// # Panics
+///
+/// Panics if a GPU cannot fit its share of the pooled rows.
+pub fn build_partitioned_layout(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    hot: &[VertexId],
+    rows_per_gpu: usize,
+    replicate_frac: f64,
+) -> (CacheLayout, Vec<Vec<GpuId>>) {
+    let groups = detect_cliques(server.nvlink());
+    let part = LdgPartitioner::default().partition(graph, groups.len());
+    let num_gpus = server.num_gpus();
+    let mut cliques = Vec::with_capacity(groups.len());
+    for (gi, members) in groups.iter().enumerate() {
+        let budget = (rows_per_gpu * members.len()).min(hot.len());
+        let replicated = (budget as f64 * replicate_frac).floor() as usize;
+        let mut taken = vec![false; graph.num_vertices()];
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(budget);
+        for &v in &hot[..replicated] {
+            if !taken[v as usize] {
+                taken[v as usize] = true;
+                chosen.push(v);
+            }
+        }
+        // Clique-owned remainder: hottest vertices the partitioner
+        // assigned to this clique, then globally hottest leftovers as
+        // backfill when the partition runs short of the budget.
+        for &v in hot {
+            if chosen.len() >= budget {
+                break;
+            }
+            if part[v as usize] as usize == gi && !taken[v as usize] {
+                taken[v as usize] = true;
+                chosen.push(v);
+            }
+        }
+        for &v in hot {
+            if chosen.len() >= budget {
+                break;
+            }
+            if !taken[v as usize] {
+                taken[v as usize] = true;
+                chosen.push(v);
+            }
+        }
+        let mut cc = CliqueCache::new(members.clone(), graph.num_vertices(), features.dim());
+        let mut slot_rows = vec![0u64; members.len()];
+        for (idx, &v) in chosen.iter().enumerate() {
+            let slot = idx % members.len();
+            cc.insert_feature(slot, v, features.row(v));
+            slot_rows[slot] += 1;
+        }
+        for (slot, &gpu) in members.iter().enumerate() {
+            server
+                .alloc(gpu, slot_rows[slot] * features.row_bytes())
+                .expect("partitioned feature cache exceeds GPU memory");
+        }
+        cliques.push(cc);
+    }
+    (CacheLayout::from_cliques(num_gpus, cliques), groups)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +278,61 @@ mod tests {
         let server = ServerSpec::custom(1, 64, 1).build();
         let hot: Vec<VertexId> = (0..32).collect();
         let _ = build_static_layout(&g, &f, &server, &hot, 32);
+    }
+
+    fn two_communities() -> CsrGraph {
+        // Vertices 0..32 form one dense ring-with-chords community,
+        // 32..64 another; a single bridge edge joins them so LDG has a
+        // clean two-way cut.
+        let mut b = GraphBuilder::new(64);
+        for base in [0u32, 32] {
+            for v in 0..32 {
+                b.push_edge(base + v, base + (v + 1) % 32);
+                b.push_edge(base + v, base + (v + 7) % 32);
+            }
+        }
+        b.push_edge(0, 32);
+        b.build()
+    }
+
+    #[test]
+    fn partitioned_layout_replicates_the_head_and_stripes_the_rest() {
+        let g = two_communities();
+        let f = FeatureTable::zeros(64, 8);
+        let server = ServerSpec::custom(4, 1 << 20, 2).build();
+        let hot: Vec<VertexId> = (0..64).collect();
+        let (layout, groups) = build_partitioned_layout(&g, &f, &server, &hot, 8, 0.5);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+        // Budget per clique: 8 rows/GPU x 2 GPUs = 16, half replicated.
+        let caches: Vec<_> = [0, 2]
+            .iter()
+            .map(|&gpu| layout.for_gpu(gpu).expect("gpu has a cache").0)
+            .collect();
+        for cache in &caches {
+            let resident = cache.feature_vertices();
+            assert_eq!(resident.len(), 16);
+            for v in 0..8u32 {
+                assert!(resident.contains(&v), "head vertex {v} must replicate");
+            }
+        }
+        // Beyond the replicated head the cliques diverge: they own
+        // different partitions of the warm tail.
+        assert_ne!(caches[0].feature_vertices(), caches[1].feature_vertices());
+        // Rows are striped evenly, and each GPU is charged its share.
+        for gpu in 0..4 {
+            assert_eq!(server.allocated_bytes(gpu), 8 * f.row_bytes());
+        }
+    }
+
+    #[test]
+    fn full_replication_makes_cliques_identical() {
+        let g = two_communities();
+        let f = FeatureTable::zeros(64, 8);
+        let server = ServerSpec::custom(4, 1 << 20, 2).build();
+        let hot: Vec<VertexId> = (0..64).collect();
+        let (layout, _) = build_partitioned_layout(&g, &f, &server, &hot, 8, 1.0);
+        let a = layout.for_gpu(0).unwrap().0.feature_vertices();
+        let b = layout.for_gpu(2).unwrap().0.feature_vertices();
+        assert_eq!(a, b, "replicate_frac 1.0 means one shared hot set");
     }
 }

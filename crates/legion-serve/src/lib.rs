@@ -66,9 +66,19 @@
 //! | `serve.replan.recover_us` | histogram | drift-trigger → hit-rate-recovery time |
 //! | `serve.gpu{g}.window_hit_rate` | gauge | sliding-window feature hit rate |
 //! | `cache.gpu{g}.{topology,feature}_{hits,misses}` | counter | shared with `legion-sampling`'s access engine |
+//! | `serve.class{c}.latency_us` | histogram | per-class end-to-end latency (multi-class runs) |
+//! | `serve.class{c}.{completed,slo_ok,shed}` | counter | per-class conservation + SLO accounting |
+//! | `serve.class{c}.p99_us` / `.slo_attainment` | gauge | per-class run summary |
+//! | `serve.route.clique{q}.{routed,spilled,shed}` | counter | per-clique routing outcomes (`--router` runs) |
+//! | `serve.route.locality` | gauge | mean fraction of the routed probe resident in the chosen clique |
+//! | `pipeline.gpu{g}.queue_depth` | histogram | admission-queue depth at each batch launch |
 //!
 //! (`{g}` is a zero-based GPU index; `{k}` a zero-padded drift-phase
-//! index, e.g. `serve.phase003.feature_hits`.)
+//! index, e.g. `serve.phase003.feature_hits`; `{c}` a class priority
+//! index — 0 = `Interactive`, 1 = `Standard`, 2 = `Batch`; `{q}` a
+//! route-group / clique index. Class and route metrics are registered
+//! only when the run actually uses them: per-class metrics for
+//! multi-class mixes, route metrics for the residency router.)
 
 pub mod batcher;
 pub mod cache_policy;
@@ -79,9 +89,12 @@ pub mod slo;
 pub mod sweep;
 pub mod workload;
 
-pub use batcher::BatchPolicy;
-pub use cache_policy::{build_static_layout, warmup_hot_vertices, PolicyKind};
+pub use batcher::{BatchPolicy, PendingWindow};
+pub use cache_policy::{
+    build_partitioned_layout, build_static_layout, warmup_hot_vertices, PolicyKind,
+};
 pub use engine::{serve, ServeReport};
+pub use legion_router::{PriorityClass, RouterConfig, RouterPolicy, CLASS_COUNT};
 pub use queue::AdmissionQueue;
 pub use replan::{
     plan_layout, profile_warmup, DriftDetector, PlanBuffer, ReplanConfig, ReplanState,
@@ -91,7 +104,10 @@ pub use slo::{latency_buckets, SloTracker};
 pub use sweep::{
     estimate_capacity_rps, run_sweep, LoadPoint, SMOKE_MULTIPLIERS, SWEEP_MULTIPLIERS,
 };
-pub use workload::{generate_workload, ArrivalProcess, Request, TargetSampler};
+pub use workload::{
+    generate_workload, generate_workload_classed, ArrivalProcess, ClassSampler, Request,
+    TargetSampler,
+};
 
 /// Full configuration of one serving run.
 #[derive(Debug, Clone)]
@@ -129,8 +145,82 @@ pub struct ServeConfig {
     pub hidden_dim: usize,
     /// Output classes of the inference model.
     pub num_classes: usize,
+    /// Front-end routing (round-robin vs residency-aware dispatch).
+    pub router: RouterConfig,
+    /// Priority-class mix and QoS knobs.
+    pub classes: ClassConfig,
     /// Master seed; every internal RNG stream derives from it.
     pub seed: u64,
+}
+
+/// Priority-class workload mix and QoS discipline of a serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassConfig {
+    /// Relative class weights in priority order
+    /// (`[Interactive, Standard, Batch]`); normalized internally. The
+    /// default `[0, 1, 0]` reproduces the legacy single-class stream
+    /// byte-for-byte.
+    pub mix: [f64; CLASS_COUNT],
+    /// Zipf-exponent multiplier for `Interactive` targets (drawn from a
+    /// hotter head); `1.0` disables class-correlated skew.
+    pub interactive_boost: f64,
+    /// Per-class latency SLO targets, microseconds, in priority order.
+    pub slo_us: [u64; CLASS_COUNT],
+    /// Whether admission queues run the QoS discipline (priority drain,
+    /// weighted quotas, inverse-priority shedding) instead of FIFO.
+    pub qos: bool,
+    /// Per-class admission-quota weights (fraction of queue capacity
+    /// guaranteed to each class under QoS); must sum to at most 1.
+    pub qos_weights: [f64; CLASS_COUNT],
+}
+
+impl Default for ClassConfig {
+    fn default() -> Self {
+        Self {
+            mix: [0.0, 1.0, 0.0],
+            interactive_boost: 1.5,
+            slo_us: [500, 1000, 8000],
+            qos: false,
+            qos_weights: [0.5, 0.3, 0.2],
+        }
+    }
+}
+
+impl ClassConfig {
+    /// Whether more than one class has positive weight — per-class
+    /// telemetry is registered only for such runs.
+    pub fn multi_class(&self) -> bool {
+        self.mix.iter().filter(|&&w| w > 0.0).count() > 1
+    }
+
+    /// Checks the invariants the engine relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first violated
+    /// invariant.
+    pub fn validate(&self) {
+        assert!(
+            self.mix.iter().all(|&w| w >= 0.0) && self.mix.iter().sum::<f64>() > 0.0,
+            "class mix must be non-negative with positive total"
+        );
+        assert!(
+            self.interactive_boost >= 1.0,
+            "interactive_boost must be >= 1.0"
+        );
+        assert!(
+            self.slo_us.iter().all(|&s| s > 0),
+            "per-class SLOs must be positive"
+        );
+        assert!(
+            self.qos_weights.iter().all(|&w| (0.0..=1.0).contains(&w)),
+            "qos_weights must be in [0, 1]"
+        );
+        assert!(
+            self.qos_weights.iter().sum::<f64>() <= 1.0 + 1e-9,
+            "qos_weights must sum to at most 1"
+        );
+    }
 }
 
 impl Default for ServeConfig {
@@ -158,6 +248,8 @@ impl Default for ServeConfig {
             fanouts: vec![10, 5],
             hidden_dim: 32,
             num_classes: 16,
+            router: RouterConfig::default(),
+            classes: ClassConfig::default(),
             seed: 42,
         }
     }
@@ -183,6 +275,8 @@ impl ServeConfig {
             "arrival rate must be positive"
         );
         self.replan.validate();
+        self.router.validate();
+        self.classes.validate();
     }
 }
 

@@ -85,6 +85,7 @@ mod tests {
             id,
             arrival,
             target: id as u32,
+            class: legion_router::PriorityClass::Standard,
         }
     }
 

@@ -37,10 +37,17 @@ impl SloTracker {
     /// Registers `serve.latency_us`, `serve.completed` and `serve.slo_ok`
     /// on `registry`, targeting a latency SLO of `slo_us` microseconds.
     pub fn new(registry: &Arc<Registry>, slo_us: u64) -> Self {
+        Self::named(registry, "serve", slo_us)
+    }
+
+    /// Registers `{prefix}.latency_us`, `{prefix}.completed` and
+    /// `{prefix}.slo_ok` — the per-class trackers use prefixes like
+    /// `serve.class0` next to the aggregate `serve` tracker.
+    pub fn named(registry: &Arc<Registry>, prefix: &str, slo_us: u64) -> Self {
         Self {
-            latency: registry.histogram("serve.latency_us", &latency_buckets()),
-            completed: registry.counter("serve.completed"),
-            slo_ok: registry.counter("serve.slo_ok"),
+            latency: registry.histogram(&format!("{prefix}.latency_us"), &latency_buckets()),
+            completed: registry.counter(&format!("{prefix}.completed")),
+            slo_ok: registry.counter(&format!("{prefix}.slo_ok")),
             slo_us,
         }
     }
@@ -105,6 +112,28 @@ mod tests {
         t.record(50_000);
         assert_eq!(t.completed(), 4);
         assert!((t.attainment() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn named_trackers_use_their_own_counters() {
+        let registry = Arc::new(Registry::new());
+        let agg = SloTracker::new(&registry, 1000);
+        let class0 = SloTracker::named(&registry, "serve.class0", 500);
+        agg.record(100);
+        class0.record(100);
+        class0.record(900);
+        assert_eq!(agg.completed(), 1);
+        assert_eq!(class0.completed(), 2);
+        assert!((class0.attainment() - 0.5).abs() < 1e-12);
+        let snap = registry.snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|c| c.name == "serve.class0.slo_ok"));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "serve.class0.latency_us"));
     }
 
     #[test]

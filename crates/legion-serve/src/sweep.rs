@@ -20,8 +20,10 @@ use legion_pipeline::TimeModel;
 use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
 use legion_sampling::KHopSampler;
 
+use legion_router::CLASS_COUNT;
+
 use crate::engine::serve;
-use crate::workload::TargetSampler;
+use crate::workload::{ClassSampler, TargetSampler};
 use crate::ServeConfig;
 
 /// Default load multipliers for the full sweep; the knee sits between
@@ -57,6 +59,21 @@ pub struct LoadPoint {
     pub p99_us: u64,
     /// Fraction of completed requests within the SLO.
     pub slo_attainment: f64,
+    /// Per-class p99 latency (`[Interactive, Standard, Batch]`), zeros
+    /// for single-class runs.
+    pub class_p99_us: [u64; CLASS_COUNT],
+    /// Per-class SLO attainment against the per-class targets; `1.0`
+    /// for single-class runs.
+    pub class_slo_attainment: [f64; CLASS_COUNT],
+    /// Per-class shed counts.
+    pub class_shed: [u64; CLASS_COUNT],
+    /// Requests placed by clique coverage (residency-router runs).
+    pub routed: u64,
+    /// Requests spilled out of their best clique under saturation.
+    pub spilled: u64,
+    /// Mean probe coverage of the chosen clique; `1.0` with the router
+    /// off.
+    pub route_locality: f64,
 }
 
 /// Estimates serving capacity (requests per simulated second) with a
@@ -66,6 +83,14 @@ pub struct LoadPoint {
 /// undershoot the steady-state ceiling so badly that "1.3x capacity"
 /// could still be under real capacity and never saturate. Resets the
 /// server before and after, so the probe leaves no trace in later runs.
+///
+/// The probe is class-aware: its seed stream draws each probe target
+/// for a class sampled from [`ClassConfig::mix`](crate::ClassConfig),
+/// with `Interactive` targets from the boosted head when class skew is
+/// enabled — so the estimate anchors to the *aggregate mix*, not to any
+/// single class's distribution. With the default single-class mix the
+/// probe is byte-identical to the original single-class estimator
+/// (pinned by `legacy_probe_is_byte_identical_for_single_class`).
 pub fn estimate_capacity_rps(
     graph: &CsrGraph,
     features: &FeatureTable,
@@ -93,6 +118,10 @@ pub fn estimate_capacity_rps(
         0,
         0,
     );
+    if config.classes.mix[0] > 0.0 {
+        targets = targets.with_interactive_boost(config.classes.interactive_boost);
+    }
+    let mut classes = ClassSampler::new(config.classes.mix, config.seed ^ 0x0bad_cafe_f00d_beef);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0bad_cafe_f00d_beef);
     let mut fifo = legion_cache::FifoCache::new(config.cache_rows_per_gpu);
     let row_tx = server.pcie().transactions_for_payload(features.row_bytes());
@@ -102,7 +131,7 @@ pub fn estimate_capacity_rps(
     let mut total = 0.0f64;
     for i in 0..WARMUP_BATCHES + PROBES {
         let mut seeds: Vec<u32> = (0..config.max_batch)
-            .map(|_| targets.next(&mut rng))
+            .map(|_| targets.next_for_class(classes.sample(), &mut rng))
             .collect();
         // Same dedupe as the engine: duplicate targets expand once.
         seeds.sort_unstable();
@@ -160,6 +189,12 @@ pub fn run_sweep(
                 p95_us: report.p95_us,
                 p99_us: report.p99_us,
                 slo_attainment: report.slo_attainment,
+                class_p99_us: report.class_p99_us,
+                class_slo_attainment: report.class_slo_attainment,
+                class_shed: report.class_shed,
+                routed: report.routed,
+                spilled: report.spilled,
+                route_locality: report.route_locality,
             }
         })
         .collect()
@@ -220,6 +255,110 @@ mod tests {
             "overload tail {} must not beat light load {}",
             points[1].p99_us,
             points[0].p99_us
+        );
+    }
+
+    /// Reference reimplementation of the original single-class probe
+    /// loop (before class-aware seeding). The class-aware probe with
+    /// the default `[0, 1, 0]` mix must reproduce it bit-for-bit: the
+    /// class stream lives on its own RNG and a `Standard` draw consumes
+    /// exactly one uniform from the main stream, same as before.
+    fn legacy_probe(
+        graph: &CsrGraph,
+        features: &FeatureTable,
+        server: &MultiGpuServer,
+        config: &ServeConfig,
+    ) -> f64 {
+        use legion_gnn::{GnnModel, ModelKind};
+        use legion_hw::pcm::TrafficKind;
+        use legion_pipeline::TimeModel;
+        use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
+        use legion_sampling::KHopSampler;
+
+        server.reset();
+        let layout = CacheLayout::none(server.num_gpus());
+        let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva);
+        let time_model = TimeModel::new(server.spec());
+        let sampler = KHopSampler::new(config.fanouts.clone());
+        let mut model_rng = StdRng::seed_from_u64(config.seed ^ 0x51ee_7d00_c0de_cafe);
+        let model = GnnModel::new(
+            ModelKind::GraphSage,
+            features.dim(),
+            config.hidden_dim,
+            config.num_classes,
+            config.fanouts.len(),
+            &mut model_rng,
+        );
+        let mut targets = TargetSampler::new(
+            (0..graph.num_vertices() as u32).collect(),
+            config.zipf_exponent,
+            0,
+            0,
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0bad_cafe_f00d_beef);
+        let mut fifo = legion_cache::FifoCache::new(config.cache_rows_per_gpu);
+        let row_tx = server.pcie().transactions_for_payload(features.row_bytes());
+        let mut total = 0.0f64;
+        for i in 0..12 {
+            let mut seeds: Vec<u32> = (0..config.max_batch)
+                .map(|_| targets.next(&mut rng))
+                .collect();
+            seeds.sort_unstable();
+            seeds.dedup();
+            let topo_before = server.pcm().gpu_kind(0, TrafficKind::Topology);
+            let sample = sampler.sample_batch(&engine, 0, &seeds, &mut rng, None);
+            let topo_tx = server.pcm().gpu_kind(0, TrafficKind::Topology) - topo_before;
+            let feat_tx: u64 = sample
+                .all_vertices
+                .iter()
+                .filter(|&&v| !fifo.access(v))
+                .count() as u64
+                * row_tx;
+            if i < 8 {
+                continue;
+            }
+            let sample_t = time_model.sample_seconds(topo_tx, sample.total_edges() as u64);
+            let extract_t = time_model.extract_seconds(feat_tx, 0);
+            total +=
+                sample_t.max(extract_t) + time_model.train_seconds(model.inference_flops(&sample));
+        }
+        server.reset();
+        server.num_gpus() as f64 * config.max_batch as f64 / (total / 4.0)
+    }
+
+    #[test]
+    fn legacy_probe_is_byte_identical_for_single_class() {
+        let (g, f, config) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let new = estimate_capacity_rps(&g, &f, &server, &config);
+        let old = legacy_probe(&g, &f, &server, &config);
+        assert_eq!(new.to_bits(), old.to_bits(), "new {new} vs legacy {old}");
+    }
+
+    #[test]
+    fn multi_class_probe_differs_and_sweep_exports_class_columns() {
+        let (g, f, mut config) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let single = estimate_capacity_rps(&g, &f, &server, &config);
+        config.classes.mix = [0.3, 0.4, 0.3];
+        config.classes.qos = true;
+        let mixed = estimate_capacity_rps(&g, &f, &server, &config);
+        assert!(mixed > 0.0);
+        assert_ne!(
+            single.to_bits(),
+            mixed.to_bits(),
+            "a multi-class mix reshapes the probe's seed stream"
+        );
+        let points = run_sweep(&g, &f, &server, &config, mixed, &[2.0]);
+        assert_eq!(points[0].class_p99_us.iter().filter(|&&p| p > 0).count(), 3);
+        assert!(points[0]
+            .class_slo_attainment
+            .iter()
+            .all(|&a| (0.0..=1.0).contains(&a)));
+        assert_eq!(
+            points[0].class_shed.iter().sum::<u64>(),
+            points[0].shed,
+            "class sheds decompose the total"
         );
     }
 

@@ -7,11 +7,21 @@
 //! target vertices moves over time (trending entities), which is exactly
 //! the regime where a statically planned hotness cache decays and a
 //! dynamic cache earns its replacement overhead.
+//!
+//! Requests also carry a [`PriorityClass`]. Class assignment draws from
+//! its *own* seeded RNG stream ([`ClassSampler`]), and a classed target
+//! draw consumes exactly one uniform from the main stream either way —
+//! so adding classes leaves the legacy arrival/target draw order intact
+//! (pinned by `classed_default_mix_matches_legacy_workload`), and
+//! `Interactive` traffic can be drawn from a hotter Zipf head without
+//! disturbing the other classes' targets.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use legion_graph::generate::Zipf;
 use legion_graph::VertexId;
+use legion_router::{PriorityClass, QueuedRequest, CLASS_COUNT};
 
 /// One inference request: classify `target` using its sampled
 /// multi-hop neighborhood.
@@ -23,6 +33,71 @@ pub struct Request {
     pub arrival: f64,
     /// The vertex whose label is being requested.
     pub target: VertexId,
+    /// The request's QoS priority class.
+    pub class: PriorityClass,
+}
+
+impl QueuedRequest for Request {
+    fn seq(&self) -> u64 {
+        self.id
+    }
+    fn arrival(&self) -> f64 {
+        self.arrival
+    }
+    fn class(&self) -> PriorityClass {
+        self.class
+    }
+}
+
+/// Draws each request's [`PriorityClass`] from a configurable mix,
+/// using a dedicated RNG stream so class assignment never perturbs the
+/// main workload stream's draw order.
+#[derive(Debug, Clone)]
+pub struct ClassSampler {
+    cdf: [f64; CLASS_COUNT],
+    rng: StdRng,
+}
+
+impl ClassSampler {
+    /// Salt XORed into the seed so the class stream is independent of
+    /// every other stream derived from the same master seed.
+    const STREAM_SALT: u64 = 0xc1a5_5e5a_11de_7e4a;
+
+    /// A sampler over `mix` (relative class weights, normalized here)
+    /// seeded from the run's master `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix has a negative entry or sums to zero.
+    pub fn new(mix: [f64; CLASS_COUNT], seed: u64) -> Self {
+        assert!(
+            mix.iter().all(|&w| w >= 0.0),
+            "class mix weights must be non-negative"
+        );
+        let total: f64 = mix.iter().sum();
+        assert!(total > 0.0, "class mix must have positive total weight");
+        let mut cdf = [0.0; CLASS_COUNT];
+        let mut acc = 0.0;
+        for (i, &w) in mix.iter().enumerate() {
+            acc += w / total;
+            cdf[i] = acc;
+        }
+        Self {
+            cdf,
+            rng: StdRng::seed_from_u64(seed ^ Self::STREAM_SALT),
+        }
+    }
+
+    /// Draws the next request's class.
+    pub fn sample(&mut self) -> PriorityClass {
+        let u: f64 = self.rng.gen();
+        for (i, &c) in self.cdf.iter().enumerate() {
+            if u < c {
+                return PriorityClass::from_index(i);
+            }
+        }
+        PriorityClass::from_index(CLASS_COUNT - 1)
+    }
 }
 
 /// The inter-arrival process of an open-loop client population.
@@ -120,6 +195,10 @@ impl ArrivalProcess {
 #[derive(Debug, Clone)]
 pub struct TargetSampler {
     zipf: Zipf,
+    exponent: f64,
+    /// Hotter Zipf for `Interactive` targets (class-correlated skew);
+    /// `None` keeps every class on the base distribution.
+    hot: Option<Zipf>,
     targets: Vec<VertexId>,
     drift_period: usize,
     drift_stride: usize,
@@ -142,11 +221,27 @@ impl TargetSampler {
         assert!(!targets.is_empty(), "need at least one serving target");
         Self {
             zipf: Zipf::new(targets.len(), exponent),
+            exponent,
+            hot: None,
             targets,
             drift_period,
             drift_stride,
             issued: 0,
         }
+    }
+
+    /// Enables class-correlated skew: `Interactive` targets draw from a
+    /// Zipf with exponent `boost`× the base exponent (a hotter head),
+    /// while other classes keep the base distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boost < 1.0` — interactive traffic is by definition
+    /// at least as head-heavy as the aggregate.
+    pub fn with_interactive_boost(mut self, boost: f64) -> Self {
+        assert!(boost >= 1.0, "interactive_boost must be >= 1.0");
+        self.hot = Some(Zipf::new(self.targets.len(), self.exponent * boost));
+        self
     }
 
     /// The current rotation offset of the rank→vertex mapping.
@@ -156,16 +251,35 @@ impl TargetSampler {
             .map_or(0, |steps| steps * self.drift_stride % self.targets.len())
     }
 
-    /// Draws the next target vertex and advances the drift clock.
+    /// Draws the next target vertex and advances the drift clock
+    /// (the base distribution — equivalent to
+    /// [`next_for_class`](Self::next_for_class) with `Standard`).
     pub fn next<R: Rng + ?Sized>(&mut self, rng: &mut R) -> VertexId {
-        let rank = self.zipf.sample(rng);
+        self.next_for_class(PriorityClass::Standard, rng)
+    }
+
+    /// Draws the next target vertex for a request of `class` and
+    /// advances the drift clock. Exactly one uniform is consumed from
+    /// `rng` regardless of class, so class mixing never shifts the main
+    /// stream's draw order; `Interactive` maps that uniform through the
+    /// boosted Zipf when class skew is enabled.
+    pub fn next_for_class<R: Rng + ?Sized>(
+        &mut self,
+        class: PriorityClass,
+        rng: &mut R,
+    ) -> VertexId {
+        let rank = match (&self.hot, class) {
+            (Some(hot), PriorityClass::Interactive) => hot.sample(rng),
+            _ => self.zipf.sample(rng),
+        };
         let v = self.targets[(rank + self.offset()) % self.targets.len()];
         self.issued += 1;
         v
     }
 }
 
-/// Generates `num_requests` open-loop requests starting at time 0.
+/// Generates `num_requests` open-loop requests starting at time 0, all
+/// of the implicit `Standard` class (the legacy single-class stream).
 pub fn generate_workload<R: Rng + ?Sized>(
     arrival: &ArrivalProcess,
     targets: &mut TargetSampler,
@@ -180,6 +294,34 @@ pub fn generate_workload<R: Rng + ?Sized>(
             id,
             arrival: now,
             target: targets.next(rng),
+            class: PriorityClass::Standard,
+        });
+    }
+    out
+}
+
+/// Generates `num_requests` open-loop requests with per-request classes
+/// drawn from `classes`. The main `rng` stream sees the identical draw
+/// sequence as [`generate_workload`] — one gap, one target per request
+/// — so arrival times always match the legacy generator, and with the
+/// default all-`Standard` mix the targets match byte-for-byte too.
+pub fn generate_workload_classed<R: Rng + ?Sized>(
+    arrival: &ArrivalProcess,
+    targets: &mut TargetSampler,
+    classes: &mut ClassSampler,
+    num_requests: usize,
+    rng: &mut R,
+) -> Vec<Request> {
+    let mut now = 0.0f64;
+    let mut out = Vec::with_capacity(num_requests);
+    for id in 0..num_requests as u64 {
+        now += arrival.next_gap(now, rng);
+        let class = classes.sample();
+        out.push(Request {
+            id,
+            arrival: now,
+            target: targets.next_for_class(class, rng),
+            class,
         });
     }
     out
@@ -272,5 +414,101 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         assert_ne!(gen(8), a);
+    }
+
+    /// Same-seed snapshot pin: the classed generator with the default
+    /// all-`Standard` mix reproduces the legacy stream byte-for-byte
+    /// (ids, arrivals, targets) — old configs keep their exact RNG draw
+    /// order.
+    #[test]
+    fn classed_default_mix_matches_legacy_workload() {
+        let arrival = ArrivalProcess::Poisson { rate: 800.0 };
+        let legacy = {
+            let mut targets = TargetSampler::new((0..64).collect(), 1.2, 15, 7);
+            let mut rng = StdRng::seed_from_u64(21);
+            generate_workload(&arrival, &mut targets, 300, &mut rng)
+        };
+        let classed = {
+            let mut targets = TargetSampler::new((0..64).collect(), 1.2, 15, 7);
+            let mut classes = ClassSampler::new([0.0, 1.0, 0.0], 21);
+            let mut rng = StdRng::seed_from_u64(21);
+            generate_workload_classed(&arrival, &mut targets, &mut classes, 300, &mut rng)
+        };
+        assert_eq!(legacy, classed);
+    }
+
+    /// A multi-class mix must not perturb the main stream: arrivals are
+    /// identical to the legacy generator's, and every non-`Interactive`
+    /// request keeps the exact target the legacy stream would have
+    /// drawn (the class and boosted-head draws live on side streams).
+    #[test]
+    fn class_mix_preserves_main_stream_draw_order() {
+        let arrival = ArrivalProcess::Poisson { rate: 800.0 };
+        let legacy = {
+            let mut targets = TargetSampler::new((0..64).collect(), 1.2, 0, 0);
+            let mut rng = StdRng::seed_from_u64(33);
+            generate_workload(&arrival, &mut targets, 400, &mut rng)
+        };
+        let mixed = {
+            let mut targets =
+                TargetSampler::new((0..64).collect(), 1.2, 0, 0).with_interactive_boost(1.5);
+            let mut classes = ClassSampler::new([0.3, 0.4, 0.3], 33);
+            let mut rng = StdRng::seed_from_u64(33);
+            generate_workload_classed(&arrival, &mut targets, &mut classes, 400, &mut rng)
+        };
+        let mut saw_all = [false; CLASS_COUNT];
+        for (l, m) in legacy.iter().zip(&mixed) {
+            assert_eq!(l.id, m.id);
+            assert_eq!(l.arrival, m.arrival, "arrival stream must be untouched");
+            saw_all[m.class.index()] = true;
+            if m.class != PriorityClass::Interactive {
+                assert_eq!(l.target, m.target, "non-interactive targets unchanged");
+            }
+        }
+        assert!(saw_all.iter().all(|&s| s), "mix must produce every class");
+    }
+
+    /// Interactive traffic with a boosted head is measurably more
+    /// concentrated than the same seed's standard traffic.
+    #[test]
+    fn interactive_boost_concentrates_the_head() {
+        let mut s = TargetSampler::new((0..1000).collect(), 1.1, 0, 0).with_interactive_boost(2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut head = [0usize; 2];
+        for _ in 0..4000 {
+            if s.next_for_class(PriorityClass::Interactive, &mut rng) < 10 {
+                head[0] += 1;
+            }
+            if s.next_for_class(PriorityClass::Standard, &mut rng) < 10 {
+                head[1] += 1;
+            }
+        }
+        assert!(
+            head[0] > head[1] + 300,
+            "boosted head {} must beat base head {}",
+            head[0],
+            head[1]
+        );
+    }
+
+    #[test]
+    fn class_sampler_is_deterministic_and_respects_mix() {
+        let draw = |seed| {
+            let mut c = ClassSampler::new([0.25, 0.5, 0.25], seed);
+            (0..200).map(|_| c.sample()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+        let counts = draw(9).iter().fold([0usize; CLASS_COUNT], |mut acc, c| {
+            acc[c.index()] += 1;
+            acc
+        });
+        assert!(
+            counts.iter().all(|&n| n > 20),
+            "all classes drawn: {counts:?}"
+        );
+        // A degenerate mix draws only that class.
+        let mut only_batch = ClassSampler::new([0.0, 0.0, 3.0], 1);
+        assert!((0..50).all(|_| only_batch.sample() == PriorityClass::Batch));
     }
 }

@@ -35,6 +35,9 @@ cargo bench --no-run -q -p legion-bench
 echo "==> servectl --smoke"
 cargo run --release -q -p legion-bench --bin servectl -- --smoke
 
+echo "==> servectl --smoke --router"
+cargo run --release -q -p legion-bench --bin servectl -- --smoke --router
+
 echo "==> bench.sh --smoke"
 scripts/bench.sh --smoke
 

@@ -3,7 +3,10 @@
 
 use legion_graph::dataset::{spec_by_name, Dataset};
 use legion_hw::{MultiGpuServer, ServerSpec};
-use legion_serve::{estimate_capacity_rps, run_sweep, serve, PolicyKind, ServeConfig};
+use legion_serve::{
+    estimate_capacity_rps, run_sweep, serve, ClassConfig, PolicyKind, PriorityClass, ReplanConfig,
+    RouterConfig, RouterPolicy, ServeConfig,
+};
 
 fn pr_dataset() -> Dataset {
     // Divisor 500 keeps the test fast while preserving PR's skew.
@@ -57,6 +60,164 @@ fn different_seeds_change_the_metrics() {
     cfg.seed = 43;
     let b = serve(&d.graph, &d.features, &server_b, &cfg);
     assert_ne!(a.metrics, b.metrics);
+}
+
+/// 4 GPUs in two NVLink cliques of two — the smallest topology where
+/// clique-aware routing is distinguishable from per-GPU routing.
+fn clique_server() -> MultiGpuServer {
+    ServerSpec::custom(4, 1 << 30, 2).build()
+}
+
+/// Router-enabled config: residency dispatch plus a multi-class QoS mix.
+fn router_config(policy: PolicyKind) -> ServeConfig {
+    ServeConfig {
+        router: RouterConfig {
+            policy: RouterPolicy::Residency,
+            ..RouterConfig::default()
+        },
+        classes: ClassConfig {
+            mix: [0.2, 0.5, 0.3],
+            qos: true,
+            ..ClassConfig::default()
+        },
+        ..config(policy)
+    }
+}
+
+#[test]
+fn same_seed_router_runs_are_byte_identical() {
+    let d = pr_dataset();
+    for policy in [PolicyKind::StaticHot, PolicyKind::Fifo, PolicyKind::Replan] {
+        let run = || {
+            let server = clique_server();
+            let mut cfg = router_config(policy);
+            if policy == PolicyKind::Replan {
+                // Force drift and an eager detector so plans commit
+                // mid-run and the residency index actually refreshes.
+                cfg.drift_period = 300;
+                cfg.drift_stride = 1024;
+                cfg.replan = ReplanConfig {
+                    bucket_requests: 16,
+                    window_buckets: 2,
+                    cooldown_buckets: 0,
+                    ..ReplanConfig::default()
+                };
+            }
+            let report = serve(&d.graph, &d.features, &server, &cfg);
+            if policy == PolicyKind::Replan {
+                let replans = report
+                    .metrics
+                    .counters
+                    .iter()
+                    .filter(|c| c.name.ends_with(".replans"))
+                    .map(|c| c.value)
+                    .sum::<u64>();
+                assert!(replans > 0, "fixture must exercise mid-run plan commits");
+            }
+            assert_eq!(report.routed + report.spilled, report.offered);
+            serde_json::to_string_pretty(&report.metrics).expect("serializable snapshot")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "router snapshot drift under {}", policy.as_str());
+        assert!(
+            a.contains("serve.route.clique0.routed"),
+            "route counters missing"
+        );
+    }
+}
+
+/// The head-to-head the router exists for: on a clique server with a
+/// partitioned cache, residency routing must beat blind round-robin on
+/// feature-cache hit rate.
+#[test]
+fn residency_routing_beats_round_robin_hit_rate() {
+    let d = pr_dataset();
+    let hit_rate = |router: RouterPolicy| {
+        let server = clique_server();
+        let mut cfg = config(PolicyKind::StaticHot);
+        cfg.router.policy = router;
+        let report = serve(&d.graph, &d.features, &server, &cfg);
+        let sum = |suffix: &str| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with("cache.") && c.name.ends_with(suffix))
+                .map(|c| c.value)
+                .sum::<u64>()
+        };
+        let (h, m) = (sum("feature_hits"), sum("feature_misses"));
+        assert!(h + m > 0);
+        h as f64 / (h + m) as f64
+    };
+    let routed = hit_rate(RouterPolicy::Residency);
+    let rr = hit_rate(RouterPolicy::RoundRobin);
+    assert!(
+        routed > rr,
+        "residency routing hit rate {routed:.4} must beat round-robin {rr:.4}"
+    );
+}
+
+/// End-to-end QoS under heavy overload: Batch is shed first and hardest,
+/// Interactive keeps (near-)zero sheds and a better tail than it gets
+/// from a class-blind FIFO queue.
+#[test]
+fn qos_overload_sheds_batch_first_and_protects_interactive() {
+    let d = pr_dataset();
+    // 3x the measured capacity: queues stay full and admission has to
+    // choose whom to drop, but the Interactive share (20% of traffic)
+    // still fits the service rate — so strict inverse-priority shedding
+    // can keep it whole. The Interactive SLO sits between the priority
+    // drain's tail and the class-blind tail, so attainment separates too.
+    let capacity = {
+        let server = clique_server();
+        estimate_capacity_rps(
+            &d.graph,
+            &d.features,
+            &server,
+            &router_config(PolicyKind::StaticHot),
+        )
+    };
+    let overloaded = |qos: bool| {
+        let server = clique_server();
+        let mut cfg = router_config(PolicyKind::StaticHot);
+        cfg.classes.qos = qos;
+        cfg.classes.slo_us = [64, 1000, 8000];
+        cfg.arrival = legion_serve::ArrivalProcess::Poisson {
+            rate: 3.0 * capacity,
+        };
+        cfg.queue_capacity = 128;
+        serve(&d.graph, &d.features, &server, &cfg)
+    };
+    let qos = overloaded(true);
+    let fifo = overloaded(false);
+    let i = PriorityClass::Interactive.index();
+    let b = PriorityClass::Batch.index();
+    assert!(qos.shed > 0, "fixture must overload");
+    assert!(qos.class_shed[b] > 0, "Batch must shed under overload");
+    assert_eq!(
+        qos.class_shed[i], 0,
+        "strict inverse-priority shedding keeps Interactive whole"
+    );
+    assert!(
+        qos.class_p99_us[i] < qos.class_p99_us[b],
+        "Interactive p99 {} must beat Batch p99 {} under QoS",
+        qos.class_p99_us[i],
+        qos.class_p99_us[b]
+    );
+    assert!(
+        qos.class_p99_us[i] < fifo.class_p99_us[i],
+        "QoS Interactive p99 {} must beat FIFO's {}",
+        qos.class_p99_us[i],
+        fifo.class_p99_us[i]
+    );
+    assert!(
+        qos.class_slo_attainment[i] > fifo.class_slo_attainment[i],
+        "QoS Interactive attainment {:.3} must beat FIFO's {:.3}",
+        qos.class_slo_attainment[i],
+        fifo.class_slo_attainment[i]
+    );
 }
 
 #[test]
