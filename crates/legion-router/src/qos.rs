@@ -18,6 +18,17 @@
 //!   spare capacity is work-conserving (any class may use it until a
 //!   higher-priority arrival reclaims it).
 //!
+//! Strict priority drain can starve `Batch` indefinitely under
+//! sustained `Interactive` overload: as long as a higher class keeps at
+//! least `k` requests queued, `take(k)` never reaches the lower deques.
+//! [`ClassedQueue::with_service_floors`] installs weighted-fair minimum
+//! *service* shares: each `take(k)` first reserves
+//! `ceil(floor[c] * k)` slots for every floored class (lowest priority
+//! first, capped by what the class has pending), then fills the rest in
+//! strict priority order. Zero floors (the default) reproduce the
+//! strict drain bit-for-bit; floors are work-conserving — slots a class
+//! cannot fill go back to the priority fill.
+//!
 //! Accounting invariant: every offered request is counted exactly once
 //! as either admitted or shed — an admitted-then-evicted request moves
 //! from the admitted count to its class's shed count, so
@@ -45,6 +56,7 @@ pub struct ClassedQueue<R: QueuedRequest> {
     deques: [VecDeque<R>; CLASS_COUNT],
     capacity: usize,
     quotas: [usize; CLASS_COUNT],
+    floors: [f64; CLASS_COUNT],
     qos: bool,
     admitted: u64,
     shed: [u64; CLASS_COUNT],
@@ -58,6 +70,7 @@ impl<R: QueuedRequest> ClassedQueue<R> {
             deques: std::array::from_fn(|_| VecDeque::new()),
             capacity,
             quotas: [0; CLASS_COUNT],
+            floors: [0.0; CLASS_COUNT],
             qos: false,
             admitted: 0,
             shed: [0; CLASS_COUNT],
@@ -74,10 +87,29 @@ impl<R: QueuedRequest> ClassedQueue<R> {
             deques: std::array::from_fn(|_| VecDeque::new()),
             capacity,
             quotas,
+            floors: [0.0; CLASS_COUNT],
             qos: true,
             admitted: 0,
             shed: [0; CLASS_COUNT],
         }
+    }
+
+    /// Installs weighted-fair minimum service shares for the QoS drain:
+    /// every [`take`](Self::take) of `k` requests reserves
+    /// `ceil(floors[c] * k)` slots for class `c` (capped by what the
+    /// class has pending) before the strict-priority fill runs, so a
+    /// floored class cannot be starved by sustained higher-priority
+    /// load. Floors should sum to at most 1 (validated by the serving
+    /// config). All-zero floors (the default) leave the strict priority
+    /// drain byte-identical. Has no effect in FIFO mode.
+    pub fn with_service_floors(mut self, floors: [f64; CLASS_COUNT]) -> Self {
+        self.floors = floors;
+        self
+    }
+
+    /// The configured per-class minimum service shares.
+    pub fn service_floors(&self) -> [f64; CLASS_COUNT] {
+        self.floors
     }
 
     /// Whether this queue runs the QoS (priority) discipline.
@@ -180,16 +212,41 @@ impl<R: QueuedRequest> ClassedQueue<R> {
     }
 
     /// Remove and return up to `k` requests in drain order.
+    ///
+    /// QoS drain order is strict priority (FIFO within a class), except
+    /// that classes with a non-zero [service
+    /// floor](Self::with_service_floors) are first reserved their
+    /// minimum share of the batch; the emitted batch is always in
+    /// priority-class order regardless of which pass claimed each slot.
     pub fn take(&mut self, k: usize) -> Vec<R> {
         let n = k.min(self.len());
         let mut out = Vec::with_capacity(n);
         if self.qos {
-            for dq in &mut self.deques {
-                while out.len() < n {
-                    match dq.pop_front() {
-                        Some(r) => out.push(r),
-                        None => break,
-                    }
+            // Pass 1: reserve minimum service shares, lowest priority
+            // first, so the strict fill cannot consume a floored
+            // class's slots. A class never reserves more than it has
+            // pending; unused reservations fall through to pass 2.
+            let mut claim = [0usize; CLASS_COUNT];
+            let mut remaining = n;
+            for c in (0..CLASS_COUNT).rev() {
+                if self.floors[c] > 0.0 {
+                    let want = (self.floors[c] * n as f64).ceil() as usize;
+                    let got = want.min(self.deques[c].len()).min(remaining);
+                    claim[c] = got;
+                    remaining -= got;
+                }
+            }
+            // Pass 2: strict priority order for everything unreserved.
+            for (c, claimed) in claim.iter_mut().enumerate() {
+                let extra = remaining.min(self.deques[c].len() - *claimed);
+                *claimed += extra;
+                remaining -= extra;
+            }
+            // Emit in priority-class order, FIFO within class — with
+            // zero floors this is exactly the legacy strict drain.
+            for (c, dq) in self.deques.iter_mut().enumerate() {
+                for _ in 0..claim[c] {
+                    out.push(dq.pop_front().expect("claim bounded by class len"));
                 }
             }
             return out;
@@ -334,6 +391,65 @@ mod tests {
         assert_eq!(q.kth_arrival(0), 2e-3);
         let taken: Vec<u64> = q.take(5).iter().map(|r| r.seq).collect();
         assert_eq!(taken, vec![2, 3, 1, 0, 4]);
+    }
+
+    #[test]
+    fn zero_floors_leave_strict_priority_drain_unchanged() {
+        let mut q: ClassedQueue<TestReq> =
+            ClassedQueue::new_qos(8, [0.5, 0.3, 0.2]).with_service_floors([0.0; CLASS_COUNT]);
+        q.offer(req(0, PriorityClass::Batch));
+        q.offer(req(1, PriorityClass::Standard));
+        q.offer(req(2, PriorityClass::Interactive));
+        q.offer(req(3, PriorityClass::Interactive));
+        q.offer(req(4, PriorityClass::Batch));
+        let taken: Vec<u64> = q.take(5).iter().map(|r| r.seq).collect();
+        assert_eq!(taken, vec![2, 3, 1, 0, 4]);
+    }
+
+    #[test]
+    fn service_floor_reserves_batch_slots_under_interactive_pressure() {
+        // 25% Batch floor: a take(4) must include ceil(0.25 * 4) = 1
+        // Batch request even though Interactive could fill the batch.
+        let mut q: ClassedQueue<TestReq> =
+            ClassedQueue::new_qos(16, [0.5, 0.3, 0.2]).with_service_floors([0.0, 0.0, 0.25]);
+        for seq in 0..6 {
+            q.offer(req(seq, PriorityClass::Interactive));
+        }
+        q.offer(req(6, PriorityClass::Batch));
+        q.offer(req(7, PriorityClass::Batch));
+        let taken: Vec<u64> = q.take(4).iter().map(|r| r.seq).collect();
+        // Emission stays in class order: three Interactive, then the
+        // oldest Batch request in the reserved slot.
+        assert_eq!(taken, vec![0, 1, 2, 6]);
+        let again: Vec<u64> = q.take(4).iter().map(|r| r.seq).collect();
+        assert_eq!(again, vec![3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn service_floor_is_work_conserving_when_the_class_is_empty() {
+        let mut q: ClassedQueue<TestReq> =
+            ClassedQueue::new_qos(8, [0.5, 0.3, 0.2]).with_service_floors([0.0, 0.0, 0.5]);
+        for seq in 0..4 {
+            q.offer(req(seq, PriorityClass::Interactive));
+        }
+        // No Batch pending: the reservation falls through and the take
+        // is pure strict priority.
+        let taken: Vec<u64> = q.take(4).iter().map(|r| r.seq).collect();
+        assert_eq!(taken, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn service_floor_caps_at_what_the_class_has_pending() {
+        let mut q: ClassedQueue<TestReq> =
+            ClassedQueue::new_qos(8, [0.5, 0.3, 0.2]).with_service_floors([0.0, 0.0, 0.75]);
+        for seq in 0..5 {
+            q.offer(req(seq, PriorityClass::Interactive));
+        }
+        q.offer(req(5, PriorityClass::Batch));
+        // Floor wants ceil(0.75 * 4) = 3 slots but only one Batch
+        // request exists; the other two slots go to Interactive.
+        let taken: Vec<u64> = q.take(4).iter().map(|r| r.seq).collect();
+        assert_eq!(taken, vec![0, 1, 2, 5]);
     }
 
     #[test]

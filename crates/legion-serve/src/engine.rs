@@ -30,6 +30,19 @@
 //! that batch's service time, and the router's residency index for that
 //! GPU is rebuilt from the newly active plan.
 //!
+//! At [`ServeConfig::shards`](crate::ServeConfig::shards) `> 1` the
+//! event loop re-shards across OS threads, one shard per NVLink clique
+//! (see `shard.rs`): each shard owns its
+//! clique's admission queues, batcher state and sampler/extractor
+//! scratch outright, and shared meters accumulate batch-wise through
+//! commuting integer adds. Round-robin routing shards free-running
+//! (byte-identical to the sequential loop); residency routing runs a
+//! quantum-stepped coordinator that routes arrivals against projected
+//! queue depths and drains spilled requests to the least-loaded GPU at
+//! quantum boundaries (work stealing). `shards == 1` — the default and
+//! `--sequential` — is the unsharded global loop below, byte-identical
+//! to the pre-sharding engine.
+//!
 //! Everything is driven by seeded RNG streams and integer telemetry, so
 //! the same `(config, dataset, server)` triple reproduces a run down to
 //! byte-identical metric snapshots.
@@ -46,9 +59,9 @@ use legion_hw::pcm::TrafficKind;
 use legion_hw::traffic::Source;
 use legion_hw::{GpuId, MultiGpuServer};
 use legion_partition::{detect_cliques, LdgPartitioner, Partitioner};
-use legion_pipeline::{QueueDepthMeter, TimeModel};
+use legion_pipeline::{QueueDepthMeter, StageRecorder, TimeModel};
 use legion_router::{
-    Admission, ClassedQueue, Dispatcher, PriorityClass, RouterPolicy, CLASS_COUNT,
+    Admission, ClassedQueue, Dispatcher, PriorityClass, RouteDecision, RouterPolicy, CLASS_COUNT,
 };
 use legion_sampling::access::{AccessEngine, BatchTotals, CacheLayout, TopologyPlacement};
 use legion_sampling::{KHopSampler, SampleScratch};
@@ -58,8 +71,9 @@ use crate::batcher::BatchPolicy;
 use crate::cache_policy::{
     build_partitioned_layout, build_static_layout, warmup_hot_vertices, PolicyKind,
 };
-use crate::replan::{plan_layout, profile_warmup, ReplanState, SwapDelta};
-use crate::slo::{latency_buckets, SloTracker};
+use crate::replan::{plan_layout, profile_warmup, ReplanState, SwapDelta, WarmupProfile};
+use crate::shard;
+use crate::slo::{latency_buckets, SloBatch, SloTracker};
 use crate::workload::{generate_workload_classed, ClassSampler, Request, TargetSampler};
 use crate::ServeConfig;
 
@@ -117,18 +131,22 @@ pub struct ServeReport {
 /// Pre-resolved handles for the FIFO policy's manual feature metering;
 /// uses the same counter names as [`AccessEngine`], so snapshots are
 /// comparable across policies.
-struct FifoMeters {
+pub(crate) struct FifoMeters {
     hits: Counter,
     misses: Counter,
     rows: Counter,
 }
 
 /// Global meters of the re-planning loop, registered only for
-/// [`PolicyKind::Replan`] runs.
+/// [`PolicyKind::Replan`] runs. `mid_batch` audits plan-commit
+/// visibility: it counts batches whose plan version changed *after* the
+/// batch-top commit point — [`ReplanState::roll`] only stages, so the
+/// counter must stay 0 in every run, sharded or not.
 struct ReplanMeters {
     count: Counter,
     swap_bytes: Counter,
     recover: Histogram,
+    mid_batch: Counter,
 }
 
 /// Attributes each batch's feature hit/miss deltas to the drift phase of
@@ -215,8 +233,8 @@ impl BatchScratch {
 
 /// Replan-only per-worker state: the sliding-window estimator plus the
 /// plan double-buffer, and this GPU's swap/hit meters.
-struct ReplanWorker {
-    state: ReplanState,
+pub(crate) struct ReplanWorker {
+    pub(crate) state: ReplanState,
     gpu_replans: Counter,
     gpu_swap_bytes: Counter,
     window_gauge: Gauge,
@@ -225,7 +243,7 @@ struct ReplanWorker {
 }
 
 /// Cache-policy-specific batch machinery of one worker.
-enum WorkerPolicy {
+pub(crate) enum WorkerPolicy {
     /// StaticHot and Fifo: a fixed layout (possibly empty) plus the
     /// manual FIFO cache and its meters.
     Flat { fifo: FifoCache, meters: FifoMeters },
@@ -233,33 +251,52 @@ enum WorkerPolicy {
     Replan(Box<ReplanWorker>),
 }
 
-/// One GPU of the global event loop: its admission queue, busy horizon,
-/// RNG stream, scratch, meters, and policy state.
-struct Worker {
-    gpu: GpuId,
-    queue: ClassedQueue<Request>,
-    free_at: f64,
-    makespan: f64,
+impl WorkerPolicy {
+    /// The active plan's `(version, resident feature set)` if this is a
+    /// replan worker — what the residency index needs after a commit.
+    pub(crate) fn plan_residency(&self) -> Option<(u64, &[VertexId])> {
+        match self {
+            WorkerPolicy::Replan(rw) => Some((
+                rw.state.plan.version(),
+                rw.state.plan.active().contents.feat.as_slice(),
+            )),
+            WorkerPolicy::Flat { .. } => None,
+        }
+    }
+}
+
+/// One GPU of the event loop: its admission queue, busy horizon, RNG
+/// stream, scratch, meters, and policy state. Exactly one shard (or the
+/// sequential loop) owns a worker at any time — all of this state is
+/// single-writer by construction.
+pub(crate) struct Worker {
+    pub(crate) gpu: GpuId,
+    pub(crate) queue: ClassedQueue<Request>,
+    pub(crate) free_at: f64,
+    pub(crate) makespan: f64,
     rng: StdRng,
     scratch: BatchScratch,
     batches: Counter,
     busy: Counter,
-    gpu_shed: Counter,
+    pub(crate) gpu_shed: Counter,
     phase: Option<PhaseMeter>,
     depth: QueueDepthMeter,
-    policy: WorkerPolicy,
+    stages: StageRecorder,
+    slo_batch: SloBatch,
+    class_batches: Option<Vec<SloBatch>>,
+    pub(crate) policy: WorkerPolicy,
     /// Plan version last pushed into the router's residency index
     /// (Replan + Residency runs only).
-    last_plan_version: u64,
+    pub(crate) last_plan_version: u64,
 }
 
 /// Residency-routing state of one run: the dispatcher plus per-clique
 /// route counters and the locality accumulator.
-struct RouterState {
-    dispatcher: Dispatcher,
-    routed: Vec<Counter>,
-    spilled: Vec<Counter>,
-    shed: Vec<Counter>,
+pub(crate) struct RouterState {
+    pub(crate) dispatcher: Dispatcher,
+    pub(crate) routed: Vec<Counter>,
+    pub(crate) spilled: Vec<Counter>,
+    pub(crate) shed: Vec<Counter>,
     probe_neighbors: usize,
     covered: u64,
     probed: u64,
@@ -287,10 +324,17 @@ impl RouterState {
         }
     }
 
-    /// Routes one request: builds the probe (target + leading
-    /// neighbors), scores the cliques against current queue depths, and
-    /// returns the destination GPU, metering the decision.
-    fn route(&mut self, graph: &CsrGraph, workers: &[Worker], r: &Request) -> GpuId {
+    /// Scores one request against the cliques at the given queue depths
+    /// and returns the raw decision, accumulating the locality meters
+    /// but *not* the routed/spilled counters — the caller decides
+    /// whether the request is placed now ([`note_routed`](Self::note_routed))
+    /// or parked for stealing (sharded spills).
+    pub(crate) fn decide(
+        &mut self,
+        graph: &CsrGraph,
+        queue_lens: &[usize],
+        r: &Request,
+    ) -> RouteDecision {
         self.probe.clear();
         self.probe.push(r.target);
         self.probe.extend(
@@ -300,18 +344,51 @@ impl RouterState {
                 .take(self.probe_neighbors)
                 .copied(),
         );
-        self.queue_lens.clear();
-        self.queue_lens
-            .extend(workers.iter().map(|w| w.queue.len()));
-        let dec = self.dispatcher.route(&self.probe, &self.queue_lens);
+        let dec = self.dispatcher.route(&self.probe, queue_lens);
         self.covered += self.dispatcher.score(dec.group, &self.probe) as u64;
         self.probed += self.probe.len() as u64;
+        dec
+    }
+
+    /// Meters a decision that placed the request immediately.
+    pub(crate) fn note_routed(&self, dec: &RouteDecision) {
         if dec.spilled {
             self.spilled[dec.group].inc();
         } else {
             self.routed[dec.group].inc();
         }
+    }
+
+    /// Routes one request in the sequential loop: builds the probe
+    /// (target + leading neighbors), scores the cliques against current
+    /// queue depths, and returns the destination GPU, metering the
+    /// decision.
+    fn route(&mut self, graph: &CsrGraph, workers: &[Worker], r: &Request) -> GpuId {
+        self.queue_lens.clear();
+        self.queue_lens
+            .extend(workers.iter().map(|w| w.queue.len()));
+        let lens = std::mem::take(&mut self.queue_lens);
+        let dec = self.decide(graph, &lens, r);
+        self.queue_lens = lens;
+        self.note_routed(&dec);
         dec.gpu
+    }
+}
+
+/// One micro-batch's stage durations, simulated seconds. Service time
+/// follows the §5 intra-batch overlap: sampling and extraction run
+/// concurrently, inference (and any plan-swap refill) serializes after.
+pub(crate) struct BatchTiming {
+    sample_s: f64,
+    extract_s: f64,
+    infer_s: f64,
+    swap_s: f64,
+}
+
+impl BatchTiming {
+    /// `max(sample, extract) + infer + swap`.
+    fn service(&self) -> f64 {
+        self.sample_s.max(self.extract_s) + self.infer_s + self.swap_s
     }
 }
 
@@ -373,7 +450,7 @@ fn replan_batch_service(
     at: f64,
     rng: &mut StdRng,
     scratch: &mut BatchScratch,
-) -> f64 {
+) -> BatchTiming {
     // Batch-boundary swap: in-flight requests finished against the old
     // plan; this batch starts on the new one and pays its refill.
     let mut swap_t = 0.0f64;
@@ -391,6 +468,10 @@ fn replan_batch_service(
             &rw.gpu_swap_bytes,
         );
     }
+    // Plan-commit visibility audit: from here to the end of the batch
+    // the version must not move — `roll` below only *stages* the next
+    // plan, and no other thread ever touches this worker's buffer.
+    let version_in_batch = rw.state.plan.version();
     let plan_engine = AccessEngine::new(
         graph,
         features,
@@ -438,8 +519,191 @@ fn replan_batch_service(
             replan_meters.recover.observe((dt * 1e6).round() as u64);
         }
     }
+    if rw.state.plan.version() != version_in_batch {
+        replan_meters.mid_batch.inc();
+    }
     let infer_t = time_model.train_seconds(model.inference_flops(&sample));
-    sample_t.max(extract_t) + infer_t + swap_t
+    BatchTiming {
+        sample_s: sample_t,
+        extract_s: extract_t,
+        infer_s: infer_t,
+        swap_s: swap_t,
+    }
+}
+
+/// Everything the batch path reads but never mutates: the dataset, the
+/// metered server, the run config, and the shared trackers whose
+/// interior mutability is limited to commuting integer atomics. One
+/// `&ServeContext` is shared by the sequential loop and by every shard
+/// thread; all single-writer state lives in [`Worker`].
+pub(crate) struct ServeContext<'a> {
+    pub(crate) graph: &'a CsrGraph,
+    pub(crate) features: &'a FeatureTable,
+    pub(crate) server: &'a MultiGpuServer,
+    pub(crate) config: &'a ServeConfig,
+    engine: AccessEngine<'a>,
+    time_model: TimeModel,
+    sampler: KHopSampler,
+    model: GnnModel,
+    pub(crate) registry: Arc<Registry>,
+    slo: SloTracker,
+    class_slos: Option<Vec<SloTracker>>,
+    shed_total: Counter,
+    pub(crate) batch_policy: BatchPolicy,
+    row_bytes: u64,
+    replan_shared: Option<(WarmupProfile, ReplanMeters)>,
+}
+
+/// Offers one routed request to its worker's admission queue, metering
+/// sheds (global, per-GPU, and — when routing is on — per-clique via
+/// `route_shed`).
+pub(crate) fn offer_request(
+    ctx: &ServeContext<'_>,
+    w: &mut Worker,
+    r: Request,
+    route_shed: Option<&Counter>,
+) {
+    match w.queue.offer(r) {
+        Admission::Admitted => {}
+        Admission::AdmittedEvicting(_) | Admission::Shed => {
+            ctx.shed_total.inc();
+            w.gpu_shed.inc();
+            if let Some(c) = route_shed {
+                c.inc();
+            }
+        }
+    }
+}
+
+/// Runs one worker's micro-batch launched at `at`: drains the queue,
+/// runs the policy's operators, records stage times and batch-local
+/// latency tallies (flushed to the shared trackers once per batch), and
+/// advances the worker's busy horizon. Returns the batch length.
+pub(crate) fn run_worker_batch(ctx: &ServeContext<'_>, w: &mut Worker, at: f64) -> usize {
+    w.depth.observe(w.queue.len());
+    let batch = w.queue.take(ctx.config.max_batch);
+    let before = w.phase.as_ref().map(|p| p.totals());
+    let timing = match &mut w.policy {
+        WorkerPolicy::Flat { fifo, meters } => batch_service_seconds(
+            &ctx.engine,
+            ctx.server,
+            &ctx.time_model,
+            &ctx.sampler,
+            &ctx.model,
+            ctx.config.policy,
+            fifo,
+            meters,
+            w.gpu,
+            &batch,
+            &mut w.rng,
+            &mut w.scratch,
+        ),
+        WorkerPolicy::Replan(rw) => {
+            let (_, replan_meters) = ctx.replan_shared.as_ref().expect("replan meters");
+            replan_batch_service(
+                ctx.graph,
+                ctx.features,
+                ctx.server,
+                &ctx.time_model,
+                &ctx.sampler,
+                &ctx.model,
+                replan_meters,
+                ctx.row_bytes,
+                w.gpu,
+                rw,
+                &batch,
+                at,
+                &mut w.rng,
+                &mut w.scratch,
+            )
+        }
+    };
+    if let (Some(p), Some((h0, m0))) = (w.phase.as_ref(), before) {
+        p.record(batch[0].id, h0, m0);
+    }
+    let service = timing.service();
+    w.stages
+        .record(timing.sample_s, timing.extract_s, timing.infer_s);
+    w.batches.inc();
+    w.busy.add_secs(service);
+    let completion = at + service;
+    for r in &batch {
+        let latency_us = ((completion - r.arrival) * 1e6).round() as u64;
+        ctx.slo.record_batched(&mut w.slo_batch, latency_us);
+        if let Some(trackers) = ctx.class_slos.as_ref() {
+            let tallies = w.class_batches.as_mut().expect("class tallies");
+            trackers[r.class.index()].record_batched(&mut tallies[r.class.index()], latency_us);
+        }
+    }
+    ctx.slo.flush(&mut w.slo_batch);
+    if let (Some(trackers), Some(tallies)) = (ctx.class_slos.as_ref(), w.class_batches.as_mut()) {
+        for (t, tally) in trackers.iter().zip(tallies.iter_mut()) {
+            t.flush(tally);
+        }
+    }
+    w.free_at = completion;
+    w.makespan = w.makespan.max(completion);
+    batch.len()
+}
+
+/// The sequential global event loop (`shards <= 1`): repeatedly take
+/// the earliest event — the next arrival or the earliest batch launch
+/// across all workers (launch ties go to the lowest GPU; an arrival
+/// tying a launch yields to it, the same rule the per-GPU loops used).
+fn run_sequential(
+    ctx: &ServeContext<'_>,
+    workers: &mut [Worker],
+    router: &mut Option<RouterState>,
+    requests: &[Request],
+) {
+    let num_gpus = workers.len();
+    let mut next_req = 0usize;
+    loop {
+        let mut launch: Option<(f64, usize)> = None;
+        for (wi, w) in workers.iter().enumerate() {
+            if let Some(t) = ctx.batch_policy.launch_time(&w.queue, w.free_at) {
+                if launch.is_none_or(|(bt, _)| t < bt) {
+                    launch = Some((t, wi));
+                }
+            }
+        }
+        match (requests.get(next_req), launch) {
+            (Some(r), l) if l.is_none_or(|(t, _)| r.arrival < t) => {
+                next_req += 1;
+                let wi = match router.as_mut() {
+                    Some(rs) => rs.route(ctx.graph, workers, r),
+                    None => (r.id % num_gpus as u64) as usize,
+                };
+                let route_shed = router
+                    .as_ref()
+                    .map(|rs| &rs.shed[rs.dispatcher.group_of(wi)]);
+                offer_request(ctx, &mut workers[wi], *r, route_shed);
+            }
+            (_, Some((at, wi))) => {
+                run_worker_batch(ctx, &mut workers[wi], at);
+                // A committed plan changed this GPU's resident set:
+                // rebuild its residency group from the active plan.
+                if let Some(rs) = router.as_mut() {
+                    let Worker {
+                        gpu,
+                        policy,
+                        last_plan_version,
+                        ..
+                    } = &mut workers[wi];
+                    if let Some((version, feat)) = policy.plan_residency() {
+                        if version != *last_plan_version {
+                            *last_plan_version = version;
+                            let g = rs.dispatcher.group_of(*gpu);
+                            rs.dispatcher.refresh_group(g, feat);
+                        }
+                    }
+                }
+            }
+            // Only (None, None) reaches here: a pending arrival with no
+            // launch deadline always takes the first arm.
+            _ => break,
+        }
+    }
 }
 
 /// Runs the full serving simulation for `config` against `server`.
@@ -568,14 +832,39 @@ pub fn serve(
             count: registry.counter("serve.replan.count"),
             swap_bytes: registry.counter("serve.replan.swap_bytes"),
             recover: registry.histogram("serve.replan.recover_us", &latency_buckets()),
+            mid_batch: registry.counter("serve.replan.mid_batch_commits"),
         };
         (profile, meters)
     });
+
+    // Everything the batch path reads but never mutates, bundled so the
+    // sequential loop and the shard threads share one `&ServeContext`.
+    // All interior mutability below this point is commuting integer
+    // atomics (counters, histograms, the server's meters) — the reason
+    // sharded runs can flush batch-wise without changing any total.
+    let ctx = ServeContext {
+        graph,
+        features,
+        server,
+        config,
+        engine,
+        time_model,
+        sampler,
+        model,
+        registry: Arc::clone(registry),
+        slo,
+        class_slos,
+        shed_total,
+        batch_policy,
+        row_bytes,
+        replan_shared,
+    };
 
     let mut workers: Vec<Worker> = (0..num_gpus)
         .map(|gpu| {
             let queue = if config.classes.qos {
                 ClassedQueue::new_qos(config.queue_capacity, config.classes.qos_weights)
+                    .with_service_floors(config.classes.qos_floors)
             } else {
                 ClassedQueue::new_fifo(config.queue_capacity)
             };
@@ -589,7 +878,7 @@ pub fn serve(
                     },
                 },
                 PolicyKind::Replan => {
-                    let (profile, _) = replan_shared.as_ref().expect("replan profile");
+                    let (profile, _) = ctx.replan_shared.as_ref().expect("replan profile");
                     let cls = server.pcie().cls();
                     let initial = plan_layout(
                         gpu,
@@ -639,6 +928,12 @@ pub fn serve(
                 phase: (config.drift_period > 0)
                     .then(|| PhaseMeter::new(registry, config.drift_period, gpu)),
                 depth: QueueDepthMeter::for_gpu(registry, gpu),
+                stages: StageRecorder::for_gpu(registry, gpu),
+                slo_batch: ctx.slo.batch(),
+                class_batches: ctx
+                    .class_slos
+                    .as_ref()
+                    .map(|trackers| trackers.iter().map(SloTracker::batch).collect()),
                 policy,
                 last_plan_version: 0,
             }
@@ -693,116 +988,26 @@ pub fn serve(
         RouterState::new(registry, dispatcher, config.router.probe_neighbors)
     });
 
-    // The global event loop: repeatedly take the earliest event — the
-    // next arrival or the earliest batch launch across all workers
-    // (launch ties go to the lowest GPU; an arrival tying a launch
-    // yields to it, the same rule the per-GPU loops used).
-    let mut next_req = 0usize;
-    loop {
-        let mut launch: Option<(f64, usize)> = None;
-        for (wi, w) in workers.iter().enumerate() {
-            if let Some(t) = batch_policy.launch_time(&w.queue, w.free_at) {
-                if launch.is_none_or(|(bt, _)| t < bt) {
-                    launch = Some((t, wi));
-                }
-            }
-        }
-        match (requests.get(next_req), launch) {
-            (Some(r), l) if l.is_none_or(|(t, _)| r.arrival < t) => {
-                next_req += 1;
-                let wi = match router.as_mut() {
-                    Some(rs) => rs.route(graph, &workers, r),
-                    None => (r.id % num_gpus as u64) as usize,
-                };
-                let w = &mut workers[wi];
-                match w.queue.offer(*r) {
-                    Admission::Admitted => {}
-                    Admission::AdmittedEvicting(_) | Admission::Shed => {
-                        shed_total.inc();
-                        w.gpu_shed.inc();
-                        if let Some(rs) = router.as_ref() {
-                            rs.shed[rs.dispatcher.group_of(wi)].inc();
-                        }
-                    }
-                }
-            }
-            (_, Some((at, wi))) => {
-                let w = &mut workers[wi];
-                w.depth.observe(w.queue.len());
-                let batch = w.queue.take(config.max_batch);
-                let before = w.phase.as_ref().map(|p| p.totals());
-                let service = match &mut w.policy {
-                    WorkerPolicy::Flat { fifo, meters } => batch_service_seconds(
-                        &engine,
-                        server,
-                        &time_model,
-                        &sampler,
-                        &model,
-                        config.policy,
-                        fifo,
-                        meters,
-                        w.gpu,
-                        &batch,
-                        &mut w.rng,
-                        &mut w.scratch,
-                    ),
-                    WorkerPolicy::Replan(rw) => {
-                        let (_, replan_meters) = replan_shared.as_ref().expect("replan meters");
-                        replan_batch_service(
-                            graph,
-                            features,
-                            server,
-                            &time_model,
-                            &sampler,
-                            &model,
-                            replan_meters,
-                            row_bytes,
-                            w.gpu,
-                            rw,
-                            &batch,
-                            at,
-                            &mut w.rng,
-                            &mut w.scratch,
-                        )
-                    }
-                };
-                if let (Some(p), Some((h0, m0))) = (w.phase.as_ref(), before) {
-                    p.record(batch[0].id, h0, m0);
-                }
-                w.batches.inc();
-                w.busy.add_secs(service);
-                let completion = at + service;
-                for r in &batch {
-                    let latency_us = ((completion - r.arrival) * 1e6).round() as u64;
-                    slo.record(latency_us);
-                    if let Some(trackers) = class_slos.as_ref() {
-                        trackers[r.class.index()].record(latency_us);
-                    }
-                }
-                w.free_at = completion;
-                w.makespan = w.makespan.max(completion);
-                // A committed plan changed this GPU's resident set:
-                // rebuild its residency group from the active plan.
-                if let Some(rs) = router.as_mut() {
-                    let w = &mut workers[wi];
-                    if let WorkerPolicy::Replan(rw) = &w.policy {
-                        let version = rw.state.plan.version();
-                        if version != w.last_plan_version {
-                            w.last_plan_version = version;
-                            let g = rs.dispatcher.group_of(w.gpu);
-                            rs.dispatcher
-                                .refresh_group(g, &rw.state.plan.active().contents.feat);
-                        }
-                    }
-                }
-            }
-            // Only (None, None) reaches here: a pending arrival with no
-            // launch deadline always takes the first arm.
-            _ => break,
-        }
+    // Event-loop dispatch: the sequential global loop at `shards <= 1`
+    // (and whenever the topology collapses to one usable shard),
+    // free-running shard threads under round-robin routing, and the
+    // quantum-stepped coordinator under residency routing.
+    let eff_shards = if config.shards > 1 {
+        shard::effective_shards(server, config.shards)
+    } else {
+        1
+    };
+    if eff_shards <= 1 {
+        run_sequential(&ctx, &mut workers, &mut router, &requests);
+    } else if let Some(rs) = router.as_mut() {
+        shard::run_residency_sharded(&ctx, &mut workers, rs, &requests, eff_shards);
+    } else {
+        shard::run_roundrobin_sharded(&ctx, &mut workers, &requests, eff_shards);
     }
     let makespan = workers.iter().fold(0.0f64, |m, w| m.max(w.makespan));
 
+    let slo = &ctx.slo;
+    let class_slos = &ctx.class_slos;
     let completed = slo.completed();
     let throughput = if makespan > 0.0 {
         completed as f64 / makespan
@@ -872,7 +1077,7 @@ pub fn serve(
         policy: config.policy,
         offered: requests.len() as u64,
         completed,
-        shed: shed_total.get(),
+        shed: ctx.shed_total.get(),
         p50_us: slo.quantile_us(0.50),
         p95_us: slo.quantile_us(0.95),
         p99_us: slo.quantile_us(0.99),
@@ -891,8 +1096,8 @@ pub fn serve(
 }
 
 /// Runs one micro-batch through the real operators and returns its
-/// service time: `max(sample, extract) + infer` (§5 intra-batch overlap;
-/// batches on one GPU are serial).
+/// stage timing; service time is `max(sample, extract) + infer` (§5
+/// intra-batch overlap; batches on one GPU are serial).
 #[allow(clippy::too_many_arguments)]
 fn batch_service_seconds(
     engine: &AccessEngine<'_>,
@@ -907,7 +1112,7 @@ fn batch_service_seconds(
     batch: &[Request],
     rng: &mut StdRng,
     scratch: &mut BatchScratch,
-) -> f64 {
+) -> BatchTiming {
     batch_seeds(batch, &mut scratch.seeds);
 
     let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
@@ -970,7 +1175,12 @@ fn batch_service_seconds(
     };
     let extract_t = time_model.extract_seconds(feat_tx, peer_bytes);
     let infer_t = time_model.train_seconds(model.inference_flops(&sample));
-    sample_t.max(extract_t) + infer_t
+    BatchTiming {
+        sample_s: sample_t,
+        extract_s: extract_t,
+        infer_s: infer_t,
+        swap_s: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -1321,6 +1531,59 @@ mod tests {
             .gauges
             .iter()
             .any(|g| g.name == "serve.class2.slo_attainment"));
+    }
+
+    /// Regression for the Batch-starvation defect: the strict priority
+    /// drain never reaches the Batch deque while Interactive keeps the
+    /// queue full, so under sustained Interactive-heavy overload Batch
+    /// only completes from the end-of-stream drain. A 25% service floor
+    /// must keep Batch flowing mid-stream — strictly more completions
+    /// than the floorless run — without breaking conservation.
+    #[test]
+    fn qos_service_floor_prevents_batch_starvation_at_3x_overload() {
+        let (g, f) = tiny_graph();
+        let run = |floors: [f64; crate::CLASS_COUNT]| {
+            let server = ServerSpec::custom(2, 1 << 30, 1).build();
+            let mut config = tiny_config(PolicyKind::Fifo);
+            // Anchor "3x overload" to the measured capacity of this
+            // exact fixture rather than a magic arrival rate.
+            let capacity = crate::sweep::estimate_capacity_rps(&g, &f, &server, &config);
+            config.arrival = ArrivalProcess::Poisson {
+                rate: 3.0 * capacity,
+            };
+            config.num_requests = 1200;
+            config.queue_capacity = 32;
+            config.classes = ClassConfig {
+                mix: [0.9, 0.0, 0.1],
+                qos: true,
+                qos_floors: floors,
+                ..ClassConfig::default()
+            };
+            serve(&g, &f, &server, &config)
+        };
+        let starved = run([0.0; crate::CLASS_COUNT]);
+        let floored = run([0.0, 0.0, 0.25]);
+        let b = PriorityClass::Batch.index();
+        let i = PriorityClass::Interactive.index();
+        assert!(
+            floored.class_completed[b] > 0,
+            "Batch must keep a floor of service under Interactive overload"
+        );
+        assert!(
+            floored.class_completed[b] > starved.class_completed[b],
+            "floors must strictly improve Batch completions ({} vs {})",
+            floored.class_completed[b],
+            starved.class_completed[b]
+        );
+        assert!(
+            floored.class_completed[i] > 0,
+            "the floor must not invert the priority order"
+        );
+        assert_eq!(floored.completed + floored.shed, floored.offered);
+        assert_eq!(
+            floored.class_completed.iter().sum::<u64>(),
+            floored.completed
+        );
     }
 
     /// A multi-class FIFO run (no QoS) still attributes sheds by class

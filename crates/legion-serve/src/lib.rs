@@ -71,20 +71,26 @@
 //! | `serve.class{c}.p99_us` / `.slo_attainment` | gauge | per-class run summary |
 //! | `serve.route.clique{q}.{routed,spilled,shed}` | counter | per-clique routing outcomes (`--router` runs) |
 //! | `serve.route.locality` | gauge | mean fraction of the routed probe resident in the chosen clique |
+//! | `serve.route.steals` | counter | spilled requests re-assigned by quantum-boundary work stealing (sharded router runs) |
+//! | `serve.shard{s}.{batches,completed}` | counter | per-shard event-loop totals (`--shards > 1` runs only) |
+//! | `serve.replan.mid_batch_commits` | counter | audit: plan-version bumps observed mid-batch (always 0 — commits are batch-boundary only) |
+//! | `stage.gpu{g}.{sample,extract,train}_ns` | counter | per-batch stage times (shared with `legion-pipeline`; `train` holds inference) |
 //! | `pipeline.gpu{g}.queue_depth` | histogram | admission-queue depth at each batch launch |
 //!
 //! (`{g}` is a zero-based GPU index; `{k}` a zero-padded drift-phase
 //! index, e.g. `serve.phase003.feature_hits`; `{c}` a class priority
 //! index — 0 = `Interactive`, 1 = `Standard`, 2 = `Batch`; `{q}` a
-//! route-group / clique index. Class and route metrics are registered
-//! only when the run actually uses them: per-class metrics for
-//! multi-class mixes, route metrics for the residency router.)
+//! route-group / clique index; `{s}` an event-loop shard index. Class
+//! and route metrics are registered only when the run actually uses
+//! them: per-class metrics for multi-class mixes, route metrics for the
+//! residency router, shard metrics for `--shards > 1`.)
 
 pub mod batcher;
 pub mod cache_policy;
 pub mod engine;
 pub mod queue;
 pub mod replan;
+mod shard;
 pub mod slo;
 pub mod sweep;
 pub mod workload;
@@ -149,6 +155,15 @@ pub struct ServeConfig {
     pub router: RouterConfig,
     /// Priority-class mix and QoS knobs.
     pub classes: ClassConfig,
+    /// Event-loop shards (OS threads), one per NVLink clique at most;
+    /// `1` (the default) runs the sequential global loop, byte-identical
+    /// to the pre-sharding engine.
+    pub shards: usize,
+    /// Coordination quantum of the sharded residency-routed loop,
+    /// simulated seconds: the coordinator routes arrivals and drains the
+    /// steal pool once per quantum. Ignored at `shards <= 1` and under
+    /// round-robin routing (which needs no coordination).
+    pub shard_quantum: f64,
     /// Master seed; every internal RNG stream derives from it.
     pub seed: u64,
 }
@@ -172,6 +187,12 @@ pub struct ClassConfig {
     /// Per-class admission-quota weights (fraction of queue capacity
     /// guaranteed to each class under QoS); must sum to at most 1.
     pub qos_weights: [f64; CLASS_COUNT],
+    /// Per-class minimum *service* shares under QoS: each batch drain
+    /// reserves `ceil(floor * max_batch)` slots for floored classes so
+    /// strict priority cannot starve them (the Batch-starvation fix).
+    /// `[0, 0, 0]` (the default) reproduces the strict priority drain
+    /// byte-for-byte; must sum to at most 1.
+    pub qos_floors: [f64; CLASS_COUNT],
 }
 
 impl Default for ClassConfig {
@@ -182,6 +203,7 @@ impl Default for ClassConfig {
             slo_us: [500, 1000, 8000],
             qos: false,
             qos_weights: [0.5, 0.3, 0.2],
+            qos_floors: [0.0; CLASS_COUNT],
         }
     }
 }
@@ -220,6 +242,14 @@ impl ClassConfig {
             self.qos_weights.iter().sum::<f64>() <= 1.0 + 1e-9,
             "qos_weights must sum to at most 1"
         );
+        assert!(
+            self.qos_floors.iter().all(|&f| (0.0..=1.0).contains(&f)),
+            "qos_floors must be in [0, 1]"
+        );
+        assert!(
+            self.qos_floors.iter().sum::<f64>() <= 1.0 + 1e-9,
+            "qos_floors must sum to at most 1"
+        );
     }
 }
 
@@ -250,6 +280,8 @@ impl Default for ServeConfig {
             num_classes: 16,
             router: RouterConfig::default(),
             classes: ClassConfig::default(),
+            shards: 1,
+            shard_quantum: 1e-3,
             seed: 42,
         }
     }
@@ -274,6 +306,8 @@ impl ServeConfig {
             self.arrival.mean_rate() > 0.0,
             "arrival rate must be positive"
         );
+        assert!(self.shards > 0, "shards must be positive");
+        assert!(self.shard_quantum > 0.0, "shard_quantum must be positive");
         self.replan.validate();
         self.router.validate();
         self.classes.validate();

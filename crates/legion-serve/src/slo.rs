@@ -6,6 +6,13 @@
 //! requests that met the latency SLO. Integer counters and histogram
 //! buckets commute, so the numbers are independent of the order GPUs are
 //! simulated in.
+//!
+//! The steady-state path records through [`SloBatch`], a batch-local
+//! tally flushed once per micro-batch — three shared-atomic adds per
+//! *batch* instead of three per *request*, which is what lets shard
+//! threads complete requests without contending on the shared
+//! histogram. Commutativity makes the flushed totals bit-identical to
+//! per-request [`SloTracker::record`] calls.
 
 use std::sync::Arc;
 
@@ -66,6 +73,46 @@ impl SloTracker {
         }
     }
 
+    /// A fresh batch-local accumulator sized for this tracker's
+    /// histogram.
+    pub fn batch(&self) -> SloBatch {
+        SloBatch {
+            counts: vec![0; self.latency.num_buckets()],
+            sum: 0,
+            completed: 0,
+            slo_ok: 0,
+        }
+    }
+
+    /// Tallies one completed request into `batch` without touching the
+    /// shared atomics. Flush with [`flush`](Self::flush).
+    #[inline]
+    pub fn record_batched(&self, batch: &mut SloBatch, latency_us: u64) {
+        batch.counts[self.latency.bucket_index(latency_us)] += 1;
+        batch.sum += latency_us;
+        batch.completed += 1;
+        if latency_us <= self.slo_us {
+            batch.slo_ok += 1;
+        }
+    }
+
+    /// Merges a batch tally into the shared counters (one atomic add
+    /// per non-zero bucket plus three scalars) and clears it for reuse.
+    /// The result is bit-identical to the equivalent sequence of
+    /// [`record`](Self::record) calls.
+    pub fn flush(&self, batch: &mut SloBatch) {
+        if batch.completed == 0 {
+            return;
+        }
+        self.latency.merge_counts(&batch.counts, batch.sum);
+        self.completed.add(batch.completed);
+        self.slo_ok.add(batch.slo_ok);
+        batch.counts.fill(0);
+        batch.sum = 0;
+        batch.completed = 0;
+        batch.slo_ok = 0;
+    }
+
     /// Completed requests so far.
     pub fn completed(&self) -> u64 {
         self.completed.get()
@@ -85,6 +132,24 @@ impl SloTracker {
         } else {
             self.slo_ok.get() as f64 / done as f64
         }
+    }
+}
+
+/// Batch-local latency tally for one [`SloTracker`]: per-bucket counts
+/// plus the completed / SLO-ok scalars, owned by a single worker or
+/// shard and flushed at batch boundaries.
+#[derive(Debug, Clone)]
+pub struct SloBatch {
+    counts: Vec<u64>,
+    sum: u64,
+    completed: u64,
+    slo_ok: u64,
+}
+
+impl SloBatch {
+    /// Requests tallied since the last flush.
+    pub fn pending(&self) -> u64 {
+        self.completed
     }
 }
 
@@ -134,6 +199,45 @@ mod tests {
             .histograms
             .iter()
             .any(|h| h.name == "serve.class0.latency_us"));
+    }
+
+    #[test]
+    fn batched_recording_is_bit_identical_to_per_request() {
+        let registry = Arc::new(Registry::new());
+        let scalar = SloTracker::named(&registry, "serve.scalar", 1000);
+        let batched = SloTracker::named(&registry, "serve.batched", 1000);
+        let latencies = [100u64, 999, 1000, 1001, 40_000, 70_000_000, 3, 250];
+        for &l in &latencies {
+            scalar.record(l);
+        }
+        let mut batch = batched.batch();
+        for chunk in latencies.chunks(3) {
+            for &l in chunk {
+                batched.record_batched(&mut batch, l);
+            }
+            batched.flush(&mut batch);
+        }
+        assert_eq!(batch.pending(), 0, "flush must clear the tally");
+        assert_eq!(scalar.completed(), batched.completed());
+        assert_eq!(
+            scalar.attainment().to_bits(),
+            batched.attainment().to_bits()
+        );
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(scalar.quantile_us(q), batched.quantile_us(q));
+        }
+        let snap = registry.snapshot();
+        let hist = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|h| h.name == name)
+                .expect("registered")
+                .clone()
+        };
+        assert_eq!(
+            hist("serve.scalar.latency_us").counts,
+            hist("serve.batched.latency_us").counts
+        );
     }
 
     #[test]

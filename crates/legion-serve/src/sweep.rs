@@ -20,7 +20,9 @@ use legion_pipeline::TimeModel;
 use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
 use legion_sampling::KHopSampler;
 
-use legion_router::CLASS_COUNT;
+use legion_graph::VertexId;
+use legion_partition::{detect_cliques, LdgPartitioner, Partitioner};
+use legion_router::{Dispatcher, RouterPolicy, CLASS_COUNT};
 
 use crate::engine::serve;
 use crate::workload::{ClassSampler, TargetSampler};
@@ -91,6 +93,15 @@ pub struct LoadPoint {
 /// single class's distribution. With the default single-class mix the
 /// probe is byte-identical to the original single-class estimator
 /// (pinned by `legacy_probe_is_byte_identical_for_single_class`).
+///
+/// When the residency router is enabled
+/// ([`RouterPolicy::Residency`]), the probe routes its seeds through
+/// the same [`Dispatcher`] scoring the engine uses instead of timing
+/// round-robin single-GPU batches — routed runs concentrate each
+/// clique's partition on its own caches, so their steady-state service
+/// rate (and therefore the knee a sweep should anchor to) is higher
+/// than the round-robin probe reports. The router-off path is
+/// byte-identical to the original probe.
 pub fn estimate_capacity_rps(
     graph: &CsrGraph,
     features: &FeatureTable,
@@ -98,6 +109,9 @@ pub fn estimate_capacity_rps(
     config: &ServeConfig,
 ) -> f64 {
     config.validate();
+    if config.router.policy == RouterPolicy::Residency {
+        return routed_capacity_rps(graph, features, server, config);
+    }
     server.reset();
     let layout = CacheLayout::none(server.num_gpus());
     let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva);
@@ -156,6 +170,141 @@ pub fn estimate_capacity_rps(
     let mean_service = total / PROBES as f64;
     assert!(mean_service > 0.0, "probe batches took no simulated time");
     server.num_gpus() as f64 * config.max_batch as f64 / mean_service
+}
+
+/// Dispatcher-routed capacity probe for residency-router runs.
+///
+/// Builds the same routing state the engine does — clique groups from
+/// the NVLink topology with each clique's residency approximated by its
+/// LDG partition (a uniform stand-in for all three cache policies, whose
+/// steady-state clique content tracks ownership) — then, per round,
+/// draws `num_gpus * max_batch` seeds, routes each through
+/// [`Dispatcher::route`] against *projected* depths (incremented per
+/// placement within the round, the same projection the sharded
+/// coordinator uses), and times every GPU's routed sub-batch against a
+/// per-GPU warmed FIFO cache. The probe's spill threshold is one batch
+/// per GPU: a capacity probe models the system *at* saturation, where a
+/// clique past its fair share spills to the globally least-loaded GPU —
+/// without it, coverage skew would serialize whole rounds onto the hot
+/// clique and undershoot aggregate capacity. GPUs run concurrently, so
+/// the round's service time is the *max* over GPUs and capacity is
+/// `num_gpus * max_batch / mean_round`. Resets the server before and
+/// after, like the round-robin probe.
+fn routed_capacity_rps(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    config: &ServeConfig,
+) -> f64 {
+    server.reset();
+    let num_gpus = server.num_gpus();
+    let layout = CacheLayout::none(num_gpus);
+    let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva);
+    let time_model = TimeModel::new(server.spec());
+    let sampler = KHopSampler::new(config.fanouts.clone());
+    let mut model_rng = StdRng::seed_from_u64(config.seed ^ 0x51ee_7d00_c0de_cafe);
+    let model = GnnModel::new(
+        ModelKind::GraphSage,
+        features.dim(),
+        config.hidden_dim,
+        config.num_classes,
+        config.fanouts.len(),
+        &mut model_rng,
+    );
+    let mut targets = TargetSampler::new(
+        (0..graph.num_vertices() as u32).collect(),
+        config.zipf_exponent,
+        0,
+        0,
+    );
+    if config.classes.mix[0] > 0.0 {
+        targets = targets.with_interactive_boost(config.classes.interactive_boost);
+    }
+    let mut classes = ClassSampler::new(config.classes.mix, config.seed ^ 0x0bad_cafe_f00d_beef);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0bad_cafe_f00d_beef);
+
+    let groups = detect_cliques(server.nvlink());
+    let part = LdgPartitioner::default().partition(graph, groups.len());
+    // One batch of backlog per GPU is the probe's saturation point: a
+    // clique whose projected depths all reach it spills, exactly like a
+    // saturated admission queue in the engine.
+    let spill_len = config.max_batch.max(1);
+    let mut dispatcher = Dispatcher::new(groups, graph.num_vertices(), spill_len);
+    for g in 0..dispatcher.num_groups() {
+        let owned: Vec<VertexId> = (0..graph.num_vertices() as VertexId)
+            .filter(|&v| part[v as usize] as usize == g)
+            .collect();
+        dispatcher.refresh_group(g, &owned);
+    }
+
+    let mut fifos: Vec<legion_cache::FifoCache> = (0..num_gpus)
+        .map(|_| legion_cache::FifoCache::new(config.cache_rows_per_gpu))
+        .collect();
+    let row_tx = server.pcie().transactions_for_payload(features.row_bytes());
+    let mut lens = vec![0usize; num_gpus];
+    let mut probe: Vec<VertexId> = Vec::new();
+    let mut per_gpu: Vec<Vec<u32>> = vec![Vec::new(); num_gpus];
+
+    const WARMUP_BATCHES: usize = 8;
+    const PROBES: usize = 4;
+    let mut total = 0.0f64;
+    for i in 0..WARMUP_BATCHES + PROBES {
+        for sub in &mut per_gpu {
+            sub.clear();
+        }
+        lens.fill(0);
+        for _ in 0..num_gpus * config.max_batch {
+            let t = targets.next_for_class(classes.sample(), &mut rng);
+            probe.clear();
+            probe.push(t);
+            probe.extend(
+                graph
+                    .neighbors(t)
+                    .iter()
+                    .take(config.router.probe_neighbors)
+                    .copied(),
+            );
+            // Projected depths, exactly like the sharded coordinator:
+            // each placement deepens its GPU, spreading a clique's
+            // round across its members and spilling past one batch.
+            let dec = dispatcher.route(&probe, &lens);
+            lens[dec.gpu] += 1;
+            per_gpu[dec.gpu].push(t);
+        }
+        let mut round = 0.0f64;
+        for (gpu, seeds) in per_gpu.iter_mut().enumerate() {
+            if seeds.is_empty() {
+                continue;
+            }
+            // Same dedupe as the engine: duplicate targets expand once.
+            seeds.sort_unstable();
+            seeds.dedup();
+            let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
+            let sample = sampler.sample_batch(&engine, gpu, seeds, &mut rng, None);
+            let topo_tx = server.pcm().gpu_kind(gpu, TrafficKind::Topology) - topo_before;
+            let feat_tx: u64 = sample
+                .all_vertices
+                .iter()
+                .filter(|&&v| !fifos[gpu].access(v))
+                .count() as u64
+                * row_tx;
+            let sample_t = time_model.sample_seconds(topo_tx, sample.total_edges() as u64);
+            let extract_t = time_model.extract_seconds(feat_tx, 0);
+            let service =
+                sample_t.max(extract_t) + time_model.train_seconds(model.inference_flops(&sample));
+            round = round.max(service);
+        }
+        if i >= WARMUP_BATCHES {
+            total += round;
+        }
+    }
+    server.reset();
+    let mean_round = total / PROBES as f64;
+    assert!(
+        mean_round > 0.0,
+        "routed probe rounds took no simulated time"
+    );
+    num_gpus as f64 * config.max_batch as f64 / mean_round
 }
 
 /// Runs `base` at each multiplier of `capacity_rps`, preserving the
@@ -333,6 +482,29 @@ mod tests {
         let new = estimate_capacity_rps(&g, &f, &server, &config);
         let old = legacy_probe(&g, &f, &server, &config);
         assert_eq!(new.to_bits(), old.to_bits(), "new {new} vs legacy {old}");
+    }
+
+    /// Regression for the mis-anchored router sweeps: with the
+    /// residency router on, the probe must route through the
+    /// `Dispatcher` (clique-local caches, concurrent GPUs) instead of
+    /// timing round-robin single-GPU batches — the two anchors must
+    /// differ, and the routed one stays deterministic and traceless.
+    #[test]
+    fn routed_probe_uses_the_dispatcher_anchor() {
+        let (g, f, mut config) = fixture();
+        let server = ServerSpec::custom(4, 1 << 30, 2).build();
+        let unrouted = estimate_capacity_rps(&g, &f, &server, &config);
+        config.router.policy = crate::RouterPolicy::Residency;
+        let routed = estimate_capacity_rps(&g, &f, &server, &config);
+        let routed_again = estimate_capacity_rps(&g, &f, &server, &config);
+        assert!(routed > 0.0);
+        assert_eq!(routed.to_bits(), routed_again.to_bits());
+        assert_eq!(server.pcm().total(), 0, "probe must reset the server");
+        assert_ne!(
+            routed.to_bits(),
+            unrouted.to_bits(),
+            "routed runs must not anchor to the round-robin probe"
+        );
     }
 
     #[test]

@@ -164,6 +164,49 @@ impl Histogram {
         self.inner.sum.fetch_add(value, Ordering::Relaxed);
     }
 
+    /// Index of the bucket `value` falls into (the final index is the
+    /// overflow bucket). `observe(value)` increments exactly this
+    /// bucket — exposed so batch-local accumulators can tally bucket
+    /// counts without touching the shared atomics per observation.
+    #[inline]
+    pub fn bucket_index(&self, value: u64) -> usize {
+        self.inner.bounds.partition_point(|&bound| bound < value)
+    }
+
+    /// Number of buckets, including the overflow bucket — the length
+    /// `merge_counts` expects.
+    pub fn num_buckets(&self) -> usize {
+        self.inner.counts.len()
+    }
+
+    /// Merges a batch-local tally into the histogram: `counts[i]`
+    /// observations in bucket `i` (indexed as by
+    /// [`bucket_index`](Self::bucket_index)) summing to `sum`. One
+    /// atomic add per non-zero bucket plus one for the sum — the bulk
+    /// equivalent of `counts[i]` calls to [`observe`](Self::observe),
+    /// and bit-identical to them because bucket counts and the sum are
+    /// commutative integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from
+    /// [`num_buckets`](Self::num_buckets).
+    pub fn merge_counts(&self, counts: &[u64], sum: u64) {
+        assert_eq!(
+            counts.len(),
+            self.inner.counts.len(),
+            "bucket tally length must match the histogram"
+        );
+        for (slot, &c) in self.inner.counts.iter().zip(counts) {
+            if c > 0 {
+                slot.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        if sum > 0 {
+            self.inner.sum.fetch_add(sum, Ordering::Relaxed);
+        }
+    }
+
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.inner
@@ -500,6 +543,35 @@ mod tests {
         assert_eq!(h.counts(), vec![2, 2, 0, 1]);
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 5126);
+    }
+
+    #[test]
+    fn merge_counts_is_bit_identical_to_per_observation_recording() {
+        let reg = Registry::new();
+        let scalar = reg.histogram("lat.scalar", &[10, 100, 1000]);
+        let bulk = reg.histogram("lat.bulk", &[10, 100, 1000]);
+        let values = [5u64, 10, 11, 100, 101, 5000, 7, 999];
+        for &v in &values {
+            scalar.observe(v);
+        }
+        let mut tally = vec![0u64; bulk.num_buckets()];
+        let mut sum = 0u64;
+        for &v in &values {
+            tally[bulk.bucket_index(v)] += 1;
+            sum += v;
+        }
+        bulk.merge_counts(&tally, sum);
+        assert_eq!(scalar.counts(), bulk.counts());
+        assert_eq!(scalar.sum(), bulk.sum());
+        assert_eq!(scalar.quantile(0.99), bulk.quantile(0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket tally length")]
+    fn merge_counts_rejects_mismatched_tallies() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat.bad", &[10, 100]);
+        h.merge_counts(&[1, 2], 3);
     }
 
     #[test]

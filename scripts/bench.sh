@@ -2,7 +2,9 @@
 # Hot-path microbenchmark runner: builds and runs the `hotpath` criterion
 # suite and leaves machine-readable results in BENCH_hotpath.json at the
 # repo root (schema: legion-bench-hotpath/v1; ns/op and ops/sec per
-# bench, grouped). Seeds are fixed, so the output is deterministic
+# bench, grouped). The `bench_shard` group times whole serve runs
+# sequential vs `--shards 2` on the 2x2-clique server and prints the
+# measured speedup. Seeds are fixed, so the output is deterministic
 # modulo the timing fields.
 #
 #   scripts/bench.sh           full measurement run

@@ -38,6 +38,12 @@ cargo run --release -q -p legion-bench --bin servectl -- --smoke
 echo "==> servectl --smoke --router"
 cargo run --release -q -p legion-bench --bin servectl -- --smoke --router
 
+echo "==> servectl --smoke --router --shards 2 (sharded loop + head-to-head)"
+cargo run --release -q -p legion-bench --bin servectl -- --smoke --router --shards 2
+
+echo "==> sharded-vs-sequential equivalence (determinism suite)"
+cargo test -q -p legion-core --test determinism
+
 echo "==> bench.sh --smoke"
 scripts/bench.sh --smoke
 
