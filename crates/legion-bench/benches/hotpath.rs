@@ -24,6 +24,7 @@ use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
 use legion_sampling::extract::extract_features;
 use legion_sampling::{BatchTotals, KHopSampler, SampleScratch};
 use legion_serve::{serve, PolicyKind, ServeConfig};
+use legion_store::{NvmeGeneration, NvmeModel, Tier, VertexStore};
 
 fn bench_graph(num_vertices: usize, num_edges: usize) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(1);
@@ -215,6 +216,56 @@ fn bench_shard(c: &mut Criterion, smoke: bool) {
     group.finish();
 }
 
+/// The out-of-core store's per-batch host cost, resolving one batch of
+/// HBM misses in three regimes: `staged` (every row pre-staged by the
+/// prefetcher — the hit fast path), `cold` (a tiny staging window, so
+/// every batch issues inline device reads), and `dram_resident` (no
+/// SSD rows at all — the `all_resident` early-out legacy configs pay).
+/// Simulated device time is virtual; this measures the bookkeeping the
+/// extraction loop actually executes per batch.
+fn bench_store(c: &mut Criterion, smoke: bool) {
+    let n = if smoke { 10_000 } else { 100_000 };
+    let rows = if smoke { 256 } else { 2_048 };
+    let row_bytes = 400u64;
+    let nvme = NvmeModel::new(NvmeGeneration::Gen4x4);
+    let queries: Vec<u32> = (0..rows as u32).map(|i| i * 7 % n as u32).collect();
+
+    let mut group = c.benchmark_group("bench_store");
+
+    let mut staged = VertexStore::new(nvme, n, row_bytes, n);
+    for v in 0..n as u32 {
+        staged.assign(v, Tier::Ssd);
+    }
+    staged.warm(queries.iter().copied());
+    group.bench_function(BenchmarkId::new("staged", rows), |b| {
+        b.iter(|| staged.read(0.0, &queries).prefetch_hits)
+    });
+
+    // A 64-row window against chunks cycling the whole id range: by the
+    // time a chunk comes around again its rows have long been evicted,
+    // so every batch is a cold wave.
+    let mut cold = VertexStore::new(nvme, n, row_bytes, 64);
+    for v in 0..n as u32 {
+        cold.assign(v, Tier::Ssd);
+    }
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let chunks: Vec<&[u32]> = ids.chunks(rows).collect();
+    group.bench_function(BenchmarkId::new("cold", rows), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let out = cold.read(0.0, chunks[i % chunks.len()]);
+            i += 1;
+            out.cold_reads
+        })
+    });
+
+    let mut resident = VertexStore::new(nvme, n, row_bytes, 64);
+    group.bench_function(BenchmarkId::new("dram_resident", rows), |b| {
+        b.iter(|| resident.read(0.0, &queries).cold_reads)
+    });
+    group.finish();
+}
+
 /// The routing tier's per-request costs: a residency-scored dispatch
 /// decision over a 9-vertex probe, and a QoS admission offer/drain
 /// cycle on a saturated classed queue.
@@ -318,6 +369,7 @@ fn main() {
     bench_feature_extraction(&mut c, smoke);
     bench_serve_tick(&mut c, smoke);
     bench_shard(&mut c, smoke);
+    bench_store(&mut c, smoke);
     bench_router(&mut c, smoke);
 
     let mut groups: Vec<BenchGroup> = Vec::new();

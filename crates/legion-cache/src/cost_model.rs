@@ -17,6 +17,23 @@
 //! per-vertex byte sizes (`S_Tsum`, `S_Fsum`) and hotness (`A_Tsum`,
 //! `A_Fsum`) along `Q_T` / `Q_F`, so evaluating one plan is two binary
 //! searches plus O(1) lookups.
+//!
+//! # Three-tier extension (out-of-core store)
+//!
+//! [`CostModel::evaluate_tiered`] adds a second transfer term for an
+//! NVMe-backed feature tier below host DRAM. The HBM plan `(B, α)` is
+//! evaluated exactly as above; the feature rows that miss HBM then
+//! split by the same hotness order `Q_F` under a separate DRAM budget:
+//! the next-hottest prefix stays DRAM-resident (the legacy PCIe miss
+//! path, already priced by `N_F`), and the remainder lives on the SSD,
+//! adding `N_NVME = ceil(D * s_float32 / BLK) * U_SSD` block
+//! transactions on top of its PCIe crossing. `best_plan_tiered`
+//! minimizes `N_T + N_F + w * N_NVME`, where `w` weights an NVMe block
+//! against a PCIe cache line (the bandwidth ratio of the two links).
+//! Placement is a pair of prefixes of `Q_F`, so it is monotone in
+//! hotness by construction: a hotter vertex never lands in a colder
+//! tier. With an unbounded DRAM budget the SSD prefix is empty and the
+//! evaluation degenerates to the two-tier model exactly.
 
 use legion_graph::{feature_bytes_for_dim, topology_bytes_for_degree, CsrGraph, VertexId};
 
@@ -36,6 +53,8 @@ pub struct CostModel {
     /// Equation 8's per-vertex feature transaction count
     /// `ceil(D * s_float32 / CLS)`.
     feat_tx_per_vertex: u64,
+    /// Bytes of one feature row (`D * s_float32`), for tier boundaries.
+    feat_row_bytes: u64,
 }
 
 /// The prediction for one cache plan.
@@ -62,6 +81,31 @@ impl PlanEvaluation {
     /// `N_total` (Equation 2).
     pub fn n_total(&self) -> f64 {
         self.n_t + self.n_f
+    }
+}
+
+/// The prediction for one three-tier plan: the HBM evaluation plus the
+/// DRAM/SSD split of the feature rows that missed HBM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredPlanEvaluation {
+    /// The HBM plan — identical to the two-tier [`CostModel::evaluate`].
+    pub plan: PlanEvaluation,
+    /// Feature rows resident in host DRAM: the next-hottest prefix of
+    /// `Q_F` after the HBM boundary that fits the DRAM budget.
+    pub dram_feat_vertices: usize,
+    /// Feature rows relegated to the SSD (the tail of `Q_F`).
+    pub ssd_feat_vertices: usize,
+    /// Predicted NVMe block transactions `N_NVME`: hotness-weighted SSD
+    /// accesses times blocks per row.
+    pub n_nvme: f64,
+}
+
+impl TieredPlanEvaluation {
+    /// The weighted objective `N_T + N_F + ssd_penalty * N_NVME`. The
+    /// penalty converts NVMe blocks into PCIe-transaction equivalents —
+    /// the bandwidth ratio of the two links is the natural choice.
+    pub fn weighted_total(&self, ssd_penalty: f64) -> f64 {
+        self.plan.n_total() + ssd_penalty * self.n_nvme
     }
 }
 
@@ -127,6 +171,7 @@ impl CostModel {
             feat_hotness_prefix,
             n_tsum,
             feat_tx_per_vertex: row_bytes.div_ceil(cls),
+            feat_row_bytes: row_bytes,
         }
     }
 
@@ -257,6 +302,92 @@ impl CostModel {
                     .partial_cmp(&b.n_total())
                     .expect("traffic is finite")
                     .then(a.alpha.partial_cmp(&b.alpha).expect("alpha finite"))
+            })
+            .expect("sweep is non-empty")
+    }
+
+    /// Evaluates one three-tier plan: the HBM plan `(hbm_budget, alpha)`
+    /// exactly as [`evaluate`](Self::evaluate), then the feature rows
+    /// that missed HBM split along `Q_F` under `dram_budget` — the
+    /// next-hottest prefix stays in DRAM, the tail goes to the SSD and
+    /// pays `ceil(row_bytes / nvme_block_bytes)` block transactions per
+    /// hotness-weighted access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]` or `nvme_block_bytes == 0`.
+    pub fn evaluate_tiered(
+        &self,
+        hbm_budget: u64,
+        dram_budget: u64,
+        alpha: f64,
+        nvme_block_bytes: u64,
+    ) -> TieredPlanEvaluation {
+        assert!(nvme_block_bytes > 0, "block size must be positive");
+        let plan = self.evaluate(hbm_budget, alpha);
+        let hbm_bytes = if plan.feat_cached_vertices == 0 {
+            0
+        } else {
+            self.feat_bytes_prefix[plan.feat_cached_vertices - 1]
+        };
+        let d_boundary = Self::boundary(
+            &self.feat_bytes_prefix,
+            hbm_bytes.saturating_add(dram_budget),
+        )
+        .max(plan.feat_cached_vertices);
+        let resident_hot = if d_boundary == 0 {
+            0
+        } else {
+            self.feat_hotness_prefix[d_boundary - 1]
+        };
+        let u_ssd = self.total_feat_hotness() - resident_hot;
+        let blocks_per_vertex = self.feat_row_bytes.div_ceil(nvme_block_bytes);
+        TieredPlanEvaluation {
+            plan,
+            dram_feat_vertices: d_boundary - plan.feat_cached_vertices,
+            ssd_feat_vertices: self.feat_bytes_prefix.len() - d_boundary,
+            n_nvme: (blocks_per_vertex * u_ssd) as f64,
+        }
+    }
+
+    /// Sweeps `alpha` over the three-tier objective, mirroring
+    /// [`sweep`](Self::sweep).
+    pub fn sweep_tiered(
+        &self,
+        hbm_budget: u64,
+        dram_budget: u64,
+        delta_alpha: f64,
+        nvme_block_bytes: u64,
+    ) -> Vec<TieredPlanEvaluation> {
+        self.sweep(hbm_budget, delta_alpha)
+            .into_iter()
+            .map(|e| self.evaluate_tiered(hbm_budget, dram_budget, e.alpha, nvme_block_bytes))
+            .collect()
+    }
+
+    /// The three-tier plan minimizing `N_T + N_F + ssd_penalty * N_NVME`
+    /// over the alpha sweep. Ties break toward the smaller `alpha`.
+    pub fn best_plan_tiered(
+        &self,
+        hbm_budget: u64,
+        dram_budget: u64,
+        delta_alpha: f64,
+        nvme_block_bytes: u64,
+        ssd_penalty: f64,
+    ) -> TieredPlanEvaluation {
+        assert!(ssd_penalty >= 0.0, "penalty must be non-negative");
+        self.sweep_tiered(hbm_budget, dram_budget, delta_alpha, nvme_block_bytes)
+            .into_iter()
+            .min_by(|a, b| {
+                a.weighted_total(ssd_penalty)
+                    .partial_cmp(&b.weighted_total(ssd_penalty))
+                    .expect("traffic is finite")
+                    .then(
+                        a.plan
+                            .alpha
+                            .partial_cmp(&b.plan.alpha)
+                            .expect("alpha finite"),
+                    )
             })
             .expect("sweep is non-empty")
     }
@@ -429,5 +560,81 @@ mod tests {
         let e = m.evaluate(100, 0.5);
         assert_eq!(e.n_t, 5.0);
         assert_eq!(e.n_f, 0.0);
+    }
+
+    #[test]
+    fn infinite_dram_budget_degenerates_to_two_tiers() {
+        let m = model();
+        for alpha in [0.0, 0.25, 0.5, 1.0] {
+            let tiered = m.evaluate_tiered(100, u64::MAX, alpha, 4096);
+            assert_eq!(tiered.plan, m.evaluate(100, alpha));
+            assert_eq!(tiered.ssd_feat_vertices, 0);
+            assert_eq!(tiered.n_nvme, 0.0);
+            assert_eq!(
+                tiered.weighted_total(4.0),
+                tiered.plan.n_total(),
+                "no SSD rows, no NVMe term"
+            );
+        }
+    }
+
+    #[test]
+    fn tier_split_partitions_the_feature_order() {
+        let m = model();
+        // Rows are 16 bytes (D=4): HBM feature side of (64, alpha=0)
+        // holds 4 rows; a 16-byte DRAM budget holds 1 more; 1 on SSD.
+        let t = m.evaluate_tiered(64, 16, 0.0, 4096);
+        assert_eq!(t.plan.feat_cached_vertices, 4);
+        assert_eq!(t.dram_feat_vertices, 1);
+        assert_eq!(t.ssd_feat_vertices, 1);
+        // The SSD tail is the coldest vertex (hotness 2), one block.
+        assert_eq!(t.n_nvme, 2.0);
+    }
+
+    #[test]
+    fn n_nvme_counts_whole_blocks() {
+        let (g, q_t, a_t, q_f, a_f) = fixture();
+        // D = 2048 floats = 8192 bytes -> 2 blocks of 4096 per row.
+        let m = CostModel::new(&g, &q_t, &a_t, &q_f, &a_f, 0, 2048, 64);
+        let t = m.evaluate_tiered(0, 0, 0.0, 4096);
+        assert_eq!(t.ssd_feat_vertices, 6);
+        assert_eq!(t.n_nvme, 2.0 * 182.0);
+    }
+
+    #[test]
+    fn tiered_placement_is_monotone_in_hotness() {
+        let m = model();
+        for dram in [0u64, 16, 48, 1 << 20] {
+            let t = m.evaluate_tiered(64, dram, 0.0, 4096);
+            // Tiers are prefixes of Q_F: HBM before DRAM before SSD.
+            assert!(t.plan.feat_cached_vertices + t.dram_feat_vertices + t.ssd_feat_vertices == 6);
+        }
+        // More DRAM never moves a vertex to a colder tier.
+        let mut prev_ssd = usize::MAX;
+        for dram in [0u64, 16, 32, 48, 64] {
+            let t = m.evaluate_tiered(64, dram, 0.0, 4096);
+            assert!(t.ssd_feat_vertices <= prev_ssd);
+            prev_ssd = t.ssd_feat_vertices;
+        }
+    }
+
+    #[test]
+    fn best_plan_tiered_minimizes_weighted_total() {
+        let m = model();
+        let best = m.best_plan_tiered(120, 32, 0.01, 4096, 4.0);
+        for e in m.sweep_tiered(120, 32, 0.01, 4096) {
+            assert!(best.weighted_total(4.0) <= e.weighted_total(4.0) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ssd_penalty_steers_alpha_toward_features() {
+        let m = model();
+        // With a crushing penalty, the planner should not spend HBM on
+        // topology while feature rows would fall to the SSD.
+        let cheap = m.best_plan_tiered(64, 16, 0.25, 4096, 0.0);
+        let costly = m.best_plan_tiered(64, 16, 0.25, 4096, 1.0e6);
+        assert!(costly.ssd_feat_vertices <= cheap.ssd_feat_vertices);
+        assert!(costly.plan.alpha <= cheap.plan.alpha);
     }
 }

@@ -57,7 +57,7 @@ pub mod hotness;
 pub mod planner;
 pub mod unified;
 
-pub use cost_model::{CostModel, PlanEvaluation};
+pub use cost_model::{CostModel, PlanEvaluation, TieredPlanEvaluation};
 pub use cslp::{cslp, CslpOutput};
 pub use dynamic::{CacheStats, FifoCache, LruCache};
 pub use fill::build_clique_cache;

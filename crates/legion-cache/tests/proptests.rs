@@ -220,6 +220,104 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Three-tier (HBM/DRAM/SSD) placement invariants.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A hotter feature row must never land in a slower tier than a
+    /// colder one: the tiered evaluation assigns tiers along the
+    /// hotness-sorted `Q_F` prefix by prefix, so tier rank (HBM=0,
+    /// DRAM=1, SSD=2) is non-decreasing in coldness for every budget
+    /// pair and alpha.
+    #[test]
+    fn tiered_placement_is_monotone_in_hotness(
+        (g, q, a_t, a_f, n_tsum, dim) in model_inputs(),
+        hbm_budget in 0u64..50_000,
+        dram_budget in 0u64..50_000,
+        alpha_pct in 0u32..=100,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let n = g.num_vertices();
+        let mut q_f: Vec<VertexId> = (0..n as VertexId).collect();
+        q_f.sort_by(|&x, &y| a_f[y as usize].cmp(&a_f[x as usize]));
+        let model = CostModel::new(&g, &q, &a_t, &q_f, &a_f, n_tsum, dim, 64);
+        let t = model.evaluate_tiered(hbm_budget, dram_budget, alpha, 4096);
+        // The three tiers partition the feature order.
+        prop_assert_eq!(
+            t.plan.feat_cached_vertices + t.dram_feat_vertices + t.ssd_feat_vertices,
+            n
+        );
+        let tier_of = |v: VertexId| {
+            let pos = q_f.iter().position(|&x| x == v).unwrap();
+            if pos < t.plan.feat_cached_vertices {
+                0u8
+            } else if pos < t.plan.feat_cached_vertices + t.dram_feat_vertices {
+                1
+            } else {
+                2
+            }
+        };
+        for x in 0..n as VertexId {
+            for y in 0..n as VertexId {
+                if a_f[x as usize] > a_f[y as usize] {
+                    prop_assert!(
+                        tier_of(x) <= tier_of(y),
+                        "hotter vertex {} (w {}) in tier {} behind {} (w {}) in tier {}",
+                        x, a_f[x as usize], tier_of(x), y, a_f[y as usize], tier_of(y)
+                    );
+                }
+            }
+        }
+    }
+
+    /// An infinite DRAM budget must degenerate the three-tier sweep to
+    /// the two-tier planner exactly: no SSD rows, zero NVMe traffic,
+    /// and a chosen plan bit-identical to `best_plan`'s (same alpha
+    /// tie-break, same traffic terms).
+    #[test]
+    fn infinite_dram_budget_degenerates_to_two_tier(
+        (g, q, a_t, a_f, n_tsum, dim) in model_inputs(),
+        hbm_budget in 0u64..50_000,
+    ) {
+        let mut q_f: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        q_f.sort_by(|&x, &y| a_f[y as usize].cmp(&a_f[x as usize]));
+        let model = CostModel::new(&g, &q, &a_t, &q_f, &a_f, n_tsum, dim, 64);
+        let tiered = model.best_plan_tiered(hbm_budget, u64::MAX, 0.05, 4096, 3.0);
+        prop_assert_eq!(tiered.ssd_feat_vertices, 0);
+        prop_assert_eq!(tiered.n_nvme, 0.0);
+        prop_assert_eq!(
+            tiered.weighted_total(1e9).to_bits(),
+            tiered.plan.n_total().to_bits(),
+            "a zero-SSD plan must be penalty-blind"
+        );
+        let flat = model.best_plan(hbm_budget, 0.05);
+        prop_assert_eq!(tiered.plan, flat);
+    }
+
+    /// Raising the SSD penalty never increases the chosen plan's NVMe
+    /// traffic: a more expensive SSD can only push the planner toward
+    /// plans that keep more of the hot set above it.
+    #[test]
+    fn chosen_nvme_traffic_is_monotone_in_penalty(
+        (g, q, a_t, a_f, n_tsum, dim) in model_inputs(),
+        hbm_budget in 0u64..50_000,
+        dram_budget in 0u64..50_000,
+    ) {
+        let mut q_f: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        q_f.sort_by(|&x, &y| a_f[y as usize].cmp(&a_f[x as usize]));
+        let model = CostModel::new(&g, &q, &a_t, &q_f, &a_f, n_tsum, dim, 64);
+        let mut prev = f64::INFINITY;
+        for penalty in [0.0, 1.0, 4.0, 16.0, 256.0] {
+            let t = model.best_plan_tiered(hbm_budget, dram_budget, 0.05, 4096, penalty);
+            prop_assert!(t.n_nvme <= prev + 1e-9, "NVMe traffic grew with the penalty");
+            prev = t.n_nvme;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Dynamic-cache (FIFO) invariants: whatever the access trace, the counters
 // must stay mutually consistent — the serving subsystem derives hit rates
 // and replacement overheads directly from them.

@@ -24,7 +24,8 @@ use legion_pipeline::{
 use legion_sampling::access::{AccessEngine, BatchTotals};
 use legion_sampling::extract::HitStats;
 use legion_sampling::{BatchGenerator, KHopSampler, SampleScratch};
-use legion_telemetry::{Snapshot, NANOS_PER_SEC};
+use legion_store::{NvmeGeneration, NvmeModel, Tier, VertexStore};
+use legion_telemetry::{Counter, Snapshot, NANOS_PER_SEC};
 
 use legion_baselines::BuildContext;
 
@@ -158,6 +159,109 @@ fn finalize_report(name: String, server: &MultiGpuServer, epoch_seconds: f64) ->
     }
 }
 
+/// Out-of-core configuration for the offline epoch runner: a host-DRAM
+/// budget for feature rows with the cold tail on the simulated NVMe
+/// tier, plus the batch-generator lookahead prefetcher's knobs. The
+/// training-side analogue of `legion_serve::StoreConfig`.
+#[derive(Debug, Clone)]
+pub struct EpochStoreConfig {
+    /// Host-DRAM budget for feature rows, in bytes. Rows are ranked by
+    /// degree (the structural hotness sampled neighborhoods follow);
+    /// the head fills the budget, the tail lives on the SSD.
+    pub dram_budget_bytes: u64,
+    /// Staging-window rows per trainer GPU (bounded DRAM pin).
+    pub staging_rows: usize,
+    /// Simulated device class.
+    pub nvme: NvmeGeneration,
+    /// Upcoming generator batches staged ahead of extraction.
+    pub lookahead_batches: usize,
+    /// Leading adjacency rows staged per seed vertex.
+    pub prefetch_neighbors: usize,
+    /// Maximum rows one prefetch call may issue.
+    pub prefetch_budget: usize,
+}
+
+impl Default for EpochStoreConfig {
+    fn default() -> Self {
+        Self {
+            dram_budget_bytes: u64::MAX,
+            staging_rows: 4096,
+            nvme: NvmeGeneration::Gen3x4,
+            lookahead_batches: 2,
+            prefetch_neighbors: 16,
+            prefetch_budget: 1024,
+        }
+    }
+}
+
+/// Per-GPU out-of-core state for the epoch runner: the NUMA-local
+/// store plus the shared epoch-level meters.
+struct EpochStore {
+    store: VertexStore,
+    prefetch_neighbors: usize,
+    prefetch_budget: usize,
+    prefetch_hits: Counter,
+    late_stalls: Counter,
+    cold_reads: Counter,
+    nvme_bytes: Counter,
+    missed: Vec<legion_graph::VertexId>,
+    candidates: Vec<legion_graph::VertexId>,
+}
+
+impl EpochStore {
+    /// Resolves a batch's cache misses against the store at epoch time
+    /// `at` and returns the extraction stall to charge.
+    fn charge(
+        &mut self,
+        engine: &AccessEngine<'_>,
+        gpu: usize,
+        inputs: &[legion_graph::VertexId],
+        at: f64,
+    ) -> f64 {
+        self.missed.clear();
+        self.missed.extend(
+            inputs
+                .iter()
+                .copied()
+                .filter(|&v| !engine.feature_would_hit(gpu, v)),
+        );
+        let out = self.store.read(at, &self.missed);
+        self.prefetch_hits.add(out.prefetch_hits);
+        self.late_stalls.add(out.late_stalls);
+        self.cold_reads.add(out.cold_reads);
+        self.nvme_bytes.add(out.nvme_bytes);
+        out.stall_s
+    }
+
+    /// Stages an upcoming generator batch's seed rows (and each seed's
+    /// leading neighbors) at epoch time `at`, ahead of its extraction.
+    fn prefetch_batch(
+        &mut self,
+        graph: &legion_graph::CsrGraph,
+        seeds: &[legion_graph::VertexId],
+        at: f64,
+    ) {
+        if self.prefetch_budget == 0 {
+            return;
+        }
+        self.candidates.clear();
+        for &s in seeds {
+            self.candidates.push(s);
+            self.candidates.extend(
+                graph
+                    .neighbors(s)
+                    .iter()
+                    .take(self.prefetch_neighbors)
+                    .copied(),
+            );
+        }
+        let out = self
+            .store
+            .prefetch(at, self.candidates.drain(..), self.prefetch_budget);
+        self.nvme_bytes.add(out.nvme_bytes);
+    }
+}
+
 /// Reusable per-worker state for the shared sample→extract→train batch
 /// step. One instance lives per training GPU worker (one total in the
 /// sequential runner, one per thread in the parallel runner), so the
@@ -197,6 +301,11 @@ impl<'a, 'b> BatchStep<'a, 'b> {
     /// returning the three stage times. Stage timing reads the PCM /
     /// traffic deltas around each batched call, which is exact because
     /// the batched paths flush their totals before returning.
+    ///
+    /// When `store` carries an out-of-core tier (and the current epoch
+    /// clock), the batch's HBM misses are resolved against it and any
+    /// SSD stall is folded into the extraction time.
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &mut self,
         sampler: &KHopSampler,
@@ -205,6 +314,7 @@ impl<'a, 'b> BatchStep<'a, 'b> {
         batch: &[legion_graph::VertexId],
         rng: &mut StdRng,
         schedule: &ScheduleKind,
+        store: Option<(&mut EpochStore, f64)>,
     ) -> (f64, f64, f64) {
         // Stage 1: neighbor sampling (charged to the sampling GPU).
         let topo_before = self
@@ -252,9 +362,12 @@ impl<'a, 'b> BatchStep<'a, 'b> {
         let peer_after: u64 = (0..n)
             .map(|s| self.server.traffic().gpu_to_gpu(s, trainer_gpu))
             .sum();
-        let extract_t = self
+        let mut extract_t = self
             .time_model
             .extract_seconds(feat_tx, peer_after - peer_before);
+        if let Some((es, at)) = store {
+            extract_t += es.charge(self.engine, trainer_gpu, sample.input_vertices(), at);
+        }
         // Stage 3: training.
         let train_t = self
             .time_model
@@ -342,6 +455,7 @@ pub fn run_epoch_with_model(
                 &batch,
                 &mut rng,
                 &setup.schedule,
+                None,
             );
 
             // Stage times accrue to the trainer GPU's counters (for a
@@ -352,6 +466,165 @@ pub fn run_epoch_with_model(
                 ScheduleKind::Serial => BatchCost::serial(sample_t, extract_t, train_t),
                 // Factored: samplers only sample; trainers extract + train
                 // (GNNLab's feature cache lives on the trainer GPUs).
+                ScheduleKind::Factored { .. } => BatchCost {
+                    prep: sample_t,
+                    train: extract_t + train_t,
+                },
+                _ => BatchCost::overlapped(sample_t, extract_t, train_t),
+            };
+            per_gpu_costs[gpu].push(cost);
+        }
+    }
+
+    let epoch_seconds = match &setup.schedule {
+        ScheduleKind::Pipelined | ScheduleKind::CpuSampling => per_gpu_costs
+            .iter()
+            .map(|c| epoch_time_pipelined(c))
+            .fold(0.0, f64::max),
+        ScheduleKind::Serial => per_gpu_costs
+            .iter()
+            .map(|c| epoch_time_serial(c))
+            .fold(0.0, f64::max),
+        ScheduleKind::Factored { samplers, trainers } => {
+            let all: Vec<BatchCost> = per_gpu_costs.iter().flatten().copied().collect();
+            epoch_time_factored(&all, samplers.len(), trainers.len())
+        }
+    };
+
+    finalize_report(setup.name.clone(), server, epoch_seconds)
+}
+
+/// [`run_epoch_with_model`] with an out-of-core feature tier: host DRAM
+/// holds only `store_cfg.dram_budget_bytes` of feature rows and the
+/// cold tail lives on the simulated NVMe device, fronted per trainer
+/// GPU by a staging window and a batch-generator lookahead prefetcher
+/// (the epoch runner knows its future mini-batches exactly, so the
+/// prefetcher stages upcoming seeds and their leading neighbors while
+/// the current batch trains). SSD stalls fold into extraction time and
+/// flow through the same §5 pipeline model as every other stage.
+///
+/// When the budget covers every row the store never sees a request and
+/// the run degenerates to [`run_epoch_with_model`] byte-for-byte.
+pub fn run_epoch_with_store(
+    setup: &SystemSetup,
+    ctx: &BuildContext<'_>,
+    config: &LegionConfig,
+    model_kind: ModelKind,
+    store_cfg: &EpochStoreConfig,
+) -> EpochReport {
+    let graph = &ctx.dataset.graph;
+    let num_vertices = graph.num_vertices();
+    let row_bytes = legion_graph::feature_bytes_for_dim(ctx.dataset.features.dim() as u64);
+    let dram_rows =
+        (store_cfg.dram_budget_bytes / row_bytes.max(1)).min(num_vertices as u64) as usize;
+    if dram_rows >= num_vertices {
+        // Nothing spills: the store would never see a request, so the
+        // legacy runner's timeline is reproduced exactly.
+        return run_epoch_with_model(setup, ctx, config, model_kind);
+    }
+    // Host-DRAM fill by degree: sampled neighborhoods concentrate on
+    // high-degree rows (the same structural hotness the HBM cost model
+    // ranks by), so the head stays resident and the long tail spills.
+    // The sort is stable, keeping the placement deterministic across
+    // runs for equal-degree rows.
+    let mut order: Vec<legion_graph::VertexId> =
+        (0..num_vertices as legion_graph::VertexId).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.neighbors(v).len()));
+    let ssd_rows = &order[dram_rows..];
+
+    let server = ctx.server;
+    server.telemetry().reset();
+    let registry = server.telemetry();
+    let time_model = TimeModel::new(server.spec());
+    let engine = AccessEngine::new(
+        &ctx.dataset.graph,
+        &ctx.dataset.features,
+        &setup.layout,
+        server,
+        setup.topology_placement,
+    );
+    let sampler = KHopSampler::new(config.fanouts.clone());
+    let mut flops_rng = StdRng::seed_from_u64(config.seed);
+    let num_classes = 16usize;
+    let flops_model = GnnModel::new(
+        model_kind,
+        ctx.dataset.features.dim(),
+        config.hidden_dim,
+        num_classes,
+        config.fanouts.len(),
+        &mut flops_rng,
+    );
+
+    let n = server.num_gpus();
+    let recorders: Vec<StageRecorder> = (0..n)
+        .map(|g| StageRecorder::for_gpu(server.telemetry(), g))
+        .collect();
+    let mut per_gpu_costs: Vec<Vec<BatchCost>> = vec![Vec::new(); n];
+
+    let mut sampler_cursor = 0usize;
+    let mut step = BatchStep::new(&engine, &time_model, &flops_model, server);
+    for gpu in 0..n {
+        if setup.tablets[gpu].is_empty() {
+            continue;
+        }
+        // Each trainer owns a NUMA-local store over the shared tier
+        // assignment; the warm fill happens before the measured epoch,
+        // mirroring the HBM cache's warmup pass.
+        let nvme = NvmeModel::new(store_cfg.nvme);
+        let mut store = VertexStore::new(nvme, num_vertices, row_bytes, store_cfg.staging_rows);
+        for &v in ssd_rows {
+            store.assign(v, Tier::Ssd);
+        }
+        store.warm(ssd_rows.iter().copied());
+        let mut es = EpochStore {
+            store,
+            prefetch_neighbors: store_cfg.prefetch_neighbors,
+            prefetch_budget: store_cfg.prefetch_budget,
+            prefetch_hits: registry.counter("epoch.store.prefetch_hits"),
+            late_stalls: registry.counter("epoch.store.late_stalls"),
+            cold_reads: registry.counter("epoch.store.cold_reads"),
+            nvme_bytes: registry.counter("store.nvme.bytes"),
+            missed: Vec::new(),
+            candidates: Vec::new(),
+        };
+
+        let mut rng = StdRng::seed_from_u64(config.seed ^ (gpu as u64).wrapping_mul(0x517c_c1b7));
+        let mut generator = BatchGenerator::new(setup.tablets[gpu].clone(), ctx.batch_size)
+            .with_telemetry(server.telemetry(), gpu);
+        // The epoch schedule is materialized up front so the prefetcher
+        // can look past the batch in flight — the offline analogue of
+        // the serving tier's queue lookahead.
+        let batches = generator.epoch(&mut rng);
+        // Per-GPU serial clock: the store's device horizon needs a
+        // monotone notion of "now", and the per-GPU batch stream is
+        // serial regardless of the cross-stage overlap model.
+        let mut clock = 0.0f64;
+        for (i, batch) in batches.iter().enumerate() {
+            for ahead in batches.iter().skip(i + 1).take(store_cfg.lookahead_batches) {
+                es.prefetch_batch(graph, ahead, clock);
+            }
+            let sampling_gpu = match &setup.schedule {
+                ScheduleKind::Factored { samplers, .. } => {
+                    let g = samplers[sampler_cursor % samplers.len()];
+                    sampler_cursor += 1;
+                    g
+                }
+                _ => gpu,
+            };
+            let (sample_t, extract_t, train_t) = step.run(
+                &sampler,
+                gpu,
+                sampling_gpu,
+                batch,
+                &mut rng,
+                &setup.schedule,
+                Some((&mut es, clock)),
+            );
+            clock += sample_t + extract_t + train_t;
+
+            recorders[gpu].record(sample_t, extract_t, train_t);
+            let cost = match setup.schedule {
+                ScheduleKind::Serial => BatchCost::serial(sample_t, extract_t, train_t),
                 ScheduleKind::Factored { .. } => BatchCost {
                     prep: sample_t,
                     train: extract_t + train_t,
@@ -451,7 +724,7 @@ pub fn run_epoch_parallel(
                     };
                     for batch in generator.epoch(&mut rng) {
                         let (sample_t, extract_t, train_t) =
-                            step.run(&sampler, gpu, gpu, &batch, &mut rng, &schedule);
+                            step.run(&sampler, gpu, gpu, &batch, &mut rng, &schedule, None);
                         recorder.record(sample_t, extract_t, train_t);
                         result.costs.push(match schedule {
                             ScheduleKind::Serial => BatchCost::serial(sample_t, extract_t, train_t),
@@ -588,6 +861,59 @@ mod tests {
         let b = run_epoch(&setup, &ctx, &config);
         assert_eq!(a.pcie_total, b.pcie_total);
         assert_eq!(a.epoch_seconds, b.epoch_seconds);
+    }
+
+    #[test]
+    fn store_epoch_degenerates_and_oversubscription_costs() {
+        let ds = spec_by_name("PR").unwrap().instantiate(2000, 3);
+        let config = LegionConfig::small();
+        let server = ServerSpec::custom(2, 32 << 20, 2).build();
+        let ctx = config.build_context(&ds, &server);
+        let setup = dgl::setup(&ctx).unwrap();
+
+        let baseline = run_epoch_with_model(&setup, &ctx, &config, ModelKind::GraphSage);
+
+        // Infinite DRAM budget: the store is never consulted, so the
+        // epoch is byte-identical to the legacy runner.
+        let infinite = EpochStoreConfig::default();
+        let resident = run_epoch_with_store(&setup, &ctx, &config, ModelKind::GraphSage, &infinite);
+        assert_eq!(resident.epoch_seconds, baseline.epoch_seconds);
+        assert_eq!(resident.pcie_total, baseline.pcie_total);
+        assert_eq!(resident.metrics.counter("store.nvme.bytes"), 0);
+
+        // A quarter of the features fit in DRAM: SSD traffic must flow
+        // and the flash stalls must make the epoch strictly slower.
+        let tight = EpochStoreConfig {
+            dram_budget_bytes: ds.feature_bytes() / 4,
+            staging_rows: 512,
+            ..EpochStoreConfig::default()
+        };
+        let over = run_epoch_with_store(&setup, &ctx, &config, ModelKind::GraphSage, &tight);
+        assert!(over.metrics.counter("store.nvme.bytes") > 0);
+        let touched = over.metrics.counter("epoch.store.prefetch_hits")
+            + over.metrics.counter("epoch.store.late_stalls")
+            + over.metrics.counter("epoch.store.cold_reads");
+        assert!(touched > 0, "SSD tier never touched");
+        assert!(
+            over.epoch_seconds > baseline.epoch_seconds,
+            "oversubscribed {} vs resident {}",
+            over.epoch_seconds,
+            baseline.epoch_seconds
+        );
+        // Sampling and training are untouched by the feature tier.
+        assert_eq!(over.pcie_topology, baseline.pcie_topology);
+
+        // The store timeline is integer-ns deterministic.
+        let again = run_epoch_with_store(&setup, &ctx, &config, ModelKind::GraphSage, &tight);
+        assert_eq!(again.epoch_seconds, over.epoch_seconds);
+        assert_eq!(
+            again.metrics.counter("store.nvme.bytes"),
+            over.metrics.counter("store.nvme.bytes")
+        );
+        assert_eq!(
+            again.metrics.counter("epoch.store.prefetch_hits"),
+            over.metrics.counter("epoch.store.prefetch_hits")
+        );
     }
 
     #[test]

@@ -54,8 +54,15 @@ pub struct RouterConfig {
     pub spill_threshold: f64,
     /// Fraction of each clique's pooled cache budget spent replicating
     /// the globally hottest vertices across cliques (the rest holds the
-    /// clique's own partition's hottest), in `[0, 1]`.
+    /// clique's own partition's hottest), in `[0, 1]`. Only consulted
+    /// when `adaptive_replication` is off — the adaptive rule sizes the
+    /// replicated head from measured warmup hotness instead.
     pub replicate_frac: f64,
+    /// Size the replicated head adaptively: grow it one vertex at a
+    /// time while the marginal routed-coverage gain of another replica
+    /// exceeds the partitioned row it displaces, instead of spending a
+    /// fixed `replicate_frac` of the pool.
+    pub adaptive_replication: bool,
 }
 
 impl Default for RouterConfig {
@@ -65,6 +72,7 @@ impl Default for RouterConfig {
             probe_neighbors: 8,
             spill_threshold: 0.75,
             replicate_frac: 0.5,
+            adaptive_replication: true,
         }
     }
 }

@@ -132,6 +132,15 @@ impl<R: QueuedRequest> ClassedQueue<R> {
         self.deques[c.index()].len()
     }
 
+    /// Peeks up to `k` queued requests without draining them, in
+    /// priority order across classes and FIFO order within each — the
+    /// QoS drain order, and exact arrival order for single-class
+    /// queues. Lookahead prefetchers use this to see what the next
+    /// batches will ask for; it never mutates the queue.
+    pub fn peek_upto(&self, k: usize) -> impl Iterator<Item = &R> {
+        self.deques.iter().flat_map(VecDeque::iter).take(k)
+    }
+
     /// Requests admitted so far (and not later evicted).
     pub fn admitted(&self) -> u64 {
         self.admitted

@@ -67,6 +67,20 @@ pub fn warmup_hot_vertices(
     fanouts: &[usize],
     seed: u64,
 ) -> Vec<VertexId> {
+    warmup_hot_vertices_weighted(graph, targets, warmup_requests, fanouts, seed).0
+}
+
+/// Like [`warmup_hot_vertices`] but also returns the raw per-vertex
+/// touch counts the ranking was derived from — the hotness weights the
+/// adaptive replication rule compares replicas against displaced
+/// partitioned rows with.
+pub fn warmup_hot_vertices_weighted(
+    graph: &CsrGraph,
+    targets: &mut TargetSampler,
+    warmup_requests: usize,
+    fanouts: &[usize],
+    seed: u64,
+) -> (Vec<VertexId>, Vec<u64>) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut touches = vec![0u64; graph.num_vertices()];
     for _ in 0..warmup_requests {
@@ -92,7 +106,7 @@ pub fn warmup_hot_vertices(
             .cmp(&touches[a as usize])
             .then(a.cmp(&b))
     });
-    ranked
+    (ranked, touches)
 }
 
 /// Builds the static-hotness layout: every GPU gets its own single-GPU
@@ -156,13 +170,103 @@ pub fn build_partitioned_layout(
     rows_per_gpu: usize,
     replicate_frac: f64,
 ) -> (CacheLayout, Vec<Vec<GpuId>>) {
+    fill_partitioned(graph, features, server, hot, rows_per_gpu, &mut |budget| {
+        (budget as f64 * replicate_frac).floor() as usize
+    })
+}
+
+/// Builds the clique-partitioned hybrid layout with the replicated head
+/// sized *adaptively* instead of by a fixed fraction: the head grows one
+/// vertex at a time while the marginal routed-coverage gain of another
+/// replica exceeds the partitioned row it displaces.
+///
+/// Replicating the `k`-th globally hottest vertex buys local hits for
+/// its touches in the `G - 1` cliques that do not own it — a gain of
+/// `w(hot[k]) * (G - 1) / G` per clique slot, since the replica costs a
+/// slot in every clique. The slot it takes would otherwise hold the
+/// coolest still-resident row, which under residency routing serves
+/// essentially all of its own touches — a loss of `w(hot[budget-1-k])`.
+/// The head stops growing at the first `k` where the gain no longer
+/// covers the loss:
+///
+/// ```text
+/// (G - 1) * w(hot[k])  <  G * w(hot[budget - 1 - k])
+/// ```
+///
+/// With one clique there is nothing to replicate for (`G - 1 = 0`), so
+/// the rule degenerates to a fully partitioned cache. `weight` is the
+/// per-vertex touch count from [`warmup_hot_vertices_weighted`], indexed
+/// by vertex id.
+///
+/// Returns the layout, the clique membership, and the replicated head
+/// size chosen for each clique (for telemetry).
+///
+/// # Panics
+///
+/// Panics if a GPU cannot fit its share of the pooled rows.
+pub fn build_partitioned_layout_adaptive(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    hot: &[VertexId],
+    weight: &[u64],
+    rows_per_gpu: usize,
+) -> (CacheLayout, Vec<Vec<GpuId>>, Vec<usize>) {
+    let num_cliques = detect_cliques(server.nvlink()).len();
+    let mut replicated_per_clique = Vec::new();
+    let (layout, groups) =
+        fill_partitioned(graph, features, server, hot, rows_per_gpu, &mut |budget| {
+            let r = adaptive_replicated_rows(hot, weight, budget, num_cliques);
+            replicated_per_clique.push(r);
+            r
+        });
+    (layout, groups, replicated_per_clique)
+}
+
+/// The greedy head-sizing rule behind
+/// [`build_partitioned_layout_adaptive`], exposed for direct testing:
+/// returns how many of the hottest vertices to replicate into every
+/// clique given a per-clique row `budget` and `num_cliques` cliques.
+pub fn adaptive_replicated_rows(
+    hot: &[VertexId],
+    weight: &[u64],
+    budget: usize,
+    num_cliques: usize,
+) -> usize {
+    if num_cliques <= 1 {
+        return 0;
+    }
+    let b = budget.min(hot.len());
+    let (g, mut r) = (num_cliques as u64, 0usize);
+    while r < b {
+        let gain = (g - 1) * weight[hot[r] as usize];
+        let loss = g * weight[hot[b - 1 - r] as usize];
+        if gain < loss || gain == 0 {
+            break;
+        }
+        r += 1;
+    }
+    r
+}
+
+/// Shared fill behind the fixed-fraction and adaptive partitioned
+/// layouts: `replicated_for(budget)` decides the replicated head size
+/// for a clique with `budget` pooled rows.
+fn fill_partitioned(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    hot: &[VertexId],
+    rows_per_gpu: usize,
+    replicated_for: &mut dyn FnMut(usize) -> usize,
+) -> (CacheLayout, Vec<Vec<GpuId>>) {
     let groups = detect_cliques(server.nvlink());
     let part = LdgPartitioner::default().partition(graph, groups.len());
     let num_gpus = server.num_gpus();
     let mut cliques = Vec::with_capacity(groups.len());
     for (gi, members) in groups.iter().enumerate() {
         let budget = (rows_per_gpu * members.len()).min(hot.len());
-        let replicated = (budget as f64 * replicate_frac).floor() as usize;
+        let replicated = replicated_for(budget).min(budget);
         let mut taken = vec![false; graph.num_vertices()];
         let mut chosen: Vec<VertexId> = Vec::with_capacity(budget);
         for &v in &hot[..replicated] {
@@ -322,6 +426,56 @@ mod tests {
         for gpu in 0..4 {
             assert_eq!(server.allocated_bytes(gpu), 8 * f.row_bytes());
         }
+    }
+
+    #[test]
+    fn adaptive_head_grows_with_skew_and_shrinks_without() {
+        let hot: Vec<VertexId> = (0..16).collect();
+        // Uniform hotness: no head vertex can cover its displacement
+        // cost in G-1 cliques, so nothing replicates.
+        let flat = vec![10u64; 16];
+        assert_eq!(adaptive_replicated_rows(&hot, &flat, 8, 2), 0);
+        // One clique: replication is meaningless regardless of skew.
+        let skewed: Vec<u64> = (0..16).map(|i| 1u64 << (15 - i)).collect();
+        assert_eq!(adaptive_replicated_rows(&hot, &skewed, 8, 1), 0);
+        // Steep skew: the head earns replicas until the gain rule turns
+        // over, and a steeper budget never replicates past half the
+        // cache (the displaced row would be hotter than the replica).
+        let r = adaptive_replicated_rows(&hot, &skewed, 8, 2);
+        assert!(r > 0, "steep skew must replicate a head");
+        assert!(r <= 4, "the head never displaces hotter rows: r = {r}");
+        // More cliques lower the per-slot gain, so the head never grows
+        // when the clique count rises.
+        let r4 = adaptive_replicated_rows(&hot, &skewed, 8, 4);
+        assert!(r4 <= r, "more cliques cannot justify a bigger head");
+    }
+
+    #[test]
+    fn adaptive_layout_replicates_only_the_earning_head() {
+        let g = two_communities();
+        let f = FeatureTable::zeros(64, 8);
+        let server = ServerSpec::custom(4, 1 << 20, 2).build();
+        let hot: Vec<VertexId> = (0..64).collect();
+        // Vertex 0 is overwhelmingly hot, the rest tepid: exactly one
+        // vertex should earn cross-clique replicas.
+        let mut weight = vec![1u64; 64];
+        weight[0] = 1_000;
+        let (layout, groups, replicated) =
+            build_partitioned_layout_adaptive(&g, &f, &server, &hot, &weight, 8);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(replicated, vec![1, 1]);
+        for &gpu in &[0usize, 2] {
+            let cache = layout.for_gpu(gpu).expect("gpu has a cache").0;
+            assert!(
+                cache.feature_vertices().contains(&0),
+                "the earning head must be resident in every clique"
+            );
+        }
+        // Beyond the one-vertex head the cliques hold disjoint
+        // partitions, like the fixed-fraction layout's tail.
+        let a = layout.for_gpu(0).unwrap().0.feature_vertices();
+        let b = layout.for_gpu(2).unwrap().0.feature_vertices();
+        assert_ne!(a, b, "tails must stay partitioned");
     }
 
     #[test]

@@ -52,7 +52,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use legion_cache::FifoCache;
+use legion_cache::{cslp, CostModel, FifoCache};
 use legion_gnn::{GnnModel, ModelKind};
 use legion_graph::{topology_bytes_for_degree, CsrGraph, FeatureTable, VertexId};
 use legion_hw::pcm::TrafficKind;
@@ -65,17 +65,23 @@ use legion_router::{
 };
 use legion_sampling::access::{AccessEngine, BatchTotals, CacheLayout, TopologyPlacement};
 use legion_sampling::{KHopSampler, SampleScratch};
+use legion_store::{NvmeModel, Tier, VertexStore};
 use legion_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
 
 use crate::batcher::BatchPolicy;
 use crate::cache_policy::{
-    build_partitioned_layout, build_static_layout, warmup_hot_vertices, PolicyKind,
+    build_partitioned_layout, build_partitioned_layout_adaptive, build_static_layout,
+    warmup_hot_vertices_weighted, PolicyKind,
 };
 use crate::replan::{plan_layout, profile_warmup, ReplanState, SwapDelta, WarmupProfile};
 use crate::shard;
 use crate::slo::{latency_buckets, SloBatch, SloTracker};
 use crate::workload::{generate_workload_classed, ClassSampler, Request, TargetSampler};
-use crate::ServeConfig;
+use crate::{ServeConfig, StoreConfig};
+
+/// Bucket bounds of the store's depth-shaped histograms
+/// (`serve.store.inflight`, `store.nvme.queue_depth`).
+const STORE_DEPTH_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 
 /// Summary of one serving run; `metrics` is the full registry snapshot
 /// (PCM, traffic matrix, cache hits, latency histogram, gauges).
@@ -147,6 +153,319 @@ struct ReplanMeters {
     swap_bytes: Counter,
     recover: Histogram,
     mid_batch: Counter,
+}
+
+/// Shared meters of the out-of-core store, registered only when the
+/// tiered placement actually put rows on the SSD. All counters and
+/// histogram buckets are commuting integer adds, so per-GPU stores on
+/// shard threads flush into the same names without ordering effects.
+struct StoreMeters {
+    prefetch_hits: Counter,
+    late_stalls: Counter,
+    cold_reads: Counter,
+    evictions: Counter,
+    inflight: Histogram,
+    migrations: Counter,
+    migrated_bytes: Counter,
+    nvme_bytes: Counter,
+    nvme_queue_depth: Histogram,
+    nvme_read_us: Histogram,
+}
+
+impl StoreMeters {
+    fn new(registry: &Arc<Registry>) -> Self {
+        Self {
+            prefetch_hits: registry.counter("serve.store.prefetch_hits"),
+            late_stalls: registry.counter("serve.store.late_stalls"),
+            cold_reads: registry.counter("serve.store.cold_reads"),
+            evictions: registry.counter("serve.store.evictions"),
+            inflight: registry.histogram("serve.store.inflight", &STORE_DEPTH_BUCKETS),
+            migrations: registry.counter("serve.store.migrations"),
+            migrated_bytes: registry.counter("serve.store.migrated_bytes"),
+            nvme_bytes: registry.counter("store.nvme.bytes"),
+            nvme_queue_depth: registry.histogram("store.nvme.queue_depth", &STORE_DEPTH_BUCKETS),
+            nvme_read_us: registry.histogram("store.nvme.read_us", &latency_buckets()),
+        }
+    }
+}
+
+/// The tier assignment shared by every per-GPU store: where each
+/// vertex's feature row lives, as chosen by the three-tier cost-model
+/// sweep, plus the device model. Built once per run.
+pub(crate) struct StorePlacement {
+    nvme: NvmeModel,
+    tiers: Arc<Vec<Tier>>,
+    /// SSD-placed vertices in descending warmup hotness — the order the
+    /// staging warm-start fills from (warmup-untouched rows last).
+    ssd_hot: Arc<Vec<VertexId>>,
+}
+
+/// Runs the three-tier placement for a store-enabled config: warmup
+/// profile → CSLP orders → [`CostModel::best_plan_tiered`] under the
+/// HBM budget (`cache_rows_per_gpu` rows) and the configured DRAM
+/// budget. Vertices the warmup never touched soak up whatever DRAM
+/// budget the warm prefix left over (ascending id); the rest start on
+/// the SSD. Returns `None` when the store is disabled *or* when the
+/// budget swallows the whole table — the all-resident degenerate case
+/// runs the legacy two-tier path with zero store state.
+fn plan_store_placement(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    config: &ServeConfig,
+    all_targets: &[VertexId],
+    row_bytes: u64,
+) -> Option<StorePlacement> {
+    let dram_budget = config.store.dram_budget_bytes?;
+    let nvme = NvmeModel::new(config.store.nvme);
+    let mut warm = TargetSampler::new(all_targets.to_vec(), config.zipf_exponent, 0, 0);
+    let profile = profile_warmup(
+        graph,
+        &mut warm,
+        config.warmup_requests,
+        &config.fanouts,
+        config.seed,
+    );
+    let t = cslp(&profile.topo);
+    let f = cslp(&profile.feat);
+    let model = CostModel::new(
+        graph,
+        &t.clique_order,
+        &t.accumulated,
+        &f.clique_order,
+        &f.accumulated,
+        profile.n_tsum,
+        features.dim(),
+        server.pcie().cls(),
+    );
+    let hbm_budget = config.cache_rows_per_gpu as u64 * row_bytes;
+    // One NVMe block transaction costs its bandwidth ratio against the
+    // PCIe link in PCIe-transaction-equivalent terms.
+    let block_payload = nvme.bytes_for_payload(row_bytes) as f64;
+    let ssd_penalty = server.pcie().effective_bandwidth(row_bytes as f64)
+        / nvme.effective_bandwidth(block_payload);
+    let tiered = model.best_plan_tiered(
+        hbm_budget,
+        dram_budget,
+        config.replan.delta_alpha,
+        nvme.block_bytes(),
+        ssd_penalty,
+    );
+    let hbm_end = tiered.plan.feat_cached_vertices;
+    let dram_end = hbm_end + tiered.dram_feat_vertices;
+    let mut tiers = vec![Tier::Ssd; graph.num_vertices()];
+    let mut placed = vec![false; graph.num_vertices()];
+    for (i, &v) in f.clique_order.iter().enumerate() {
+        tiers[v as usize] = if i < hbm_end {
+            Tier::Hbm
+        } else if i < dram_end {
+            Tier::Dram
+        } else {
+            Tier::Ssd
+        };
+        placed[v as usize] = true;
+    }
+    let mut spare =
+        (dram_budget / row_bytes.max(1)).saturating_sub(tiered.dram_feat_vertices as u64);
+    for (v, was_placed) in placed.iter().enumerate() {
+        if !was_placed && spare > 0 {
+            tiers[v] = Tier::Dram;
+            spare -= 1;
+        }
+    }
+    let ssd_rows = tiers.iter().filter(|&&t| t == Tier::Ssd).count();
+    // Descending-hotness SSD rows: the warm prefix of the clique order
+    // that spilled past the DRAM budget, then warmup-untouched rows.
+    let mut ssd_hot: Vec<VertexId> = f
+        .clique_order
+        .iter()
+        .skip(dram_end)
+        .copied()
+        .filter(|&v| tiers[v as usize] == Tier::Ssd)
+        .collect();
+    ssd_hot.extend(
+        (0..graph.num_vertices() as VertexId)
+            .filter(|&v| !placed[v as usize] && tiers[v as usize] == Tier::Ssd),
+    );
+    (ssd_rows > 0).then(|| StorePlacement {
+        nvme,
+        tiers: Arc::new(tiers),
+        ssd_hot: Arc::new(ssd_hot),
+    })
+}
+
+/// Per-worker out-of-core state: the GPU's NUMA-local store (NVMe
+/// namespace + pinned staging window), its placement-time tier map for
+/// migration decisions, the shared meters, and the prefetcher's knobs
+/// and scratch.
+pub(crate) struct StoreWorker {
+    store: VertexStore,
+    baseline: Arc<Vec<Tier>>,
+    meters: StoreMeters,
+    lookahead: usize,
+    prefetch_neighbors: usize,
+    prefetch_budget: usize,
+    missed: Vec<VertexId>,
+    candidates: Vec<VertexId>,
+}
+
+impl StoreWorker {
+    fn new(
+        placement: &StorePlacement,
+        cfg: &StoreConfig,
+        row_bytes: u64,
+        registry: &Arc<Registry>,
+    ) -> Self {
+        let mut store = VertexStore::new(
+            placement.nvme,
+            placement.tiers.len(),
+            row_bytes,
+            cfg.staging_rows,
+        );
+        for (v, &t) in placement.tiers.iter().enumerate() {
+            if t != Tier::Dram {
+                store.assign(v as VertexId, t);
+            }
+        }
+        // Warm-start the staging window with the hottest SSD rows, the
+        // same warmup traffic the HBM plan was filled from — staged
+        // during the warmup epoch, outside the measured serving window.
+        store.warm(placement.ssd_hot.iter().copied());
+        Self {
+            store,
+            baseline: Arc::clone(&placement.tiers),
+            meters: StoreMeters::new(registry),
+            lookahead: cfg.lookahead_requests,
+            prefetch_neighbors: cfg.prefetch_neighbors,
+            prefetch_budget: cfg.prefetch_budget,
+            missed: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Resolves the batch's collected HBM misses (`self.missed`)
+    /// against the store at simulated time `at` and returns the
+    /// extraction stall to charge, metering every outcome.
+    fn charge_batch(&mut self, at: f64) -> f64 {
+        if self.missed.is_empty() {
+            return 0.0;
+        }
+        let out = self.store.read(at, &self.missed);
+        self.missed.clear();
+        self.meters.prefetch_hits.add(out.prefetch_hits);
+        self.meters.late_stalls.add(out.late_stalls);
+        self.meters.cold_reads.add(out.cold_reads);
+        self.meters.evictions.add(out.evictions);
+        if out.nvme_reads > 0 {
+            self.meters.nvme_bytes.add(out.nvme_bytes);
+            self.meters.nvme_queue_depth.observe(out.nvme_reads);
+            self.meters.nvme_read_us.observe(out.read_us);
+        }
+        out.stall_s
+    }
+
+    /// Lookahead prefetch at a batch boundary: peeks the requests still
+    /// queued behind the batch just drained and stages their targets'
+    /// (and leading neighbors') SSD rows, so those batches launch
+    /// against warm staging instead of cold flash.
+    fn prefetch_lookahead(&mut self, graph: &CsrGraph, queue: &ClassedQueue<Request>, at: f64) {
+        if self.lookahead == 0 || self.prefetch_budget == 0 {
+            return;
+        }
+        self.candidates.clear();
+        for r in queue.peek_upto(self.lookahead) {
+            self.candidates.push(r.target);
+            self.candidates.extend(
+                graph
+                    .neighbors(r.target)
+                    .iter()
+                    .take(self.prefetch_neighbors)
+                    .copied(),
+            );
+        }
+        if self.candidates.is_empty() {
+            return;
+        }
+        self.issue_prefetch(at);
+    }
+
+    /// Admission-time prefetch: stages the just-admitted request's
+    /// target and leading neighbors the moment the router commits it to
+    /// a queue, overlapping the NVMe read with the micro-batcher's
+    /// accumulation window. Batch-boundary lookahead alone misses the
+    /// low-load regime, where a request arrives at an idle worker and is
+    /// serviced with no intervening batch boundary to prefetch it.
+    fn prefetch_admitted(&mut self, graph: &CsrGraph, target: VertexId, at: f64) {
+        if self.prefetch_budget == 0 {
+            return;
+        }
+        self.candidates.clear();
+        self.candidates.push(target);
+        self.candidates.extend(
+            graph
+                .neighbors(target)
+                .iter()
+                .take(self.prefetch_neighbors)
+                .copied(),
+        );
+        self.issue_prefetch(at);
+    }
+
+    /// Issues the accumulated `candidates` to the store under the
+    /// per-call budget and meters the device traffic.
+    fn issue_prefetch(&mut self, at: f64) {
+        let out = self
+            .store
+            .prefetch(at, self.candidates.drain(..), self.prefetch_budget);
+        if out.issued > 0 {
+            self.meters.evictions.add(out.evictions);
+            self.meters.nvme_bytes.add(out.nvme_bytes);
+            self.meters.nvme_queue_depth.observe(out.issued);
+            self.meters.nvme_read_us.observe(out.read_us);
+        }
+    }
+
+    /// Batch-boundary migration for a committed re-plan: rows entering
+    /// the HBM plan are read up off the SSD (their host copies stay
+    /// DRAM-resident afterwards), while rows that left the plan and
+    /// were SSD-placed at planning time fall back out, keeping DRAM
+    /// occupancy bounded. Returns the device time the committing batch
+    /// pays.
+    fn migrate_commit(
+        &mut self,
+        at: f64,
+        old_feat: &[VertexId],
+        new_feat: &[VertexId],
+        refill: &[VertexId],
+    ) -> f64 {
+        let promote: Vec<VertexId> = refill
+            .iter()
+            .copied()
+            .filter(|&v| self.store.tier(v) == Tier::Ssd)
+            .collect();
+        // `new_feat` is ascending, so membership is a binary search.
+        let demote: Vec<VertexId> = old_feat
+            .iter()
+            .copied()
+            .filter(|&v| new_feat.binary_search(&v).is_err())
+            .filter(|&v| self.baseline[v as usize] == Tier::Ssd && self.store.tier(v) == Tier::Dram)
+            .collect();
+        if promote.is_empty() && demote.is_empty() {
+            return 0.0;
+        }
+        let out = self.store.migrate(at, &promote, &demote);
+        let moves = out.promoted + out.demoted;
+        if moves > 0 {
+            self.meters.migrations.add(moves);
+            self.meters.migrated_bytes.add(out.nvme_bytes);
+            self.meters.nvme_bytes.add(out.nvme_bytes);
+            self.meters.nvme_queue_depth.observe(moves);
+            self.meters
+                .nvme_read_us
+                .observe((out.swap_s * 1e6).round() as u64);
+        }
+        out.swap_s
+    }
 }
 
 /// Attributes each batch's feature hit/miss deltas to the drift phase of
@@ -285,6 +604,9 @@ pub(crate) struct Worker {
     slo_batch: SloBatch,
     class_batches: Option<Vec<SloBatch>>,
     pub(crate) policy: WorkerPolicy,
+    /// Out-of-core store state; `None` unless the run's tiered
+    /// placement put rows on the SSD.
+    pub(crate) store: Option<Box<StoreWorker>>,
     /// Plan version last pushed into the router's residency index
     /// (Replan + Residency runs only).
     pub(crate) last_plan_version: u64,
@@ -450,10 +772,13 @@ fn replan_batch_service(
     at: f64,
     rng: &mut StdRng,
     scratch: &mut BatchScratch,
+    mut store: Option<&mut StoreWorker>,
 ) -> BatchTiming {
     // Batch-boundary swap: in-flight requests finished against the old
     // plan; this batch starts on the new one and pays its refill.
     let mut swap_t = 0.0f64;
+    let old_feat = (store.is_some() && rw.state.plan.has_staged())
+        .then(|| rw.state.plan.active().contents.feat.clone());
     if let Some(delta) = rw.state.commit() {
         rw.gpu_replans.inc();
         replan_meters.count.inc();
@@ -467,6 +792,18 @@ fn replan_batch_service(
             &replan_meters.swap_bytes,
             &rw.gpu_swap_bytes,
         );
+        // Rows the new plan pulls into HBM come up off the SSD; rows
+        // that left it fall back to their placement-time tier. Swap
+        // bytes are charged to the NVMe model and the committing batch
+        // pays the device time.
+        if let (Some(sw), Some(old)) = (store.as_deref_mut(), old_feat) {
+            swap_t += sw.migrate_commit(
+                at,
+                &old,
+                &rw.state.plan.active().contents.feat,
+                &delta.new_feat,
+            );
+        }
     }
     // Plan-commit visibility audit: from here to the end of the batch
     // the version must not move — `roll` below only *stages* the next
@@ -505,7 +842,18 @@ fn replan_batch_service(
         &mut scratch.totals,
     );
     let feat_tx = server.pcm().gpu_kind(gpu, TrafficKind::Feature) - feat_tx_before;
-    let extract_t = time_model.extract_seconds(feat_tx, 0);
+    let mut extract_t = time_model.extract_seconds(feat_tx, 0);
+    if let Some(sw) = store {
+        sw.missed.clear();
+        sw.missed.extend(
+            sample
+                .all_vertices
+                .iter()
+                .copied()
+                .filter(|&v| !plan_engine.feature_would_hit(gpu, v)),
+        );
+        extract_t += sw.charge_batch(at);
+    }
     rw.state.window.note_batch(
         batch.len(),
         rw.feat_hits.get() - h0,
@@ -563,14 +911,20 @@ pub(crate) fn offer_request(
     r: Request,
     route_shed: Option<&Counter>,
 ) {
-    match w.queue.offer(r) {
-        Admission::Admitted => {}
-        Admission::AdmittedEvicting(_) | Admission::Shed => {
+    let admitted = match w.queue.offer(r) {
+        Admission::Admitted => true,
+        admission @ (Admission::AdmittedEvicting(_) | Admission::Shed) => {
             ctx.shed_total.inc();
             w.gpu_shed.inc();
             if let Some(c) = route_shed {
                 c.inc();
             }
+            matches!(admission, Admission::AdmittedEvicting(_))
+        }
+    };
+    if admitted {
+        if let Some(sw) = w.store.as_deref_mut() {
+            sw.prefetch_admitted(ctx.graph, r.target, r.arrival);
         }
     }
 }
@@ -582,6 +936,9 @@ pub(crate) fn offer_request(
 pub(crate) fn run_worker_batch(ctx: &ServeContext<'_>, w: &mut Worker, at: f64) -> usize {
     w.depth.observe(w.queue.len());
     let batch = w.queue.take(ctx.config.max_batch);
+    if let Some(sw) = w.store.as_deref_mut() {
+        sw.meters.inflight.observe(sw.store.inflight(at) as u64);
+    }
     let before = w.phase.as_ref().map(|p| p.totals());
     let timing = match &mut w.policy {
         WorkerPolicy::Flat { fifo, meters } => batch_service_seconds(
@@ -595,8 +952,10 @@ pub(crate) fn run_worker_batch(ctx: &ServeContext<'_>, w: &mut Worker, at: f64) 
             meters,
             w.gpu,
             &batch,
+            at,
             &mut w.rng,
             &mut w.scratch,
+            w.store.as_deref_mut(),
         ),
         WorkerPolicy::Replan(rw) => {
             let (_, replan_meters) = ctx.replan_shared.as_ref().expect("replan meters");
@@ -615,9 +974,16 @@ pub(crate) fn run_worker_batch(ctx: &ServeContext<'_>, w: &mut Worker, at: f64) 
                 at,
                 &mut w.rng,
                 &mut w.scratch,
+                w.store.as_deref_mut(),
             )
         }
     };
+    // Lookahead prefetch: the requests still queued behind the batch
+    // just drained are exactly what the next few batches will ask for —
+    // stage their SSD rows now so those launches find warm staging.
+    if let Some(sw) = w.store.as_deref_mut() {
+        sw.prefetch_lookahead(ctx.graph, &w.queue, at);
+    }
     if let (Some(p), Some((h0, m0))) = (w.phase.as_ref(), before) {
         p.record(batch[0].id, h0, m0);
     }
@@ -759,7 +1125,7 @@ pub fn serve(
     let layout = match config.policy {
         PolicyKind::StaticHot => {
             let mut warm = TargetSampler::new(all_targets.clone(), config.zipf_exponent, 0, 0);
-            let hot = warmup_hot_vertices(
+            let (hot, weight) = warmup_hot_vertices_weighted(
                 graph,
                 &mut warm,
                 config.warmup_requests,
@@ -767,14 +1133,31 @@ pub fn serve(
                 config.seed,
             );
             if residency {
-                let (layout, groups) = build_partitioned_layout(
-                    graph,
-                    features,
-                    server,
-                    &hot,
-                    config.cache_rows_per_gpu,
-                    config.router.replicate_frac,
-                );
+                // The replicated head is sized adaptively from measured
+                // warmup hotness by default; `adaptive_replication:
+                // false` restores the fixed `replicate_frac` split.
+                let (layout, groups) = if config.router.adaptive_replication {
+                    let (layout, groups, replicated) = build_partitioned_layout_adaptive(
+                        graph,
+                        features,
+                        server,
+                        &hot,
+                        &weight,
+                        config.cache_rows_per_gpu,
+                    );
+                    let meter = server.telemetry().counter("serve.route.replicated_rows");
+                    meter.add(replicated.iter().map(|&r| r as u64).sum());
+                    (layout, groups)
+                } else {
+                    build_partitioned_layout(
+                        graph,
+                        features,
+                        server,
+                        &hot,
+                        config.cache_rows_per_gpu,
+                        config.router.replicate_frac,
+                    )
+                };
                 static_groups = Some(groups);
                 layout
             } else {
@@ -813,6 +1196,15 @@ pub fn serve(
     let shed_total = registry.counter("serve.shed");
     let batch_policy = BatchPolicy::new(config.max_batch, config.max_wait);
     let row_bytes = features.row_bytes();
+
+    // Out-of-core placement: the three-tier cost-model sweep decides,
+    // per vertex, whether its feature row lives in HBM (the GPU plan),
+    // host DRAM, or on the simulated SSD. `None` — the default config,
+    // or any DRAM budget that swallows the whole table — leaves every
+    // worker storeless, so the legacy two-tier path (and its snapshot)
+    // is byte-identical.
+    let store_placement =
+        plan_store_placement(graph, features, server, config, &all_targets, row_bytes);
 
     // Replan-only shared state: the warmup-profiled initial hotness and
     // the global swap meters. The budget equals the other policies'
@@ -935,6 +1327,9 @@ pub fn serve(
                     .as_ref()
                     .map(|trackers| trackers.iter().map(SloTracker::batch).collect()),
                 policy,
+                store: store_placement
+                    .as_ref()
+                    .map(|p| Box::new(StoreWorker::new(p, &config.store, row_bytes, registry))),
                 last_plan_version: 0,
             }
         })
@@ -1110,8 +1505,10 @@ fn batch_service_seconds(
     meters: &FifoMeters,
     gpu: GpuId,
     batch: &[Request],
+    at: f64,
     rng: &mut StdRng,
     scratch: &mut BatchScratch,
+    mut store: Option<&mut StoreWorker>,
 ) -> BatchTiming {
     batch_seeds(batch, &mut scratch.seeds);
 
@@ -1140,6 +1537,16 @@ fn batch_service_seconds(
                 .map(|s| server.traffic().gpu_to_gpu(s, gpu))
                 .sum::<u64>()
                 - peer_before;
+            if let Some(sw) = store.as_deref_mut() {
+                sw.missed.clear();
+                sw.missed.extend(
+                    sample
+                        .all_vertices
+                        .iter()
+                        .copied()
+                        .filter(|&v| !engine.feature_would_hit(gpu, v)),
+                );
+            }
             (tx, peer)
         }
         PolicyKind::Fifo => {
@@ -1155,6 +1562,9 @@ fn batch_service_seconds(
             let mut misses = 0u64;
             let mut tx = 0u64;
             let mut bytes = 0u64;
+            if let Some(sw) = store.as_deref_mut() {
+                sw.missed.clear();
+            }
             for &v in &sample.all_vertices {
                 if fifo.access(v) {
                     hits += 1;
@@ -1162,6 +1572,9 @@ fn batch_service_seconds(
                     misses += 1;
                     tx += row_tx;
                     bytes += row_bytes;
+                    if let Some(sw) = store.as_deref_mut() {
+                        sw.missed.push(v);
+                    }
                 }
             }
             meters.rows.add(sample.all_vertices.len() as u64);
@@ -1173,7 +1586,13 @@ fn batch_service_seconds(
         }
         PolicyKind::Replan => unreachable!("replan batches run through replan_batch_service"),
     };
-    let extract_t = time_model.extract_seconds(feat_tx, peer_bytes);
+    let mut extract_t = time_model.extract_seconds(feat_tx, peer_bytes);
+    if let Some(sw) = store {
+        // SSD-tier misses resolve against the staging window or the
+        // device; the stall extends extraction, exactly like a slower
+        // PCIe crossing would.
+        extract_t += sw.charge_batch(at);
+    }
     let infer_t = time_model.train_seconds(model.inference_flops(&sample));
     BatchTiming {
         sample_s: sample_t,
@@ -1584,6 +2003,120 @@ mod tests {
             floored.class_completed.iter().sum::<u64>(),
             floored.completed
         );
+    }
+
+    /// An oversubscribed run (DRAM budget a fraction of the feature
+    /// table) must actually exercise the SSD tier: store telemetry is
+    /// live, the NVMe device moves whole blocks, and the prefetcher
+    /// converts queued lookahead into staging hits.
+    #[test]
+    fn store_oversubscription_exercises_the_ssd_tier() {
+        let (g, f) = tiny_graph();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let mut config = tiny_config(PolicyKind::StaticHot);
+        // 256 rows of 64 B = 16 KiB of features; grant 2 KiB of DRAM.
+        config.store.dram_budget_bytes = Some(2048);
+        config.store.staging_rows = 64;
+        config.store.prefetch_budget = 64;
+        config.num_requests = 600;
+        let report = serve(&g, &f, &server, &config);
+        assert_eq!(report.completed + report.shed, report.offered);
+        let counter = |name: &str| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        let touched = counter("serve.store.prefetch_hits")
+            + counter("serve.store.late_stalls")
+            + counter("serve.store.cold_reads");
+        assert!(touched > 0, "SSD-tier rows must actually be read");
+        assert!(
+            counter("serve.store.prefetch_hits") > 0,
+            "lookahead prefetch must land staging hits"
+        );
+        let bytes = counter("store.nvme.bytes");
+        assert!(bytes > 0 && bytes % 4096 == 0, "device moves whole blocks");
+        // Byte-identical reruns: same config, same snapshot.
+        let again = serve(&g, &f, &server, &config);
+        assert_eq!(report.metrics, again.metrics);
+    }
+
+    /// A DRAM budget that swallows the whole feature table must leave
+    /// the engine byte-identical to a storeless run — no store state,
+    /// no `store.*` metrics, identical snapshot.
+    #[test]
+    fn store_with_infinite_dram_budget_is_byte_identical() {
+        let (g, f) = tiny_graph();
+        for policy in [PolicyKind::StaticHot, PolicyKind::Fifo, PolicyKind::Replan] {
+            let base = {
+                let server = ServerSpec::custom(2, 1 << 30, 1).build();
+                serve(&g, &f, &server, &tiny_config(policy))
+            };
+            let stored = {
+                let server = ServerSpec::custom(2, 1 << 30, 1).build();
+                let mut config = tiny_config(policy);
+                config.store.dram_budget_bytes = Some(u64::MAX);
+                serve(&g, &f, &server, &config)
+            };
+            assert_eq!(
+                base.metrics,
+                stored.metrics,
+                "infinite DRAM budget must degenerate exactly (policy {})",
+                policy.as_str()
+            );
+            assert!(
+                !stored
+                    .metrics
+                    .counters
+                    .iter()
+                    .any(|c| c.name.starts_with("serve.store.")),
+                "all-resident runs must register no store metrics"
+            );
+        }
+    }
+
+    /// Re-plan commits under an active store must migrate rows across
+    /// the DRAM/SSD boundary and charge the device.
+    #[test]
+    fn replan_commits_migrate_rows_through_the_store() {
+        let (g, f) = tiny_graph();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let mut config = tiny_config(PolicyKind::Replan);
+        config.num_requests = 600;
+        config.drift_period = 100;
+        config.drift_stride = 64;
+        config.store.dram_budget_bytes = Some(2048);
+        config.store.staging_rows = 64;
+        config.store.prefetch_budget = 64;
+        config.replan = ReplanConfig {
+            bucket_requests: 8,
+            window_buckets: 2,
+            detector: DriftDetector::HitRateEwma {
+                alpha: 0.7,
+                drop: 0.1,
+            },
+            cooldown_buckets: 0,
+            ..ReplanConfig::default()
+        };
+        let report = serve(&g, &f, &server, &config);
+        assert_eq!(report.completed + report.shed, report.offered);
+        let counter = |name: &str| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        assert!(counter("serve.replan.count") > 0, "drift must replan");
+        assert!(
+            counter("serve.store.migrations") > 0,
+            "commits must move rows across the DRAM/SSD boundary"
+        );
+        assert!(counter("serve.store.migrated_bytes") > 0);
     }
 
     /// A multi-class FIFO run (no QoS) still attributes sheds by class

@@ -76,6 +76,12 @@
 //! | `serve.replan.mid_batch_commits` | counter | audit: plan-version bumps observed mid-batch (always 0 — commits are batch-boundary only) |
 //! | `stage.gpu{g}.{sample,extract,train}_ns` | counter | per-batch stage times (shared with `legion-pipeline`; `train` holds inference) |
 //! | `pipeline.gpu{g}.queue_depth` | histogram | admission-queue depth at each batch launch |
+//! | `serve.store.{prefetch_hits,late_stalls,cold_reads,evictions}` | counter | out-of-core staging outcomes (`--store` runs only) |
+//! | `serve.store.inflight` | histogram | staged-but-unfinished SSD reads at each batch launch |
+//! | `serve.store.{migrations,migrated_bytes}` | counter | DRAM↔SSD rows moved by re-plan commits |
+//! | `store.nvme.bytes` | counter | bytes moved off the simulated NVMe device, whole blocks |
+//! | `store.nvme.queue_depth` | histogram | commands per device wave (cold, prefetch, migrate) |
+//! | `store.nvme.read_us` | histogram | duration of each device wave, microseconds |
 //!
 //! (`{g}` is a zero-based GPU index; `{k}` a zero-padded drift-phase
 //! index, e.g. `serve.phase003.feature_hits`; `{c}` a class priority
@@ -83,7 +89,9 @@
 //! route-group / clique index; `{s}` an event-loop shard index. Class
 //! and route metrics are registered only when the run actually uses
 //! them: per-class metrics for multi-class mixes, route metrics for the
-//! residency router, shard metrics for `--shards > 1`.)
+//! residency router, shard metrics for `--shards > 1`, and
+//! `serve.store.*` / `store.nvme.*` only when [`StoreConfig`] actually
+//! places rows on the SSD tier.)
 
 pub mod batcher;
 pub mod cache_policy;
@@ -97,10 +105,12 @@ pub mod workload;
 
 pub use batcher::{BatchPolicy, PendingWindow};
 pub use cache_policy::{
-    build_partitioned_layout, build_static_layout, warmup_hot_vertices, PolicyKind,
+    adaptive_replicated_rows, build_partitioned_layout, build_partitioned_layout_adaptive,
+    build_static_layout, warmup_hot_vertices, warmup_hot_vertices_weighted, PolicyKind,
 };
 pub use engine::{serve, ServeReport};
 pub use legion_router::{PriorityClass, RouterConfig, RouterPolicy, CLASS_COUNT};
+pub use legion_store::{NvmeGeneration, NvmeModel, Tier, VertexStore};
 pub use queue::AdmissionQueue;
 pub use replan::{
     plan_layout, profile_warmup, DriftDetector, PlanBuffer, ReplanConfig, ReplanState,
@@ -162,10 +172,90 @@ pub struct ServeConfig {
     /// Coordination quantum of the sharded residency-routed loop,
     /// simulated seconds: the coordinator routes arrivals and drains the
     /// steal pool once per quantum. Ignored at `shards <= 1` and under
-    /// round-robin routing (which needs no coordination).
+    /// round-robin routing (which needs no coordination). When
+    /// `adaptive_quantum` is set this value is the initial/maximum
+    /// quantum the EWMA adapts below.
     pub shard_quantum: f64,
+    /// Whether the sharded residency coordinator adapts its quantum to
+    /// the measured batch service time (EWMA) instead of stepping at the
+    /// fixed `shard_quantum`.
+    pub adaptive_quantum: bool,
+    /// Out-of-core feature store (SSD tier below host DRAM).
+    pub store: StoreConfig,
     /// Master seed; every internal RNG stream derives from it.
     pub seed: u64,
+}
+
+/// Configuration of the SSD-backed out-of-core feature tier.
+///
+/// The default (`dram_budget_bytes: None`) disables the store: feature
+/// rows missing the GPU caches live entirely in host DRAM, exactly the
+/// pre-store engine, and no `store.*` telemetry is registered. Setting
+/// a DRAM budget turns on three-tier placement: the cost model's
+/// tiered sweep ([`legion_cache::CostModel::best_plan_tiered`]) splits
+/// the feature hotness order into HBM / DRAM / SSD prefixes, and every
+/// SSD-tier row is served through a per-GPU [`legion_store::VertexStore`]
+/// — staged ahead of time by the lookahead prefetcher when possible,
+/// read cold off the simulated NVMe device when not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Host-DRAM byte budget for feature rows that miss the GPU caches.
+    /// `None` keeps every row DRAM-resident (store disabled); a budget
+    /// large enough for the whole table degenerates to the same
+    /// two-tier system byte-for-byte.
+    pub dram_budget_bytes: Option<u64>,
+    /// Rows the per-GPU DRAM staging window holds (staged + in flight).
+    pub staging_rows: usize,
+    /// Simulated NVMe device generation.
+    pub nvme: legion_store::NvmeGeneration,
+    /// Queued requests the prefetcher peeks past the batch head when
+    /// assembling its candidate set.
+    pub lookahead_requests: usize,
+    /// Leading neighbors of each looked-ahead target added to the
+    /// prefetch candidates (the first hop the sampler will most likely
+    /// touch).
+    pub prefetch_neighbors: usize,
+    /// Maximum rows one prefetch wave may request from the device.
+    pub prefetch_budget: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            dram_budget_bytes: None,
+            staging_rows: 4096,
+            nvme: legion_store::NvmeGeneration::Gen3x4,
+            lookahead_requests: 64,
+            prefetch_neighbors: 8,
+            prefetch_budget: 256,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Whether the SSD tier is enabled at all.
+    pub fn active(&self) -> bool {
+        self.dram_budget_bytes.is_some()
+    }
+
+    /// Checks the invariants the engine relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first violated
+    /// invariant.
+    pub fn validate(&self) {
+        if self.active() {
+            assert!(
+                self.staging_rows > 0,
+                "store.staging_rows must be positive when the store is active"
+            );
+            assert!(
+                self.prefetch_budget <= self.staging_rows,
+                "store.prefetch_budget must not exceed staging_rows"
+            );
+        }
+    }
 }
 
 /// Priority-class workload mix and QoS discipline of a serving run.
@@ -282,6 +372,8 @@ impl Default for ServeConfig {
             classes: ClassConfig::default(),
             shards: 1,
             shard_quantum: 1e-3,
+            adaptive_quantum: false,
+            store: StoreConfig::default(),
             seed: 42,
         }
     }
@@ -311,6 +403,7 @@ impl ServeConfig {
         self.replan.validate();
         self.router.validate();
         self.classes.validate();
+        self.store.validate();
     }
 }
 

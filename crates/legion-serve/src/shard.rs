@@ -32,7 +32,14 @@
 //!   plan double-buffer it mirrors — only ever changes between batches,
 //!   never mid-batch. Runs are deterministic for a fixed seed and shard
 //!   count, but *not* byte-identical to the sequential loop: projected
-//!   depths lag true depths by up to one quantum.
+//!   depths lag true depths by up to one quantum. With
+//!   [`ServeConfig::adaptive_quantum`](crate::ServeConfig::adaptive_quantum)
+//!   the quantum is not fixed: shards report their batch-service totals
+//!   at each boundary and the coordinator steps the next quantum to a
+//!   few EWMA-smoothed mean batch service times, clamped between
+//!   `shard_quantum / 64` and `shard_quantum` — tight quanta (fresh
+//!   depth information) when batches are short, long quanta (less
+//!   coordination) when batches are slow.
 //!
 //! Per-shard totals land in `serve.shard{s}.batches` /
 //! `serve.shard{s}.completed`, registered only when sharding is active
@@ -73,12 +80,17 @@ enum Down {
     Finish,
 }
 
-/// Shard → coordinator, once per quantum: the shard's true queue depths
-/// and any plan commits since the last boundary (new residency sets for
-/// the dispatcher).
+/// Shard → coordinator, once per quantum: the shard's true queue depths,
+/// any plan commits since the last boundary (new residency sets for the
+/// dispatcher), and the quantum's batch-service totals for the adaptive
+/// quantum controller. Service time travels as integer nanoseconds so
+/// the coordinator's cross-shard sum commutes — the nondeterministic
+/// channel arrival order cannot perturb the EWMA.
 struct Up {
     queue_lens: Vec<(GpuId, usize)>,
     plan_updates: Vec<(GpuId, u64, Vec<VertexId>)>,
+    batches: u64,
+    service_ns: u64,
 }
 
 /// How many shard threads a request for `shards` actually yields: one
@@ -113,7 +125,10 @@ fn shard_map(server: &legion_hw::MultiGpuServer, eff: usize) -> Vec<usize> {
 /// (and into the request's measured latency). `start == 0.0` for the
 /// free-running paths, where no event can predate its offer.
 ///
-/// Returns `(batches, completed)` for the shard meters.
+/// Returns `(batches, completed, service_ns)` — the batch / completion
+/// totals for the shard meters plus the summed batch service time
+/// (launch to the worker's new busy horizon) in integer nanoseconds,
+/// feeding the coordinator's adaptive-quantum EWMA.
 fn run_shard_loop(
     ctx: &ServeContext<'_>,
     workers: &mut [Worker],
@@ -121,10 +136,11 @@ fn run_shard_loop(
     start: f64,
     horizon: Option<f64>,
     route_shed: Option<&[Counter]>,
-) -> (u64, u64) {
+) -> (u64, u64, u64) {
     let mut next = 0usize;
     let mut batches = 0u64;
     let mut completed = 0u64;
+    let mut service_ns = 0u64;
     loop {
         let mut launch: Option<(f64, usize)> = None;
         for (wi, w) in workers.iter().enumerate() {
@@ -143,11 +159,12 @@ fn run_shard_loop(
             (_, Some((at, wi))) => {
                 completed += run_worker_batch(ctx, &mut workers[wi], at) as u64;
                 batches += 1;
+                service_ns += ((workers[wi].free_at - at) * 1e9).round() as u64;
             }
             _ => break,
         }
     }
-    (batches, completed)
+    (batches, completed, service_ns)
 }
 
 /// Splits `workers` into per-shard ownership lists, recording each
@@ -220,7 +237,7 @@ pub(crate) fn run_roundrobin_sharded(
             .map(|(si, (mut ws, arr))| {
                 let (batches, completed) = meters[si].clone();
                 scope.spawn(move || {
-                    let (b, c) = run_shard_loop(ctx, &mut ws, &arr, 0.0, None, None);
+                    let (b, c, _) = run_shard_loop(ctx, &mut ws, &arr, 0.0, None, None);
                     batches.add(b);
                     completed.add(c);
                     (si, ws)
@@ -262,7 +279,18 @@ pub(crate) fn run_residency_sharded(
         .collect();
     let meters = shard_meters(ctx, eff);
     let steals = ctx.registry.counter("serve.route.steals");
-    let quantum = ctx.config.shard_quantum;
+    // With `adaptive_quantum` the configured `shard_quantum` is only the
+    // seed and ceiling: the coordinator tracks an EWMA of the mean batch
+    // service time across all shards and steps the quantum to roughly
+    // `QUANTUM_BATCHES` batches of work, floored so a pathologically
+    // fast batch cannot grind coordination to a halt. Disabled (the
+    // default), the quantum is the fixed configured value and the run is
+    // byte-identical to the pre-adaptive loop.
+    const EWMA_ALPHA: f64 = 0.25;
+    const QUANTUM_BATCHES: f64 = 4.0;
+    let mut quantum = ctx.config.shard_quantum;
+    let quantum_floor = ctx.config.shard_quantum / 64.0;
+    let mut service_ewma: Option<f64> = None;
 
     let (up_tx, up_rx) = mpsc::channel::<Up>();
     let (down_txs, down_rxs): (Vec<_>, Vec<_>) = (0..eff).map(|_| mpsc::channel::<Down>()).unzip();
@@ -285,7 +313,7 @@ pub(crate) fn run_residency_sharded(
                     match msg {
                         Down::Quantum { start, end, work } => {
                             last_end = end;
-                            let (b, c) =
+                            let (b, c, sns) =
                                 run_shard_loop(ctx, &mut ws, &work, start, Some(end), Some(&shed));
                             batches += b;
                             completed += c;
@@ -312,6 +340,8 @@ pub(crate) fn run_residency_sharded(
                                 .send(Up {
                                     queue_lens,
                                     plan_updates,
+                                    batches: b,
+                                    service_ns: sns,
                                 })
                                 .expect("coordinator alive");
                         }
@@ -320,7 +350,7 @@ pub(crate) fn run_residency_sharded(
                 }
                 // End-of-stream drain: whatever is still queued launches
                 // with no horizon, but never before the last boundary.
-                let (b, c) = run_shard_loop(ctx, &mut ws, &[], last_end, None, Some(&shed));
+                let (b, c, _) = run_shard_loop(ctx, &mut ws, &[], last_end, None, Some(&shed));
                 batches += b;
                 completed += c;
                 batch_meter.add(batches);
@@ -391,12 +421,25 @@ pub(crate) fn run_residency_sharded(
             // by GPU and applied in GPU order, so the nondeterministic
             // channel arrival order cannot leak into the run.
             let mut plan_updates: Vec<(GpuId, u64, Vec<VertexId>)> = Vec::new();
+            let mut q_batches = 0u64;
+            let mut q_service_ns = 0u64;
             for _ in 0..eff {
                 let up = up_rx.recv().expect("shard reports");
                 for (gpu, len) in up.queue_lens {
                     reported[gpu] = len;
                 }
                 plan_updates.extend(up.plan_updates);
+                q_batches += up.batches;
+                q_service_ns += up.service_ns;
+            }
+            if ctx.config.adaptive_quantum && q_batches > 0 {
+                let mean_s = q_service_ns as f64 / q_batches as f64 / 1e9;
+                let ewma = match service_ewma {
+                    Some(prev) => EWMA_ALPHA * mean_s + (1.0 - EWMA_ALPHA) * prev,
+                    None => mean_s,
+                };
+                service_ewma = Some(ewma);
+                quantum = (QUANTUM_BATCHES * ewma).clamp(quantum_floor, ctx.config.shard_quantum);
             }
             plan_updates.sort_by_key(|&(gpu, _, _)| gpu);
             for (gpu, _version, feat) in plan_updates {

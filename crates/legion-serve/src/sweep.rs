@@ -78,6 +78,52 @@ pub struct LoadPoint {
     pub route_locality: f64,
 }
 
+/// The capacity probes' stand-in for the out-of-core store: a
+/// DRAM-capacity FIFO window behind the probe's HBM FIFO. A feature
+/// miss that also falls outside the window must stage from the
+/// simulated NVMe before extraction can start, and the probe charges
+/// that batch [`legion_store::NvmeModel::read_seconds`] exactly like
+/// the engine charges cold reads. Inactive (`None`) when the store is
+/// off *or* the DRAM budget holds the whole table — a DRAM-resident
+/// probe stays byte-identical to the storeless one.
+struct ProbeStore {
+    dram: legion_cache::FifoCache,
+    nvme: legion_store::NvmeModel,
+    row_bytes: u64,
+    cold: u64,
+}
+
+impl ProbeStore {
+    fn new(config: &ServeConfig, num_vertices: usize, row_bytes: u64) -> Option<Self> {
+        let budget = config.store.dram_budget_bytes?;
+        let rows = (budget / row_bytes.max(1)).min(num_vertices as u64) as usize;
+        if rows >= num_vertices {
+            return None;
+        }
+        Some(Self {
+            dram: legion_cache::FifoCache::new(rows.max(1) + config.store.staging_rows),
+            nvme: legion_store::NvmeModel::new(config.store.nvme),
+            row_bytes,
+            cold: 0,
+        })
+    }
+
+    /// Records one HBM feature miss; returns after noting whether the
+    /// row was DRAM-resident or must stage from NVMe.
+    fn miss(&mut self, v: VertexId) {
+        if !self.dram.access(v) {
+            self.cold += 1;
+        }
+    }
+
+    /// Drains the batch's accumulated cold reads into a staging charge.
+    fn stage_seconds(&mut self) -> f64 {
+        let t = self.nvme.read_seconds(self.cold, self.row_bytes);
+        self.cold = 0;
+        t
+    }
+}
+
 /// Estimates serving capacity (requests per simulated second) with a
 /// closed-loop probe: warm a FIFO feature cache of the configured size
 /// with a few `max_batch`-sized batches, time the next few against it,
@@ -102,6 +148,14 @@ pub struct LoadPoint {
 /// rate (and therefore the knee a sweep should anchor to) is higher
 /// than the round-robin probe reports. The router-off path is
 /// byte-identical to the original probe.
+///
+/// With an active out-of-core store whose DRAM budget cannot hold the
+/// feature table, each probe batch additionally pays the NVMe staging
+/// time of its DRAM-cold misses (`ProbeStore`) — an oversubscribed
+/// system's knee sits below its DRAM-resident twin's, and a sweep
+/// anchored to the resident estimate would never cross it. A store
+/// whose budget holds the whole table is inert and the probe stays
+/// byte-identical to the storeless one.
 pub fn estimate_capacity_rps(
     graph: &CsrGraph,
     features: &FeatureTable,
@@ -138,7 +192,9 @@ pub fn estimate_capacity_rps(
     let mut classes = ClassSampler::new(config.classes.mix, config.seed ^ 0x0bad_cafe_f00d_beef);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0bad_cafe_f00d_beef);
     let mut fifo = legion_cache::FifoCache::new(config.cache_rows_per_gpu);
-    let row_tx = server.pcie().transactions_for_payload(features.row_bytes());
+    let row_bytes = features.row_bytes();
+    let row_tx = server.pcie().transactions_for_payload(row_bytes);
+    let mut store = ProbeStore::new(config, graph.num_vertices(), row_bytes);
 
     const WARMUP_BATCHES: usize = 8;
     const PROBES: usize = 4;
@@ -153,17 +209,22 @@ pub fn estimate_capacity_rps(
         let topo_before = server.pcm().gpu_kind(0, TrafficKind::Topology);
         let sample = sampler.sample_batch(&engine, 0, &seeds, &mut rng, None);
         let topo_tx = server.pcm().gpu_kind(0, TrafficKind::Topology) - topo_before;
-        let feat_tx: u64 = sample
-            .all_vertices
-            .iter()
-            .filter(|&&v| !fifo.access(v))
-            .count() as u64
-            * row_tx;
+        let mut feat_miss = 0u64;
+        for &v in &sample.all_vertices {
+            if !fifo.access(v) {
+                feat_miss += 1;
+                if let Some(s) = store.as_mut() {
+                    s.miss(v);
+                }
+            }
+        }
+        let feat_tx = feat_miss * row_tx;
+        let stage_t = store.as_mut().map_or(0.0, ProbeStore::stage_seconds);
         if i < WARMUP_BATCHES {
             continue;
         }
         let sample_t = time_model.sample_seconds(topo_tx, sample.total_edges() as u64);
-        let extract_t = time_model.extract_seconds(feat_tx, 0);
+        let extract_t = time_model.extract_seconds(feat_tx, 0) + stage_t;
         total += sample_t.max(extract_t) + time_model.train_seconds(model.inference_flops(&sample));
     }
     server.reset();
@@ -240,7 +301,12 @@ fn routed_capacity_rps(
     let mut fifos: Vec<legion_cache::FifoCache> = (0..num_gpus)
         .map(|_| legion_cache::FifoCache::new(config.cache_rows_per_gpu))
         .collect();
-    let row_tx = server.pcie().transactions_for_payload(features.row_bytes());
+    let row_bytes = features.row_bytes();
+    let row_tx = server.pcie().transactions_for_payload(row_bytes);
+    // One probe store per GPU, like the engine's per-worker stores.
+    let mut stores: Vec<Option<ProbeStore>> = (0..num_gpus)
+        .map(|_| ProbeStore::new(config, graph.num_vertices(), row_bytes))
+        .collect();
     let mut lens = vec![0usize; num_gpus];
     let mut probe: Vec<VertexId> = Vec::new();
     let mut per_gpu: Vec<Vec<u32>> = vec![Vec::new(); num_gpus];
@@ -282,14 +348,19 @@ fn routed_capacity_rps(
             let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
             let sample = sampler.sample_batch(&engine, gpu, seeds, &mut rng, None);
             let topo_tx = server.pcm().gpu_kind(gpu, TrafficKind::Topology) - topo_before;
-            let feat_tx: u64 = sample
-                .all_vertices
-                .iter()
-                .filter(|&&v| !fifos[gpu].access(v))
-                .count() as u64
-                * row_tx;
+            let mut feat_miss = 0u64;
+            for &v in &sample.all_vertices {
+                if !fifos[gpu].access(v) {
+                    feat_miss += 1;
+                    if let Some(s) = stores[gpu].as_mut() {
+                        s.miss(v);
+                    }
+                }
+            }
+            let feat_tx = feat_miss * row_tx;
+            let stage_t = stores[gpu].as_mut().map_or(0.0, ProbeStore::stage_seconds);
             let sample_t = time_model.sample_seconds(topo_tx, sample.total_edges() as u64);
-            let extract_t = time_model.extract_seconds(feat_tx, 0);
+            let extract_t = time_model.extract_seconds(feat_tx, 0) + stage_t;
             let service =
                 sample_t.max(extract_t) + time_model.train_seconds(model.inference_flops(&sample));
             round = round.max(service);
@@ -504,6 +575,41 @@ mod tests {
             routed.to_bits(),
             unrouted.to_bits(),
             "routed runs must not anchor to the round-robin probe"
+        );
+    }
+
+    /// The oversubscription anchor: a DRAM-resident store (or one whose
+    /// budget holds the whole table) must leave the probe bit-for-bit
+    /// unchanged, while a genuinely oversubscribed budget must lower
+    /// the estimate — the staging charge is real service time.
+    #[test]
+    fn probe_accounts_for_nvme_staging_when_oversubscribed() {
+        let (g, f, mut config) = fixture();
+        let server = ServerSpec::custom(2, 1 << 30, 1).build();
+        let resident = estimate_capacity_rps(&g, &f, &server, &config);
+        config.store.dram_budget_bytes = Some(u64::MAX);
+        let infinite = estimate_capacity_rps(&g, &f, &server, &config);
+        assert_eq!(
+            resident.to_bits(),
+            infinite.to_bits(),
+            "a DRAM-resident store must not move the probe"
+        );
+        // 8 DRAM rows against a 128-vertex table: most misses stage.
+        config.store.dram_budget_bytes = Some(8 * f.row_bytes());
+        let oversubscribed = estimate_capacity_rps(&g, &f, &server, &config);
+        assert!(oversubscribed > 0.0);
+        assert!(
+            oversubscribed < resident,
+            "staging time must lower capacity: {oversubscribed} vs {resident}"
+        );
+        // The routed probe pays the same charge.
+        config.router.policy = crate::RouterPolicy::Residency;
+        let routed_over = estimate_capacity_rps(&g, &f, &server, &config);
+        config.store.dram_budget_bytes = None;
+        let routed_resident = estimate_capacity_rps(&g, &f, &server, &config);
+        assert!(
+            routed_over < routed_resident,
+            "routed probe must charge staging: {routed_over} vs {routed_resident}"
         );
     }
 

@@ -1,0 +1,175 @@
+//! Bounded DRAM staging buffer for SSD-resident rows.
+//!
+//! Every SSD read — cold or prefetched — lands a row here before the
+//! extractor can touch it. The buffer is bounded (it is the DRAM the
+//! oversubscribed run *does* have), evicts FIFO, and deduplicates
+//! in-flight requests: staging an already-staged or already-requested
+//! vertex is a no-op, which is what keeps the lookahead prefetcher from
+//! re-reading a hot SSD row once per queued request.
+//!
+//! Time is tracked as integer nanoseconds so residency decisions are
+//! exact and reproducible.
+
+use std::collections::{HashMap, VecDeque};
+
+use legion_graph::VertexId;
+
+/// Result of staging one row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Staged {
+    /// Newly staged; carries the row evicted to make room, if any.
+    Admitted {
+        /// FIFO victim displaced by this admission.
+        evicted: Option<VertexId>,
+    },
+    /// The row is already staged or in flight — the dedup path.
+    Duplicate,
+    /// The buffer has zero capacity; nothing was staged.
+    Rejected,
+}
+
+/// Bounded FIFO staging buffer with in-flight dedup.
+#[derive(Debug, Clone, Default)]
+pub struct StagingBuffer {
+    capacity: usize,
+    ready_ns: HashMap<VertexId, u64>,
+    fifo: VecDeque<VertexId>,
+}
+
+impl StagingBuffer {
+    /// A buffer holding at most `capacity` rows (staged + in flight).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ready_ns: HashMap::new(),
+            fifo: VecDeque::new(),
+        }
+    }
+
+    /// Maximum rows the buffer holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently staged or in flight.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// True when `v` is staged or in flight.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.ready_ns.contains_key(&v)
+    }
+
+    /// When `v`'s read completes (nanoseconds), if staged.
+    pub fn ready_at_ns(&self, v: VertexId) -> Option<u64> {
+        self.ready_ns.get(&v).copied()
+    }
+
+    /// Stages `v` with its read completing at `ready_at_ns`, evicting
+    /// the oldest row if the buffer is full. Duplicate stages keep the
+    /// original completion time — the first request wins.
+    pub fn stage(&mut self, v: VertexId, ready_at_ns: u64) -> Staged {
+        if self.capacity == 0 {
+            return Staged::Rejected;
+        }
+        if self.ready_ns.contains_key(&v) {
+            return Staged::Duplicate;
+        }
+        let evicted = if self.fifo.len() == self.capacity {
+            let victim = self.fifo.pop_front().expect("full buffer has a front");
+            self.ready_ns.remove(&victim);
+            Some(victim)
+        } else {
+            None
+        };
+        self.fifo.push_back(v);
+        self.ready_ns.insert(v, ready_at_ns);
+        Staged::Admitted { evicted }
+    }
+
+    /// Drops `v` from the buffer (e.g. when a migration promotes it to
+    /// permanent DRAM residency); returns whether it was staged.
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        if self.ready_ns.remove(&v).is_some() {
+            self.fifo.retain(|&x| x != v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rows whose read has not completed by `now_ns`.
+    pub fn inflight(&self, now_ns: u64) -> usize {
+        self.fifo
+            .iter()
+            .filter(|v| self.ready_ns[v] > now_ns)
+            .count()
+    }
+
+    /// Empties the buffer.
+    pub fn clear(&mut self) {
+        self.ready_ns.clear();
+        self.fifo.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_admits_and_dedups() {
+        let mut s = StagingBuffer::new(2);
+        assert_eq!(s.stage(1, 100), Staged::Admitted { evicted: None });
+        assert_eq!(s.stage(1, 200), Staged::Duplicate);
+        // First request's completion time wins.
+        assert_eq!(s.ready_at_ns(1), Some(100));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_buffer_evicts_fifo() {
+        let mut s = StagingBuffer::new(2);
+        s.stage(1, 10);
+        s.stage(2, 20);
+        assert_eq!(s.stage(3, 30), Staged::Admitted { evicted: Some(1) });
+        assert!(!s.contains(1));
+        assert!(s.contains(2) && s.contains(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_rejects() {
+        let mut s = StagingBuffer::new(0);
+        assert_eq!(s.stage(1, 10), Staged::Rejected);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn inflight_counts_unfinished_reads() {
+        let mut s = StagingBuffer::new(4);
+        s.stage(1, 100);
+        s.stage(2, 300);
+        s.stage(3, 300);
+        assert_eq!(s.inflight(0), 3);
+        assert_eq!(s.inflight(100), 2);
+        assert_eq!(s.inflight(300), 0);
+    }
+
+    #[test]
+    fn remove_frees_a_slot() {
+        let mut s = StagingBuffer::new(2);
+        s.stage(1, 10);
+        s.stage(2, 20);
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert_eq!(s.stage(3, 30), Staged::Admitted { evicted: None });
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,431 @@
+//! The per-GPU vertex store: tier map + staging buffer + NVMe device
+//! horizon.
+//!
+//! One `VertexStore` sits behind each GPU worker's extraction path
+//! (its NVMe namespace and pinned staging window are NUMA-local, so
+//! workers never share mutable store state — the same single-writer
+//! discipline the sharded event loop relies on). The extractor keeps
+//! using its existing batch interface; after the HBM lookup it hands
+//! the missed vertices here, and the store answers with deterministic
+//! timing:
+//!
+//! * DRAM-tier rows cost nothing extra — they are the legacy PCIe miss
+//!   path, already metered by the access engine.
+//! * SSD-tier rows staged ahead of time are **prefetch hits**: the row
+//!   is already in the DRAM staging window.
+//! * SSD-tier rows in flight stall the batch until their read lands.
+//! * Everything else is a **cold read**: a block read issued at the
+//!   device's busy horizon, stalling the batch for its completion.
+//!
+//! All device time is integer nanoseconds derived from the analytic
+//! [`NvmeModel`], so a run's store timeline is reproducible
+//! byte-for-byte.
+
+use legion_graph::VertexId;
+
+use crate::nvme::NvmeModel;
+use crate::staging::{Staged, StagingBuffer};
+use crate::tier::{Tier, TierMap};
+
+/// Converts simulated seconds to the store's integer nanosecond clock.
+#[inline]
+fn to_ns(seconds: f64) -> u64 {
+    (seconds * 1e9).round() as u64
+}
+
+/// Converts the store's nanosecond clock back to simulated seconds.
+#[inline]
+fn to_s(ns: u64) -> f64 {
+    ns as f64 * 1e-9
+}
+
+/// What one batch's SSD traffic did — the engine turns this into
+/// telemetry and extract-time charges.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReadOutcome {
+    /// SSD rows found staged and ready — the prefetcher won.
+    pub prefetch_hits: u64,
+    /// SSD rows staged but still in flight; the batch waited for them.
+    pub late_stalls: u64,
+    /// SSD rows absent from staging; block reads issued inline.
+    pub cold_reads: u64,
+    /// Staged rows displaced by this batch's admissions.
+    pub evictions: u64,
+    /// NVMe commands issued (cold reads).
+    pub nvme_reads: u64,
+    /// Bytes moved off the device, whole blocks.
+    pub nvme_bytes: u64,
+    /// Seconds the batch stalled waiting for SSD rows.
+    pub stall_s: f64,
+    /// Duration of this batch's cold-read wave, microseconds.
+    pub read_us: u64,
+}
+
+/// What one prefetch issue did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrefetchOutcome {
+    /// Rows newly requested from the device.
+    pub issued: u64,
+    /// Staged rows displaced by the new requests.
+    pub evictions: u64,
+    /// Bytes the requests will move, whole blocks.
+    pub nvme_bytes: u64,
+    /// Duration of the prefetch wave, microseconds.
+    pub read_us: u64,
+}
+
+/// What one batch-boundary migration did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MigrateOutcome {
+    /// Rows moved SSD -> DRAM (device reads).
+    pub promoted: u64,
+    /// Rows moved DRAM -> SSD (device writes).
+    pub demoted: u64,
+    /// Bytes moved through the device, whole blocks.
+    pub nvme_bytes: u64,
+    /// Seconds of device time the swap consumed.
+    pub swap_s: f64,
+}
+
+/// Per-GPU out-of-core store state.
+#[derive(Debug, Clone)]
+pub struct VertexStore {
+    nvme: NvmeModel,
+    tiers: TierMap,
+    staging: StagingBuffer,
+    row_bytes: u64,
+    free_at_ns: u64,
+}
+
+impl VertexStore {
+    /// A store over `num_vertices` rows of `row_bytes` each, all
+    /// initially DRAM-resident, with a staging window of
+    /// `staging_rows`.
+    pub fn new(nvme: NvmeModel, num_vertices: usize, row_bytes: u64, staging_rows: usize) -> Self {
+        Self {
+            nvme,
+            tiers: TierMap::new(num_vertices, Tier::Dram),
+            staging: StagingBuffer::new(staging_rows),
+            row_bytes,
+            free_at_ns: 0,
+        }
+    }
+
+    /// The device model.
+    pub fn nvme(&self) -> &NvmeModel {
+        &self.nvme
+    }
+
+    /// Bytes per feature row.
+    pub fn row_bytes(&self) -> u64 {
+        self.row_bytes
+    }
+
+    /// The tier of `v`.
+    #[inline]
+    pub fn tier(&self, v: VertexId) -> Tier {
+        self.tiers.tier(v)
+    }
+
+    /// Assigns `v` to `tier` (placement time; no device traffic).
+    pub fn assign(&mut self, v: VertexId, tier: Tier) {
+        self.tiers.set(v, tier);
+    }
+
+    /// Vertices per tier.
+    pub fn count(&self, tier: Tier) -> usize {
+        self.tiers.count(tier)
+    }
+
+    /// True when no row lives on the SSD — the store is inert.
+    pub fn all_resident(&self) -> bool {
+        self.tiers.all_resident()
+    }
+
+    /// Rows staged or in flight.
+    pub fn staged_rows(&self) -> usize {
+        self.staging.len()
+    }
+
+    /// Reads still in flight at simulated time `at_s`.
+    pub fn inflight(&self, at_s: f64) -> usize {
+        self.staging.inflight(to_ns(at_s))
+    }
+
+    /// Serves a batch's HBM misses at simulated time `at_s`. `missed`
+    /// is the deduplicated vertex list the extractor failed to find in
+    /// HBM; DRAM-tier rows pass through untouched (the caller already
+    /// metered their PCIe cost), SSD-tier rows resolve against the
+    /// staging window or the device.
+    pub fn read(&mut self, at_s: f64, missed: &[VertexId]) -> ReadOutcome {
+        let mut out = ReadOutcome::default();
+        if self.tiers.all_resident() {
+            return out;
+        }
+        let now_ns = to_ns(at_s);
+        let mut stall_ns = 0u64;
+        let mut cold: Vec<VertexId> = Vec::new();
+        for &v in missed {
+            if self.tiers.tier(v) != Tier::Ssd {
+                continue;
+            }
+            match self.staging.ready_at_ns(v) {
+                Some(ready) if ready <= now_ns => out.prefetch_hits += 1,
+                Some(ready) => {
+                    out.late_stalls += 1;
+                    stall_ns = stall_ns.max(ready - now_ns);
+                }
+                None => cold.push(v),
+            }
+        }
+        if !cold.is_empty() {
+            let start_ns = self.free_at_ns.max(now_ns);
+            let dur_ns = to_ns(self.nvme.read_seconds(cold.len() as u64, self.row_bytes));
+            let done_ns = start_ns + dur_ns;
+            self.free_at_ns = done_ns;
+            out.cold_reads = cold.len() as u64;
+            out.nvme_reads = cold.len() as u64;
+            out.nvme_bytes = cold.len() as u64 * self.nvme.bytes_for_payload(self.row_bytes);
+            out.read_us = dur_ns / 1_000;
+            stall_ns = stall_ns.max(done_ns - now_ns);
+            for v in cold {
+                if let Staged::Admitted { evicted: Some(_) } = self.staging.stage(v, done_ns) {
+                    out.evictions += 1;
+                }
+            }
+        }
+        out.stall_s = to_s(stall_ns);
+        out
+    }
+
+    /// Warm-starts the staging window before the serving clock runs:
+    /// stages SSD-tier rows from `candidates` (deduplicated, in order)
+    /// until the window is full, all ready at t=0, without charging the
+    /// device horizon. This is the staging analogue of the HBM cache's
+    /// warmup fill — a deployment stages the warm tail during the
+    /// warmup epoch, outside the measured window. Returns the number of
+    /// rows warmed.
+    pub fn warm<I>(&mut self, candidates: I) -> u64
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let mut warmed = 0u64;
+        for v in candidates {
+            if warmed as usize == self.staging.capacity() {
+                break;
+            }
+            if self.tiers.tier(v) == Tier::Ssd && !self.staging.contains(v) {
+                self.staging.stage(v, 0);
+                warmed += 1;
+            }
+        }
+        warmed
+    }
+
+    /// Issues asynchronous staging reads for up to `budget` SSD-tier
+    /// rows from `candidates` at simulated time `at_s`. Already-staged
+    /// and in-flight rows are deduplicated; the wave completes at the
+    /// device's horizon without stalling anything.
+    pub fn prefetch<I>(&mut self, at_s: f64, candidates: I, budget: usize) -> PrefetchOutcome
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let mut out = PrefetchOutcome::default();
+        if budget == 0 || self.staging.capacity() == 0 || self.tiers.all_resident() {
+            return out;
+        }
+        let mut wave: Vec<VertexId> = Vec::new();
+        for v in candidates {
+            if wave.len() == budget {
+                break;
+            }
+            if self.tiers.tier(v) == Tier::Ssd && !self.staging.contains(v) && !wave.contains(&v) {
+                wave.push(v);
+            }
+        }
+        if wave.is_empty() {
+            return out;
+        }
+        let start_ns = self.free_at_ns.max(to_ns(at_s));
+        let dur_ns = to_ns(self.nvme.read_seconds(wave.len() as u64, self.row_bytes));
+        let done_ns = start_ns + dur_ns;
+        self.free_at_ns = done_ns;
+        out.issued = wave.len() as u64;
+        out.nvme_bytes = wave.len() as u64 * self.nvme.bytes_for_payload(self.row_bytes);
+        out.read_us = dur_ns / 1_000;
+        for v in wave {
+            if let Staged::Admitted { evicted: Some(_) } = self.staging.stage(v, done_ns) {
+                out.evictions += 1;
+            }
+        }
+        out
+    }
+
+    /// Migrates rows across the DRAM/SSD boundary at a batch boundary:
+    /// `promote` moves SSD rows into permanent DRAM residency (device
+    /// reads), `demote` pushes DRAM rows out to the SSD (device
+    /// writes). Swap bytes are charged to the device and the returned
+    /// time is the committing batch's to pay.
+    pub fn migrate(
+        &mut self,
+        at_s: f64,
+        promote: &[VertexId],
+        demote: &[VertexId],
+    ) -> MigrateOutcome {
+        let mut out = MigrateOutcome::default();
+        for &v in promote {
+            if self.tiers.set(v, Tier::Dram) == Tier::Ssd {
+                out.promoted += 1;
+                self.staging.remove(v);
+            }
+        }
+        for &v in demote {
+            if self.tiers.set(v, Tier::Ssd) == Tier::Dram {
+                out.demoted += 1;
+            }
+        }
+        let moves = out.promoted + out.demoted;
+        if moves > 0 {
+            let start_ns = self.free_at_ns.max(to_ns(at_s));
+            let dur_ns = to_ns(self.nvme.read_seconds(moves, self.row_bytes));
+            self.free_at_ns = start_ns + dur_ns;
+            out.nvme_bytes = moves * self.nvme.bytes_for_payload(self.row_bytes);
+            out.swap_s = to_s(dur_ns);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nvme::NvmeGeneration;
+
+    fn store(staging_rows: usize) -> VertexStore {
+        let mut s = VertexStore::new(
+            NvmeModel::new(NvmeGeneration::Gen3x4),
+            64,
+            512,
+            staging_rows,
+        );
+        for v in 32..64 {
+            s.assign(v, Tier::Ssd);
+        }
+        s
+    }
+
+    #[test]
+    fn dram_rows_cost_nothing() {
+        let mut s = store(8);
+        let out = s.read(0.0, &[0, 1, 2]);
+        assert_eq!(out, ReadOutcome::default());
+    }
+
+    #[test]
+    fn cold_read_stalls_and_stages() {
+        let mut s = store(8);
+        let out = s.read(0.0, &[40]);
+        assert_eq!(out.cold_reads, 1);
+        assert_eq!(out.prefetch_hits, 0);
+        assert!(out.stall_s > 0.0);
+        assert_eq!(out.nvme_bytes, 4096);
+        // The row is staged now: a later read is a prefetch hit.
+        let again = s.read(1.0, &[40]);
+        assert_eq!(again.prefetch_hits, 1);
+        assert_eq!(again.cold_reads, 0);
+        assert_eq!(again.stall_s, 0.0);
+    }
+
+    #[test]
+    fn prefetch_hides_the_stall() {
+        let mut cold = store(8);
+        let cold_out = cold.read(1.0, &[40, 41, 42]);
+        let mut warm = store(8);
+        let pf = warm.prefetch(0.0, [40u32, 41, 42], 8);
+        assert_eq!(pf.issued, 3);
+        let warm_out = warm.read(1.0, &[40, 41, 42]);
+        assert_eq!(warm_out.prefetch_hits, 3);
+        assert_eq!(warm_out.cold_reads, 0);
+        assert!(warm_out.stall_s < cold_out.stall_s);
+    }
+
+    #[test]
+    fn late_prefetch_stalls_until_ready() {
+        let mut s = store(8);
+        s.prefetch(0.0, [40u32], 8);
+        // Read at t=0: the prefetch wave has not completed yet.
+        let out = s.read(0.0, &[40]);
+        assert_eq!(out.late_stalls, 1);
+        assert_eq!(out.cold_reads, 0);
+        assert!(out.stall_s > 0.0);
+    }
+
+    #[test]
+    fn prefetch_dedups_inflight_rows() {
+        let mut s = store(8);
+        assert_eq!(s.prefetch(0.0, [40u32, 40, 41], 8).issued, 2);
+        assert_eq!(s.prefetch(0.0, [40u32, 41], 8).issued, 0);
+    }
+
+    #[test]
+    fn device_horizon_serializes_waves() {
+        let mut s = store(64);
+        let a = s.prefetch(0.0, 32..48u32, 64);
+        let b = s.prefetch(0.0, 48..64u32, 64);
+        assert_eq!(a.issued, 16);
+        assert_eq!(b.issued, 16);
+        // Second wave queues behind the first: in-flight until both done.
+        assert_eq!(s.inflight(0.0), 32);
+        assert!(s.inflight(1.0) == 0);
+    }
+
+    #[test]
+    fn staging_evictions_are_counted() {
+        let mut s = store(2);
+        let out = s.prefetch(0.0, 32..36u32, 2);
+        assert_eq!(out.issued, 2);
+        let out2 = s.prefetch(10.0, 34..36u32, 2);
+        assert_eq!(out2.issued, 2);
+        assert_eq!(out2.evictions, 2);
+    }
+
+    #[test]
+    fn migrate_moves_tiers_and_charges_the_device() {
+        let mut s = store(8);
+        s.prefetch(0.0, [40u32], 8);
+        let out = s.migrate(1.0, &[40, 41], &[0, 1]);
+        assert_eq!(out.promoted, 2);
+        assert_eq!(out.demoted, 2);
+        assert!(out.swap_s > 0.0);
+        assert_eq!(out.nvme_bytes, 4 * 4096);
+        assert_eq!(s.tier(40), Tier::Dram);
+        assert_eq!(s.tier(0), Tier::Ssd);
+        // Promotion removed the row from staging (it is DRAM now).
+        assert_eq!(s.read(100.0, &[40]), ReadOutcome::default());
+        // Already-DRAM promotes and already-SSD demotes are no-ops.
+        assert_eq!(s.migrate(2.0, &[40], &[0]), MigrateOutcome::default());
+    }
+
+    #[test]
+    fn warm_start_fills_staging_without_device_time() {
+        let mut s = store(8);
+        // 40 is warmed; DRAM rows and overflow beyond capacity are not.
+        let warmed = s.warm([0u32, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49]);
+        assert_eq!(warmed, 8);
+        assert_eq!(s.staged_rows(), 8);
+        assert_eq!(s.inflight(0.0), 0, "warmed rows are ready at t=0");
+        let out = s.read(0.0, &[40]);
+        assert_eq!(out.prefetch_hits, 1);
+        assert_eq!(out.stall_s, 0.0);
+        // The un-warmed row 48 is still a cold read.
+        assert_eq!(s.read(0.0, &[48]).cold_reads, 1);
+    }
+
+    #[test]
+    fn all_resident_store_is_inert() {
+        let mut s = VertexStore::new(NvmeModel::new(NvmeGeneration::Gen3x4), 16, 512, 4);
+        assert!(s.all_resident());
+        assert_eq!(s.read(0.0, &[0, 1]), ReadOutcome::default());
+        assert_eq!(s.prefetch(0.0, [0u32, 1], 4), PrefetchOutcome::default());
+    }
+}

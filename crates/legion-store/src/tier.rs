@@ -1,0 +1,114 @@
+//! The three-tier residency map: which tier owns each vertex's feature
+//! row.
+//!
+//! HBM residency is still decided by the unified cache layouts
+//! (`legion-cache`); the tier map records the *cold side* of the
+//! hierarchy — whether a row that misses HBM is served from host DRAM
+//! or must come off the NVMe store. A disabled store is the degenerate
+//! map where every vertex is DRAM-resident, which reproduces the
+//! two-tier system exactly.
+
+use legion_graph::VertexId;
+
+/// Storage tier of one feature row, hottest to coldest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// GPU HBM — the unified cache.
+    Hbm,
+    /// Host DRAM — the legacy miss path over PCIe.
+    Dram,
+    /// NVMe SSD — block reads through the [`NvmeModel`](crate::NvmeModel).
+    Ssd,
+}
+
+/// Dense per-vertex tier assignment.
+#[derive(Debug, Clone)]
+pub struct TierMap {
+    tiers: Vec<Tier>,
+    counts: [usize; 3],
+}
+
+impl TierMap {
+    /// A map with every vertex in `default` tier.
+    pub fn new(num_vertices: usize, default: Tier) -> Self {
+        let mut counts = [0usize; 3];
+        counts[default as usize] = num_vertices;
+        Self {
+            tiers: vec![default; num_vertices],
+            counts,
+        }
+    }
+
+    /// Number of vertices tracked.
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// True when the map tracks no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// The tier of `v`.
+    #[inline]
+    pub fn tier(&self, v: VertexId) -> Tier {
+        self.tiers[v as usize]
+    }
+
+    /// Moves `v` to `tier`, returning its previous tier.
+    pub fn set(&mut self, v: VertexId, tier: Tier) -> Tier {
+        let old = self.tiers[v as usize];
+        if old != tier {
+            self.counts[old as usize] -= 1;
+            self.counts[tier as usize] += 1;
+            self.tiers[v as usize] = tier;
+        }
+        old
+    }
+
+    /// Vertices currently assigned to `tier`.
+    pub fn count(&self, tier: Tier) -> usize {
+        self.counts[tier as usize]
+    }
+
+    /// True when no vertex lives on the SSD — the store is inert and
+    /// the run must be byte-identical to a two-tier run.
+    pub fn all_resident(&self) -> bool {
+        self.counts[Tier::Ssd as usize] == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_map_is_all_dram_and_resident() {
+        let m = TierMap::new(100, Tier::Dram);
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.count(Tier::Dram), 100);
+        assert_eq!(m.count(Tier::Ssd), 0);
+        assert!(m.all_resident());
+        assert_eq!(m.tier(7), Tier::Dram);
+    }
+
+    #[test]
+    fn set_moves_counts() {
+        let mut m = TierMap::new(10, Tier::Dram);
+        assert_eq!(m.set(3, Tier::Ssd), Tier::Dram);
+        assert_eq!(m.count(Tier::Ssd), 1);
+        assert_eq!(m.count(Tier::Dram), 9);
+        assert!(!m.all_resident());
+        // Idempotent set keeps counts consistent.
+        assert_eq!(m.set(3, Tier::Ssd), Tier::Ssd);
+        assert_eq!(m.count(Tier::Ssd), 1);
+        assert_eq!(m.set(3, Tier::Hbm), Tier::Ssd);
+        assert!(m.all_resident());
+    }
+
+    #[test]
+    fn tier_order_is_hot_to_cold() {
+        assert!(Tier::Hbm < Tier::Dram);
+        assert!(Tier::Dram < Tier::Ssd);
+    }
+}

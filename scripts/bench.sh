@@ -4,8 +4,10 @@
 # repo root (schema: legion-bench-hotpath/v1; ns/op and ops/sec per
 # bench, grouped). The `bench_shard` group times whole serve runs
 # sequential vs `--shards 2` on the 2x2-clique server and prints the
-# measured speedup. Seeds are fixed, so the output is deterministic
-# modulo the timing fields.
+# measured speedup. The `bench_store` group compares out-of-core reads
+# against the SSD tier: staged (prefetched), cold, and DRAM-resident.
+# Seeds are fixed, so the output is deterministic modulo the timing
+# fields.
 #
 #   scripts/bench.sh           full measurement run
 #   scripts/bench.sh --smoke   shrunken inputs, for CI gating

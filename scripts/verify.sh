@@ -41,6 +41,9 @@ cargo run --release -q -p legion-bench --bin servectl -- --smoke --router
 echo "==> servectl --smoke --router --shards 2 (sharded loop + head-to-head)"
 cargo run --release -q -p legion-bench --bin servectl -- --smoke --router --shards 2
 
+echo "==> servectl --smoke --oversubscribe (SSD tier sweep + DRAM-resident equivalence)"
+cargo run --release -q -p legion-bench --bin servectl -- --smoke --oversubscribe
+
 echo "==> sharded-vs-sequential equivalence (determinism suite)"
 cargo test -q -p legion-core --test determinism
 

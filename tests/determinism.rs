@@ -407,6 +407,29 @@ mod sharded_serving {
         assert!(a.contains("serve.route.steals"), "steal counter missing");
     }
 
+    /// The adaptive quantum (EWMA of measured batch service time) feeds
+    /// only on integer-nanosecond totals summed commutatively across
+    /// shards, so same-seed runs must still replay bit-for-bit — and
+    /// the run must complete every offered request, exactly like the
+    /// fixed-quantum loop.
+    #[test]
+    fn adaptive_quantum_residency_runs_are_deterministic_per_seed() {
+        let d = dataset();
+        let run = || {
+            let server = clique_server();
+            let mut cfg = base_config(PolicyKind::StaticHot);
+            cfg.router.policy = RouterPolicy::Residency;
+            cfg.shards = 2;
+            cfg.adaptive_quantum = true;
+            let report = serve(&d.graph, &d.features, &server, &cfg);
+            assert_eq!(report.routed + report.spilled, report.offered);
+            serde_json::to_string_pretty(&report.metrics).expect("serializable snapshot")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same-seed adaptive-quantum runs must replay");
+    }
+
     /// Satellite 3's audit: a `PlanBuffer` version bump must never be
     /// observed mid-batch by any shard. The engine counts every commit
     /// whose version becomes visible inside an open batch; with commits
@@ -441,6 +464,88 @@ mod sharded_serving {
             Some(0),
             "a plan version bump leaked into an open batch"
         );
+    }
+}
+
+/// Three-tier (HBM/DRAM/SSD) serving invariants: same-seed replay of
+/// the full telemetry snapshot under an active out-of-core store, and
+/// exact degeneration to the two-tier engine when the DRAM budget is
+/// infinite.
+mod three_tier_store {
+    use legion_graph::dataset::{spec_by_name, Dataset};
+    use legion_hw::ServerSpec;
+    use legion_serve::{serve, PolicyKind, ServeConfig, StoreConfig};
+
+    fn dataset() -> Dataset {
+        spec_by_name("PR").unwrap().instantiate(500, 42)
+    }
+
+    fn config(policy: PolicyKind, dram_budget: Option<u64>) -> ServeConfig {
+        ServeConfig {
+            num_requests: 800,
+            max_batch: 16,
+            max_wait: 0.0,
+            queue_capacity: 256,
+            cache_rows_per_gpu: 128,
+            warmup_requests: 128,
+            fanouts: vec![5, 3],
+            policy,
+            store: StoreConfig {
+                dram_budget_bytes: dram_budget,
+                staging_rows: 64,
+                prefetch_budget: 64,
+                ..StoreConfig::default()
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    fn snapshot(policy: PolicyKind, dram_budget: Option<u64>) -> String {
+        let d = dataset();
+        let server = ServerSpec::custom(4, 1 << 30, 2).build();
+        let report = serve(&d.graph, &d.features, &server, &config(policy, dram_budget));
+        serde_json::to_string_pretty(&report.metrics).expect("serializable snapshot")
+    }
+
+    /// Same seed, same config → the full snapshot replays byte for
+    /// byte even with NVMe staging, prefetch, and eviction in play.
+    #[test]
+    fn oversubscribed_runs_replay_byte_identically() {
+        for policy in [PolicyKind::StaticHot, PolicyKind::Fifo] {
+            // A DRAM budget far below the feature table forces real
+            // SSD residency and staging traffic.
+            let a = snapshot(policy, Some(4096));
+            let b = snapshot(policy, Some(4096));
+            assert_eq!(a, b, "three-tier snapshots must replay ({:?})", policy);
+            assert!(
+                a.contains("store.nvme.bytes"),
+                "oversubscribed run must meter NVMe traffic"
+            );
+            assert!(
+                a.contains("serve.store.prefetch_hits"),
+                "oversubscribed run must meter the prefetcher"
+            );
+        }
+    }
+
+    /// Pinning the SSD tier off with an infinite DRAM budget must
+    /// reproduce the two-tier engine's snapshot byte for byte — the
+    /// store tier is strictly additive.
+    #[test]
+    fn infinite_dram_budget_matches_two_tier_byte_for_byte() {
+        for policy in [PolicyKind::StaticHot, PolicyKind::Fifo, PolicyKind::Replan] {
+            let with_store = snapshot(policy, Some(u64::MAX));
+            let without = snapshot(policy, None);
+            assert_eq!(
+                with_store, without,
+                "infinite DRAM budget must degenerate to two-tier exactly ({:?})",
+                policy
+            );
+            assert!(
+                !with_store.contains("serve.store."),
+                "an inert store must register no telemetry"
+            );
+        }
     }
 }
 
