@@ -9,7 +9,16 @@
 //! cargo run --release -p legion-bench --bin servectl -- --drift-only # skip the sweep
 //! cargo run --release -p legion-bench --bin servectl -- --router --shards 2 # sharded loop
 //! cargo run --release -p legion-bench --bin servectl -- --oversubscribe # out-of-core sweep
+//! cargo run --release -p legion-bench --bin servectl -- --fleet 16 # scale-out fleet
 //! ```
+//!
+//! `--fleet N` runs the scale-out head-to-head: the same open-loop
+//! stream over `N` simulated servers, routed by shard residency +
+//! projected load versus a uniform random-server baseline, with
+//! cross-server feature reads charged through the analytic cluster
+//! network model. Asserts residency capacity at matched p99 strictly
+//! beats random, byte-identical same-seed reruns, and (non-smoke,
+//! N >= 16) a fleet knee at least 10x the single-machine capacity.
 //!
 //! `--oversubscribe` runs the legion-store envelope: the same skewed
 //! workload DRAM-resident versus a DRAM budget 10x smaller than the
@@ -36,6 +45,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use legion_fleet::{serve_fleet, FleetConfig, FleetPolicy, FleetReport};
 use legion_graph::dataset::{spec_by_name, Dataset};
 use legion_hw::{MultiGpuServer, ServerSpec};
 use legion_serve::{
@@ -647,6 +657,227 @@ fn oversubscribe_sweep(dataset: &Dataset, base: &ServeConfig, smoke: bool) -> Ve
     rows
 }
 
+/// One row of the fleet head-to-head: a (routing policy, load) cell
+/// with the cluster-wide tail, locality, and cross-server traffic.
+#[derive(serde::Serialize)]
+struct FleetRow {
+    policy: &'static str,
+    num_servers: usize,
+    load_multiplier: f64,
+    offered_rps: f64,
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    p50_us: u64,
+    p99_us: u64,
+    throughput_rps: f64,
+    locality: f64,
+    remote_reads: u64,
+    remote_bytes: u64,
+    replicated_rows: usize,
+}
+
+/// Scale-out head-to-head: the same open-loop stream over `n` simulated
+/// servers, front-tier routed by shard residency + projected load vs a
+/// uniform random-server baseline, at multiples of the aggregate
+/// (`n` x single-machine) capacity. Cross-server reads cost wire time
+/// through the cluster network model, so mis-routing shows up as a
+/// lower knee. Asserts same-seed determinism, request conservation,
+/// the residency locality and remote-traffic wins, residency knee
+/// capacity strictly above random at a matched p99 ceiling, and — in
+/// full mode with `n >= 16` — a fleet knee at least 10x the
+/// single-machine capacity.
+fn fleet_head_to_head(
+    dataset: &Dataset,
+    base: &ServeConfig,
+    n: usize,
+    smoke: bool,
+) -> Vec<FleetRow> {
+    let spec = ServerSpec::dgx_v100().truncated(4);
+    // The fleet comparison pins the per-server engine to the static
+    // planned cache on the sequential loop: plan quality is fixed, so
+    // the only degrees of freedom are *which server* a request lands on
+    // and what its misses cost on the wire.
+    let cfg = {
+        let mut cfg = base.clone();
+        cfg.policy = PolicyKind::StaticHot;
+        cfg.shards = 1;
+        cfg
+    };
+    let capacity = estimate_capacity_rps(&dataset.graph, &dataset.features, &spec.build(), &cfg);
+    let run = |policy: FleetPolicy, servers: usize, frac: f64| -> FleetReport {
+        let fleet = FleetConfig {
+            num_servers: servers,
+            policy,
+            // Both policies project against the same measured drain rate.
+            drain_rps: Some(capacity),
+            ..FleetConfig::default()
+        };
+        let mut cfg = cfg.clone();
+        cfg.arrival = base
+            .arrival
+            .scaled(frac * servers as f64 * capacity / base.arrival.mean_rate());
+        // Scale the stream with the fleet so every server drains a
+        // stream comparable to the single-machine baseline; with a
+        // fixed stream the constant per-server pipeline-drain tail
+        // would dominate the 16x-shorter arrival span and the measured
+        // "scale-out" would be a finite-stream artifact, not routing.
+        cfg.num_requests = cfg.num_requests.saturating_mul(servers);
+        serve_fleet(&dataset.graph, &dataset.features, &spec, &cfg, &fleet)
+    };
+
+    // Same seed, same config: the fleet snapshot must be reproducible
+    // byte for byte (workload, partitioner, hotness, routing, and every
+    // per-server engine are all deterministic).
+    let fractions: &[f64] = if smoke {
+        &[0.3, 0.6, 0.9]
+    } else {
+        &[0.2, 0.4, 0.6, 0.8, 1.1]
+    };
+    let probe = run(FleetPolicy::Residency, n, fractions[0]);
+    let again = run(FleetPolicy::Residency, n, fractions[0]);
+    let snap = |r: &FleetReport| serde_json::to_string(&r.metrics).expect("serializable snapshot");
+    assert_eq!(
+        snap(&probe),
+        snap(&again),
+        "same-seed fleet runs must produce byte-identical snapshots"
+    );
+    println!(
+        "\nfleet head-to-head: {} servers ({} x4), single-machine capacity probe {capacity:.0}/s, \
+         {} hot rows replicated per server; fleet loads are multiples of {}x that probe, and the \
+         scale-out yardstick is the measured single-machine (N=1) open-loop knee",
+        n, spec.name, probe.replicated_rows, n
+    );
+    println!(
+        "  {:<10} {:>6} {:>12} {:>9} {:>7} {:>9} {:>9} {:>14} {:>9} {:>12} {:>12}",
+        "policy",
+        "load",
+        "offered/s",
+        "done",
+        "shed",
+        "p50_us",
+        "p99_us",
+        "throughput/s",
+        "local",
+        "remote_rd",
+        "remote_MiB"
+    );
+    let mut rows = Vec::new();
+    // Series: the measured single-machine baseline (an N=1 fleet, which
+    // is byte-identical to the plain engine), then the residency fleet,
+    // then the random-server baseline. `--fleet 1` degenerates to the
+    // single-machine series alone: with one server residency and random
+    // route identically and nothing crosses the wire.
+    let mut series: Vec<(&'static str, FleetPolicy, usize)> =
+        vec![("single", FleetPolicy::Residency, 1)];
+    if n > 1 {
+        series.push(("residency", FleetPolicy::Residency, n));
+        series.push(("random", FleetPolicy::Random, n));
+    }
+    for &(label, policy, servers) in &series {
+        for &frac in fractions {
+            let r = run(policy, servers, frac);
+            assert_eq!(r.completed + r.shed, r.offered, "request conservation");
+            let row = FleetRow {
+                policy: label,
+                num_servers: servers,
+                load_multiplier: frac,
+                offered_rps: frac * servers as f64 * capacity,
+                offered: r.offered,
+                completed: r.completed,
+                shed: r.shed,
+                p50_us: r.p50_us,
+                p99_us: r.p99_us,
+                throughput_rps: r.throughput_rps,
+                locality: r.locality,
+                remote_reads: r.remote_reads,
+                remote_bytes: r.remote_bytes,
+                replicated_rows: r.replicated_rows,
+            };
+            println!(
+                "  {:<10} {:>5.2}x {:>12.0} {:>9} {:>7} {:>9} {:>9} {:>14.0} {:>8.1}% {:>12} {:>12.2}",
+                row.policy,
+                frac,
+                row.offered_rps,
+                row.completed,
+                row.shed,
+                row.p50_us,
+                row.p99_us,
+                row.throughput_rps,
+                row.locality * 100.0,
+                row.remote_reads,
+                row.remote_bytes as f64 / (1 << 20) as f64,
+            );
+            if label == "residency" && frac == fractions[fractions.len() - 2] {
+                legion_bench::save_snapshot("servectl_fleet_residency", &r.metrics);
+            }
+            rows.push(row);
+        }
+    }
+
+    // Knee capacity at a matched p99: the shared ceiling is 5x the
+    // lowest-load single-machine tail; a series' knee is the best
+    // throughput it sustained at a load point that sheds nothing and
+    // stays under the ceiling.
+    let points =
+        |label: &str| -> Vec<&FleetRow> { rows.iter().filter(|r| r.policy == label).collect() };
+    let single = points("single");
+    let p99_cap = 5 * single[0].p99_us.max(1);
+    let knee = |pts: &[&FleetRow]| -> f64 {
+        pts.iter()
+            .filter(|r| r.shed == 0 && r.p99_us <= p99_cap)
+            .map(|r| r.throughput_rps)
+            .fold(0.0, f64::max)
+    };
+    let single_knee = knee(&single);
+    assert!(
+        single_knee > 0.0,
+        "single-machine baseline must have a point under the p99 ceiling"
+    );
+    if n == 1 {
+        println!(
+            "  [fleet] single-machine open-loop knee {single_knee:.0}/s at p99 <= {p99_cap} us \
+             (run --fleet N with N > 1 for the scale-out head-to-head)"
+        );
+        return rows;
+    }
+    let res = points("residency");
+    let rnd = points("random");
+    let (res_knee, rnd_knee) = (knee(&res), knee(&rnd));
+    let res_locality = res.iter().map(|r| r.locality).fold(f64::INFINITY, f64::min);
+    let rnd_locality = rnd.iter().map(|r| r.locality).fold(0.0, f64::max);
+    let res_remote: u64 = res.iter().map(|r| r.remote_reads).sum();
+    let rnd_remote: u64 = rnd.iter().map(|r| r.remote_reads).sum();
+    println!(
+        "  [fleet] knee capacity at p99 <= {p99_cap} us: residency {res_knee:.0}/s vs random {rnd_knee:.0}/s, \
+         single machine {single_knee:.0}/s ({:.1}x scale-out at N={n}); \
+         locality {:.1}% vs {:.1}%; remote reads {res_remote} vs {rnd_remote}",
+        res_knee / single_knee,
+        res_locality * 100.0,
+        rnd_locality * 100.0,
+    );
+    assert!(
+        res_locality > rnd_locality,
+        "residency locality {res_locality:.3} must beat random {rnd_locality:.3}"
+    );
+    assert!(
+        res_remote < rnd_remote,
+        "residency must move fewer rows over the wire: {res_remote} vs {rnd_remote}"
+    );
+    assert!(
+        res_knee > rnd_knee,
+        "residency knee capacity {res_knee:.0}/s must strictly beat random {rnd_knee:.0}/s at matched p99"
+    );
+    if !smoke && n >= 16 {
+        assert!(
+            res_knee >= 10.0 * single_knee,
+            "a {n}-server fleet must sustain >= 10x the single-machine knee with a flat p99: \
+             {res_knee:.0}/s vs 10x {single_knee:.0}/s"
+        );
+    }
+    rows
+}
+
 fn print_points(points: &[LoadPoint]) {
     for p in points {
         println!(
@@ -672,6 +903,17 @@ fn main() {
     let router_only = args.iter().any(|a| a == "--router");
     let oversubscribe = args.iter().any(|a| a == "--oversubscribe");
     let sequential = args.iter().any(|a| a == "--sequential");
+    let fleet = args
+        .iter()
+        .position(|a| a == "--fleet")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            let n = v
+                .parse::<usize>()
+                .expect("--fleet takes a positive integer");
+            assert!(n > 0, "--fleet takes a positive integer");
+            n
+        });
     let shards = args
         .iter()
         .position(|a| a == "--shards")
@@ -726,6 +968,12 @@ fn main() {
     let dataset: Dataset = spec_by_name(dataset_name)
         .expect("PR is registered")
         .instantiate(divisor, base.seed);
+    if let Some(n) = fleet {
+        let rows = fleet_head_to_head(&dataset, &base, n, smoke);
+        legion_bench::save_json("servectl_fleet", &rows);
+        println!("\nservectl: OK");
+        return;
+    }
     if router_only {
         let rows = router_head_to_head(&dataset, &base);
         legion_bench::save_json("servectl_router", &rows);

@@ -1,0 +1,692 @@
+//! Scale-out serving fleet: the fourth tier of the hierarchy.
+//!
+//! Legion's unified cache exploits the *machine-internal* hierarchy
+//! (GPU → NVLink clique → machine). This crate extends the same design
+//! one level up — **cluster → machine → clique → GPU** — by simulating
+//! `N` full multi-GPU servers behind a shard-residency front tier:
+//!
+//! * **Server sharding** ([`plan_fleet`]) — the graph is partitioned
+//!   across servers with the *same* edge-cut partitioner
+//!   ([`legion_partition::LdgPartitioner`]) the machine tier uses for
+//!   NVLink cliques, so neighborhoods stay server-local for the same
+//!   reason they stay clique-local.
+//! * **Hot-head replication** — the globally hottest vertices (ranked
+//!   by the warmup hotness curve, exactly the signal the machine-tier
+//!   planner uses) are replicated to *every* server, sized by the same
+//!   marginal-gain rule as
+//!   [`legion_serve::adaptive_replicated_rows`]: replicate row `r`
+//!   while serving it locally on all `N` servers beats giving its `N-1`
+//!   copies' slots to the shard tail.
+//! * **Front-tier routing** ([`serve_fleet`]) — each request is scored
+//!   against every server's owned set (shard + replicated head) by a
+//!   [`legion_router::Dispatcher`] over single-server groups: coverage
+//!   first, projected queue depth as the tie-break, spill to the
+//!   least-loaded server past the threshold. The server-level decision
+//!   happens *before* `legion-router` picks a clique inside the chosen
+//!   machine.
+//! * **Cross-server reads** — a routed server still misses sometimes;
+//!   rows it does not own are charged through
+//!   [`legion_hw::NetModel`] (per-message overhead + bandwidth
+//!   saturation + round-trip waves, integer-ns quantized) via
+//!   [`legion_serve::RemoteConfig`], so mis-routed traffic costs wire
+//!   time instead of being silently local.
+//!
+//! Each server then runs the full single-machine engine
+//! ([`legion_serve::serve_requests`]) — its own cliques, caches,
+//! admission queues, and (optionally) out-of-core store — over its
+//! routed slice of the global request stream.
+//!
+//! # Determinism
+//!
+//! The global workload is generated from the base config's seed with
+//! the exact code `legion_serve::serve` uses; routing is a pure
+//! function of the plan and arrival order (the random baseline draws
+//! from its own salted seed); every per-server run is the deterministic
+//! single-machine engine; and the fleet snapshot is integers plus
+//! once-written gauges. The same `(graph, spec, config, fleet)` tuple
+//! therefore reproduces byte-identical [`FleetReport::metrics`], and a
+//! single-server fleet is byte-identical to the non-fleet engine.
+//!
+//! # Fleet telemetry
+//!
+//! | Metric | Kind | Meaning |
+//! |---|---|---|
+//! | `fleet.offered` / `fleet.completed` / `fleet.shed` | counter | cluster-wide request conservation triple |
+//! | `fleet.server{s}.routed` / `.spilled` | counter | front-tier placements into server `s` (coverage-chosen vs load-spilled) |
+//! | `fleet.server{s}.shed` | counter | requests server `s` shed at its own admission queues |
+//! | `fleet.server{s}.remote_reads` / `.remote_bytes` | counter | cross-server feature reads server `s` issued, and their wire bytes |
+//! | `fleet.server{s}.hit_rate` | gauge | server `s`'s GPU feature-cache hit rate |
+//! | `fleet.replicated_rows` | counter | hot-head rows replicated to every server |
+//! | `fleet.shard{s}.vertices` | counter | vertices the edge-cut partitioner assigned to server `s` |
+//! | `fleet.locality` | gauge | mean fraction of each routed probe resident on the chosen server |
+//! | `fleet.latency_us` | histogram | per-server latency histograms merged cluster-wide |
+//! | `fleet.p50_us` / `.p95_us` / `.p99_us` | gauge | quantiles of the merged latency histogram |
+//! | `fleet.makespan_s` / `.throughput_rps` | gauge | cluster run summary (max per-server makespan; completed / makespan) |
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use legion_graph::{CsrGraph, FeatureTable, VertexId};
+use legion_hw::{NetGeneration, NetModel, ServerSpec};
+use legion_partition::{LdgPartitioner, Partitioner};
+use legion_router::Dispatcher;
+use legion_serve::{
+    adaptive_replicated_rows, estimate_capacity_rps, generate_workload_classed, latency_buckets,
+    serve_requests, warmup_hot_vertices_weighted, ClassSampler, PriorityClass, RemoteConfig,
+    Request, ServeConfig, ServeReport, TargetSampler,
+};
+use legion_telemetry::{Registry, Snapshot};
+
+/// Salt of the random-server baseline's RNG stream.
+const RANDOM_ROUTE_SALT: u64 = 0xf1ee_7a11_0c8e_55aa;
+
+/// How the front tier picks a server for each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetPolicy {
+    /// Shard-residency routing: coverage of the request's probe against
+    /// each server's owned set, projected load as the tie-break, spill
+    /// past the threshold — the fleet-level mirror of the machine
+    /// tier's residency router.
+    Residency,
+    /// Uniform random server choice from a salted seed — the baseline
+    /// the head-to-head sweep compares against.
+    Random,
+}
+
+impl FleetPolicy {
+    /// Stable lowercase name for tables and JSON rows.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FleetPolicy::Residency => "residency",
+            FleetPolicy::Random => "random",
+        }
+    }
+}
+
+/// Configuration of the fleet tier around a base [`ServeConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Simulated servers in the fleet.
+    pub num_servers: usize,
+    /// Cluster fabric connecting them; defaults to a kernel-bypass
+    /// RDMA fabric at 400 G line rate ([`NetModel::rdma`]) — the class
+    /// of interconnect billion-scale GPU clusters deploy.
+    pub net: NetModel,
+    /// Front-tier routing policy.
+    pub policy: FleetPolicy,
+    /// Leading neighbors of each target added to the routing probe
+    /// (mirrors [`legion_serve::RouterConfig`]'s probe).
+    pub probe_neighbors: usize,
+    /// Fraction of a server's total queue capacity
+    /// (`queue_capacity * num_gpus`) at which the front tier spills to
+    /// the least-loaded server.
+    pub spill_threshold: f64,
+    /// Fixed replicated-head size; `None` (the default) sizes it
+    /// adaptively from the warmup hotness curve.
+    pub replicate_rows: Option<usize>,
+    /// Per-server drain rate the projected-load model assumes,
+    /// requests/s; `None` measures it with
+    /// [`legion_serve::estimate_capacity_rps`] on one probe server.
+    pub drain_rps: Option<f64>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            num_servers: 2,
+            net: NetModel::rdma(NetGeneration::Eth400G),
+            policy: FleetPolicy::Residency,
+            probe_neighbors: 8,
+            spill_threshold: 0.75,
+            replicate_rows: None,
+            drain_rps: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Checks the invariants [`serve_fleet`] relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first violated
+    /// invariant.
+    pub fn validate(&self) {
+        assert!(self.num_servers > 0, "num_servers must be positive");
+        assert!(
+            self.spill_threshold > 0.0 && self.spill_threshold <= 1.0,
+            "spill_threshold must be in (0, 1]"
+        );
+        if let Some(d) = self.drain_rps {
+            assert!(d > 0.0, "drain_rps must be positive");
+        }
+    }
+}
+
+/// The fleet's placement: which server owns which vertex.
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    /// `shard[v]` — the server the edge-cut partitioner assigned vertex
+    /// `v` to (all zeros for a single-server fleet).
+    pub shard: Vec<u32>,
+    /// Vertices of each shard, per server.
+    pub shard_sizes: Vec<usize>,
+    /// The globally hot head replicated to every server, descending
+    /// warmup hotness.
+    pub replicated: Vec<VertexId>,
+    /// Per-server ownership bitmaps (shard ∪ replicated head) — what
+    /// [`RemoteConfig`] hands each server's engine.
+    pub owned: Vec<Arc<Vec<bool>>>,
+}
+
+/// Shards the graph across `fleet.num_servers` servers with the LDG
+/// edge-cut partitioner and replicates the warmup-hot head to every
+/// server, sized by the adaptive marginal-gain rule (or the fixed
+/// [`FleetConfig::replicate_rows`] override). Deterministic: the
+/// partitioner is RNG-free and the hotness curve derives from
+/// `base.seed`.
+pub fn plan_fleet(graph: &CsrGraph, base: &ServeConfig, fleet: &FleetConfig) -> FleetPlan {
+    fleet.validate();
+    let n = fleet.num_servers;
+    let num_vertices = graph.num_vertices();
+    let shard = if n > 1 {
+        LdgPartitioner::default().partition(graph, n)
+    } else {
+        vec![0u32; num_vertices]
+    };
+    let mut shard_sizes = vec![0usize; n];
+    for &s in &shard {
+        shard_sizes[s as usize] += 1;
+    }
+    let replicated: Vec<VertexId> = if n > 1 {
+        let all: Vec<VertexId> = (0..num_vertices as VertexId).collect();
+        let mut warm = TargetSampler::new(all, base.zipf_exponent, 0, 0);
+        let (hot, weight) = warmup_hot_vertices_weighted(
+            graph,
+            &mut warm,
+            base.warmup_requests,
+            &base.fanouts,
+            base.seed,
+        );
+        // The replication budget is one shard's worth of rows: the head
+        // a server replicates displaces shard-tail residency of the
+        // same size, which is exactly the trade the adaptive rule
+        // prices (`G` = servers instead of cliques).
+        let budget = shard_sizes.iter().copied().max().unwrap_or(0);
+        let rows = fleet
+            .replicate_rows
+            .unwrap_or_else(|| adaptive_replicated_rows(&hot, &weight, budget, n))
+            .min(hot.len());
+        hot.into_iter().take(rows).collect()
+    } else {
+        Vec::new()
+    };
+    let owned: Vec<Arc<Vec<bool>>> = (0..n)
+        .map(|s| {
+            let mut o: Vec<bool> = shard.iter().map(|&p| p as usize == s).collect();
+            for &v in &replicated {
+                o[v as usize] = true;
+            }
+            Arc::new(o)
+        })
+        .collect();
+    FleetPlan {
+        shard,
+        shard_sizes,
+        replicated,
+        owned,
+    }
+}
+
+/// Summary of one fleet run; `metrics` is the fleet-level registry
+/// snapshot (per-server routing counters, merged latency histogram,
+/// locality), and `per_server` holds each machine's full
+/// [`ServeReport`].
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Front-tier routing policy of the run.
+    pub policy: FleetPolicy,
+    /// Servers in the fleet.
+    pub num_servers: usize,
+    /// Requests offered by the global workload.
+    pub offered: u64,
+    /// Requests completed across all servers.
+    pub completed: u64,
+    /// Requests shed across all servers.
+    pub shed: u64,
+    /// Cluster-wide latency quantiles (merged histogram), microseconds.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Latest per-server completion, simulated seconds.
+    pub makespan_s: f64,
+    /// Completed requests per simulated second, cluster-wide.
+    pub throughput_rps: f64,
+    /// Mean fraction of each routed probe resident on the chosen
+    /// server.
+    pub locality: f64,
+    /// Hot-head rows replicated to every server.
+    pub replicated_rows: usize,
+    /// Cross-server feature reads, cluster-wide.
+    pub remote_reads: u64,
+    /// Wire bytes those reads moved.
+    pub remote_bytes: u64,
+    /// Each server's full single-machine report, in server order.
+    pub per_server: Vec<ServeReport>,
+    /// Fleet-level telemetry snapshot.
+    pub metrics: Snapshot,
+}
+
+/// Runs the full fleet simulation: plan placement, generate the global
+/// workload from `base.seed` (byte-identical to
+/// [`legion_serve::serve`]'s stream), route every request through the
+/// front tier, run each server's engine over its slice, and merge the
+/// results.
+///
+/// Each server is built fresh from `spec`. A single-server fleet skips
+/// the remote tier entirely, so its one [`ServeReport`] is
+/// byte-identical to `legion_serve::serve` on the same config.
+///
+/// # Panics
+///
+/// Panics if `base` or `fleet` is invalid, or if `base.remote` is
+/// already set (the fleet owns that field).
+pub fn serve_fleet(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    spec: &ServerSpec,
+    base: &ServeConfig,
+    fleet: &FleetConfig,
+) -> FleetReport {
+    base.validate();
+    fleet.validate();
+    assert!(
+        base.remote.is_none(),
+        "base.remote is owned by the fleet tier"
+    );
+    let n = fleet.num_servers;
+    let plan = plan_fleet(graph, base, fleet);
+
+    // The global open-loop workload — the exact stream `serve` would
+    // generate for this config.
+    let all_targets: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let mut target_sampler = TargetSampler::new(
+        all_targets,
+        base.zipf_exponent,
+        base.drift_period,
+        base.drift_stride,
+    );
+    if base.classes.mix[PriorityClass::Interactive.index()] > 0.0 {
+        target_sampler = target_sampler.with_interactive_boost(base.classes.interactive_boost);
+    }
+    let mut class_sampler = ClassSampler::new(base.classes.mix, base.seed);
+    let mut workload_rng = StdRng::seed_from_u64(base.seed);
+    let requests = generate_workload_classed(
+        &base.arrival,
+        &mut target_sampler,
+        &mut class_sampler,
+        base.num_requests,
+        &mut workload_rng,
+    );
+
+    // Front tier: a Dispatcher over single-server groups, scored on
+    // each server's owned set. Projected load is analytic — a server's
+    // backlog is what the front tier sent it minus what a server
+    // draining at `drain_rps` since time zero could have retired —
+    // because the fleet router cannot see inside remote machines'
+    // queues, only its own bookkeeping.
+    let server_backlog = base.queue_capacity * spec.num_gpus;
+    let spill_len = (fleet.spill_threshold * server_backlog as f64).ceil() as usize;
+    let groups: Vec<Vec<usize>> = (0..n).map(|s| vec![s]).collect();
+    let mut dispatcher = Dispatcher::new(groups, graph.num_vertices(), spill_len);
+    let mut owned_list = Vec::new();
+    for s in 0..n {
+        owned_list.clear();
+        owned_list.extend(
+            plan.owned[s]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| o)
+                .map(|(v, _)| v as VertexId),
+        );
+        dispatcher.refresh_group(s, &owned_list);
+    }
+    let drain = fleet
+        .drain_rps
+        .unwrap_or_else(|| estimate_capacity_rps(graph, features, &spec.build(), base));
+
+    let mut routed = vec![0u64; n];
+    let mut spilled = vec![0u64; n];
+    let mut assigned = vec![0u64; n];
+    let mut depths = vec![0usize; n];
+    let mut streams: Vec<Vec<Request>> = vec![Vec::new(); n];
+    let mut probe: Vec<VertexId> = Vec::new();
+    let mut covered = 0u64;
+    let mut probed = 0u64;
+    let mut random_rng = StdRng::seed_from_u64(base.seed ^ RANDOM_ROUTE_SALT);
+    for r in &requests {
+        probe.clear();
+        probe.push(r.target);
+        probe.extend(
+            graph
+                .neighbors(r.target)
+                .iter()
+                .take(fleet.probe_neighbors)
+                .copied(),
+        );
+        let s = match fleet.policy {
+            FleetPolicy::Residency => {
+                let could_drain = (r.arrival * drain) as u64;
+                for (d, &a) in depths.iter_mut().zip(&assigned) {
+                    *d = a.saturating_sub(could_drain) as usize;
+                }
+                let dec = dispatcher.route(&probe, &depths);
+                if dec.spilled {
+                    spilled[dec.gpu] += 1;
+                } else {
+                    routed[dec.gpu] += 1;
+                }
+                dec.gpu
+            }
+            FleetPolicy::Random => {
+                let s = random_rng.gen_range(0..n);
+                routed[s] += 1;
+                s
+            }
+        };
+        covered += dispatcher.score(s, &probe) as u64;
+        probed += probe.len() as u64;
+        assigned[s] += 1;
+        streams[s].push(*r);
+    }
+    let locality = if probed > 0 {
+        covered as f64 / probed as f64
+    } else {
+        1.0
+    };
+
+    // Run each server's full single-machine engine over its slice. A
+    // single-server fleet gets no remote tier: every row is local, the
+    // engine is the non-fleet engine byte-for-byte.
+    let net = fleet.net;
+    let reports: Vec<ServeReport> = (0..n)
+        .map(|s| {
+            let server = spec.build();
+            let mut cfg = base.clone();
+            cfg.remote = (n > 1).then(|| RemoteConfig {
+                owned: Arc::clone(&plan.owned[s]),
+                net,
+            });
+            serve_requests(graph, features, &server, &cfg, &streams[s])
+        })
+        .collect();
+
+    // Fleet registry: routing outcomes, per-server summaries, and the
+    // merged latency histogram. Counters and histogram buckets are
+    // integers; every gauge is written exactly once.
+    let registry = Registry::new();
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    let mut remote_reads = 0u64;
+    let mut remote_bytes = 0u64;
+    let mut makespan = 0.0f64;
+    let merged = registry.histogram("fleet.latency_us", &latency_buckets());
+    for (s, report) in reports.iter().enumerate() {
+        completed += report.completed;
+        shed += report.shed;
+        makespan = makespan.max(report.makespan_s);
+        let reads = report.metrics.counter("serve.remote.reads");
+        let bytes = report.metrics.counter("serve.remote.bytes");
+        remote_reads += reads;
+        remote_bytes += bytes;
+        registry
+            .counter(&format!("fleet.server{s}.routed"))
+            .add(routed[s]);
+        registry
+            .counter(&format!("fleet.server{s}.spilled"))
+            .add(spilled[s]);
+        registry
+            .counter(&format!("fleet.server{s}.shed"))
+            .add(report.shed);
+        registry
+            .counter(&format!("fleet.server{s}.remote_reads"))
+            .add(reads);
+        registry
+            .counter(&format!("fleet.server{s}.remote_bytes"))
+            .add(bytes);
+        registry
+            .counter(&format!("fleet.shard{s}.vertices"))
+            .add(plan.shard_sizes[s] as u64);
+        let hits: u64 = report
+            .metrics
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("cache.gpu") && c.name.ends_with(".feature_hits"))
+            .map(|c| c.value)
+            .sum();
+        let misses: u64 = report
+            .metrics
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("cache.gpu") && c.name.ends_with(".feature_misses"))
+            .map(|c| c.value)
+            .sum();
+        let rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        registry
+            .gauge(&format!("fleet.server{s}.hit_rate"))
+            .set(rate);
+        if let Some(h) = report.metrics.histogram("serve.latency_us") {
+            merged.merge_counts(&h.counts, h.sum);
+        }
+    }
+    registry.counter("fleet.offered").add(requests.len() as u64);
+    registry.counter("fleet.completed").add(completed);
+    registry.counter("fleet.shed").add(shed);
+    registry
+        .counter("fleet.replicated_rows")
+        .add(plan.replicated.len() as u64);
+    let throughput = if makespan > 0.0 {
+        completed as f64 / makespan
+    } else {
+        0.0
+    };
+    registry.gauge("fleet.locality").set(locality);
+    registry
+        .gauge("fleet.p50_us")
+        .set(merged.quantile(0.50) as f64);
+    registry
+        .gauge("fleet.p95_us")
+        .set(merged.quantile(0.95) as f64);
+    registry
+        .gauge("fleet.p99_us")
+        .set(merged.quantile(0.99) as f64);
+    registry.gauge("fleet.makespan_s").set(makespan);
+    registry.gauge("fleet.throughput_rps").set(throughput);
+
+    FleetReport {
+        policy: fleet.policy,
+        num_servers: n,
+        offered: requests.len() as u64,
+        completed,
+        shed,
+        p50_us: merged.quantile(0.50),
+        p95_us: merged.quantile(0.95),
+        p99_us: merged.quantile(0.99),
+        makespan_s: makespan,
+        throughput_rps: throughput,
+        locality,
+        replicated_rows: plan.replicated.len(),
+        remote_reads,
+        remote_bytes,
+        per_server: reports,
+        metrics: registry.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_graph::GraphBuilder;
+    use legion_serve::{ArrivalProcess, PolicyKind};
+
+    fn tiny_graph() -> (CsrGraph, FeatureTable) {
+        let mut b = GraphBuilder::new(256);
+        for v in 0..256u32 {
+            for d in 1..6u32 {
+                b.push_edge(v, (v + d * 7) % 256);
+            }
+        }
+        let g = b.build();
+        let f = FeatureTable::zeros(256, 16);
+        (g, f)
+    }
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            arrival: ArrivalProcess::Poisson { rate: 20_000.0 },
+            num_requests: 400,
+            max_batch: 8,
+            max_wait: 5e-4,
+            queue_capacity: 64,
+            cache_rows_per_gpu: 32,
+            warmup_requests: 64,
+            fanouts: vec![3, 2],
+            policy: PolicyKind::Fifo,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn tiny_fleet(n: usize) -> FleetConfig {
+        FleetConfig {
+            num_servers: n,
+            drain_rps: Some(5_000.0),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_reuses_the_edge_cut_partitioner_verbatim() {
+        let (g, _) = tiny_graph();
+        let plan = plan_fleet(&g, &tiny_config(), &tiny_fleet(3));
+        let direct = LdgPartitioner::default().partition(&g, 3);
+        assert_eq!(plan.shard, direct);
+        // And it is stable across calls.
+        let again = plan_fleet(&g, &tiny_config(), &tiny_fleet(3));
+        assert_eq!(plan.shard, again.shard);
+        assert_eq!(plan.replicated, again.replicated);
+    }
+
+    #[test]
+    fn ownership_covers_shard_and_replicated_head() {
+        let (g, _) = tiny_graph();
+        let plan = plan_fleet(&g, &tiny_config(), &tiny_fleet(4));
+        for v in 0..g.num_vertices() {
+            let owner = plan.shard[v] as usize;
+            assert!(plan.owned[owner][v], "shard owner must own its vertex");
+        }
+        for &v in &plan.replicated {
+            for o in &plan.owned {
+                assert!(o[v as usize], "replicated head must be owned everywhere");
+            }
+        }
+        let sizes: usize = plan.shard_sizes.iter().sum();
+        assert_eq!(sizes, g.num_vertices());
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic() {
+        let (g, f) = tiny_graph();
+        let spec = legion_hw::ServerSpec::custom(2, 1 << 30, 1);
+        let run = || serve_fleet(&g, &f, &spec, &tiny_config(), &tiny_fleet(2));
+        let a = run();
+        let b = run();
+        assert_eq!(
+            serde_json::to_string(&a.metrics).unwrap(),
+            serde_json::to_string(&b.metrics).unwrap()
+        );
+        assert_eq!(a.p99_us, b.p99_us);
+    }
+
+    #[test]
+    fn conservation_holds_cluster_wide() {
+        let (g, f) = tiny_graph();
+        let spec = legion_hw::ServerSpec::custom(2, 1 << 30, 1);
+        let report = serve_fleet(&g, &f, &spec, &tiny_config(), &tiny_fleet(3));
+        assert_eq!(report.offered, 400);
+        assert_eq!(report.completed + report.shed, report.offered);
+        let per_server: u64 = report.per_server.iter().map(|r| r.offered).sum();
+        assert_eq!(per_server, report.offered, "streams partition the workload");
+        let routed: u64 = (0..3)
+            .map(|s| {
+                report.metrics.counter(&format!("fleet.server{s}.routed"))
+                    + report.metrics.counter(&format!("fleet.server{s}.spilled"))
+            })
+            .sum();
+        assert_eq!(routed, report.offered);
+    }
+
+    #[test]
+    fn single_server_fleet_matches_the_non_fleet_engine() {
+        let (g, f) = tiny_graph();
+        let spec = legion_hw::ServerSpec::custom(2, 1 << 30, 1);
+        let config = tiny_config();
+        let fleet = serve_fleet(&g, &f, &spec, &config, &tiny_fleet(1));
+        let solo = legion_serve::serve(&g, &f, &spec.build(), &config);
+        assert_eq!(fleet.per_server.len(), 1);
+        assert_eq!(
+            serde_json::to_string(&fleet.per_server[0].metrics).unwrap(),
+            serde_json::to_string(&solo.metrics).unwrap()
+        );
+        assert_eq!(fleet.completed, solo.completed);
+        assert_eq!(fleet.remote_reads, 0);
+    }
+
+    #[test]
+    fn residency_routing_is_more_local_than_random() {
+        let (g, f) = tiny_graph();
+        let spec = legion_hw::ServerSpec::custom(2, 1 << 30, 1);
+        let config = tiny_config();
+        let res = serve_fleet(&g, &f, &spec, &config, &tiny_fleet(4));
+        let rand = serve_fleet(
+            &g,
+            &f,
+            &spec,
+            &config,
+            &FleetConfig {
+                policy: FleetPolicy::Random,
+                ..tiny_fleet(4)
+            },
+        );
+        assert!(
+            res.locality > rand.locality,
+            "residency locality {} must beat random {}",
+            res.locality,
+            rand.locality
+        );
+        assert!(
+            res.remote_reads < rand.remote_reads,
+            "residency remote reads {} must undercut random {}",
+            res.remote_reads,
+            rand.remote_reads
+        );
+        assert!(rand.remote_reads > 0, "random routing must go remote");
+    }
+
+    #[test]
+    #[should_panic(expected = "num_servers must be positive")]
+    fn zero_servers_invalid() {
+        FleetConfig {
+            num_servers: 0,
+            ..FleetConfig::default()
+        }
+        .validate();
+    }
+}

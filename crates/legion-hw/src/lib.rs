@@ -14,11 +14,15 @@
 //!   by the cost model's Equation 8),
 //! * [`pcm::PcmCounters`] — the Intel PCM stand-in that tallies CPU→GPU
 //!   PCIe transactions per socket (`N_TSUM` in §4.2.2),
+//! * [`net::NetModel`] — the cluster-interconnect extension of the same
+//!   analytic shape (per-message overhead + bandwidth + round-trip
+//!   waves) that prices cross-server feature reads in the fleet tier,
 //! * [`traffic::TrafficMatrix`] — GPU↔GPU / CPU→GPU byte matrices
 //!   (Figure 10), and
 //! * [`server::MultiGpuServer`] — Table 1 presets tying it all together.
 
 pub mod device;
+pub mod net;
 pub mod nvlink;
 pub mod pcie;
 pub mod pcm;
@@ -26,6 +30,7 @@ pub mod server;
 pub mod traffic;
 
 pub use device::{GpuDevice, HwError};
+pub use net::{NetGeneration, NetModel};
 pub use nvlink::NvLinkTopology;
 pub use pcie::{PcieGeneration, PcieModel};
 pub use pcm::PcmCounters;

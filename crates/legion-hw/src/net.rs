@@ -1,0 +1,256 @@
+//! Analytic cluster-interconnect model for cross-server feature reads.
+//!
+//! The fleet tier (cluster → machine → clique → GPU) needs a cost for a
+//! feature row that lives on *another* server's shard. This module
+//! mirrors the shape of [`crate::PcieModel`] and
+//! `legion_store::NvmeModel`: a payload-dependent effective-bandwidth
+//! curve (`throughput(p) = peak * p / (p + overhead)`), plus the two
+//! properties that make a datacenter network behave unlike a local bus —
+//! a *round-trip latency* per request wave (an RPC to the owning server
+//! and back) and a bounded *in-flight window* (requests beyond the
+//! window wait for the next wave). Every output is a deterministic
+//! function of the request stream and is quantized to whole nanoseconds,
+//! so fleet runs stay byte-identical per seed on the same integer-ns
+//! horizon as the rest of the simulator.
+
+/// Network fabric class connecting the servers of a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetGeneration {
+    /// 100 GbE RoCE-style fabric — ~12.5 GB/s per-link line rate.
+    Eth100G,
+    /// 400 GbE / NDR-class fabric — ~50 GB/s per-link line rate.
+    Eth400G,
+}
+
+impl NetGeneration {
+    /// Achievable peak per-link bandwidth in bytes/s for large,
+    /// well-batched transfers.
+    pub fn peak_bandwidth(self) -> f64 {
+        match self {
+            NetGeneration::Eth100G => 12.5e9,
+            NetGeneration::Eth400G => 50.0e9,
+        }
+    }
+}
+
+/// Per-message overhead in equivalent bytes: Ethernet + IP + transport
+/// headers and the NIC doorbell. Heavier than the PCIe link's 512 B
+/// because each read is a full RPC, lighter than NVMe's FTL traversal.
+pub const DEFAULT_MESSAGE_OVERHEAD_BYTES: f64 = 4096.0;
+
+/// Base round-trip latency per request wave, seconds (~25 us — a
+/// kernel-bypass RPC across a top-of-rack switch and back).
+pub const DEFAULT_RTT_S: f64 = 25e-6;
+
+/// Requests a server keeps in flight concurrently; reads beyond this
+/// wait for the next round-trip wave.
+pub const DEFAULT_MAX_INFLIGHT: u64 = 64;
+
+/// Per-message overhead of a one-sided RDMA read: just the transport
+/// header and completion-queue entry — no kernel, no RPC framing.
+pub const RDMA_MESSAGE_OVERHEAD_BYTES: f64 = 256.0;
+
+/// Round-trip latency of a one-sided RDMA read across a rack switch
+/// (~3 us): the fabric class Legion-scale GPU clusters actually deploy.
+pub const RDMA_RTT_S: f64 = 3e-6;
+
+/// Nanoseconds per second, for the integer-ns quantization.
+const NANOS_PER_SEC: f64 = 1e9;
+
+/// Analytic cluster-network read model.
+///
+/// # Examples
+///
+/// ```
+/// use legion_hw::{NetGeneration, NetModel};
+///
+/// let net = NetModel::new(NetGeneration::Eth100G);
+/// // One remote 512 B feature row is latency-bound, far below peak.
+/// assert!(net.effective_bandwidth(512.0) < 0.2 * net.peak_bandwidth());
+/// // A single remote read pays at least one round trip.
+/// assert!(net.read_seconds(1, 512) >= 25e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    generation: NetGeneration,
+    overhead_bytes: f64,
+    rtt_s: f64,
+    max_inflight: u64,
+}
+
+impl NetModel {
+    /// A model with default message overhead, RTT, and in-flight window.
+    pub fn new(generation: NetGeneration) -> Self {
+        Self {
+            generation,
+            overhead_bytes: DEFAULT_MESSAGE_OVERHEAD_BYTES,
+            rtt_s: DEFAULT_RTT_S,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+        }
+    }
+
+    /// A kernel-bypass RDMA fabric of the given line rate: one-sided
+    /// reads with [`RDMA_MESSAGE_OVERHEAD_BYTES`] of header and
+    /// [`RDMA_RTT_S`] per wave — microsecond-class remote memory, the
+    /// deployment the fleet tier defaults to.
+    pub fn rdma(generation: NetGeneration) -> Self {
+        Self::new(generation)
+            .with_overhead(RDMA_MESSAGE_OVERHEAD_BYTES)
+            .with_rtt(RDMA_RTT_S)
+    }
+
+    /// Overrides the per-message overhead.
+    pub fn with_overhead(mut self, bytes: f64) -> Self {
+        self.overhead_bytes = bytes;
+        self
+    }
+
+    /// Overrides the round-trip latency.
+    pub fn with_rtt(mut self, seconds: f64) -> Self {
+        self.rtt_s = seconds;
+        self
+    }
+
+    /// Overrides the in-flight request window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_max_inflight(mut self, window: u64) -> Self {
+        assert!(window > 0, "in-flight window must be positive");
+        self.max_inflight = window;
+        self
+    }
+
+    /// The fabric class.
+    pub fn generation(&self) -> NetGeneration {
+        self.generation
+    }
+
+    /// Maximum concurrent in-flight requests.
+    #[inline]
+    pub fn max_inflight(&self) -> u64 {
+        self.max_inflight
+    }
+
+    /// Peak per-link bandwidth in bytes/s.
+    #[inline]
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.generation.peak_bandwidth()
+    }
+
+    /// Effective throughput in bytes/s when every message carries
+    /// `payload_bytes` of useful data — the same saturation curve as
+    /// the PCIe and NVMe models with per-RPC overhead.
+    pub fn effective_bandwidth(&self, payload_bytes: f64) -> f64 {
+        if payload_bytes <= 0.0 {
+            return 0.0;
+        }
+        self.peak_bandwidth() * payload_bytes / (payload_bytes + self.overhead_bytes)
+    }
+
+    /// Bytes on the wire for a read of `payload_bytes`: the payload
+    /// plus the per-message header overhead, rounded up to whole bytes.
+    #[inline]
+    pub fn bytes_for_payload(&self, payload_bytes: u64) -> u64 {
+        payload_bytes + self.overhead_bytes.ceil() as u64
+    }
+
+    /// Seconds for a batch of `num_reads` remote reads of
+    /// `payload_bytes` each: the requests complete in
+    /// `ceil(num_reads / max_inflight)` waves, each paying one round
+    /// trip, and the payload moves at the payload-dependent effective
+    /// bandwidth. The result is quantized to whole nanoseconds so it
+    /// composes with the simulator's integer-ns horizon.
+    pub fn read_seconds(&self, num_reads: u64, payload_bytes: u64) -> f64 {
+        if num_reads == 0 {
+            return 0.0;
+        }
+        let waves = num_reads.div_ceil(self.max_inflight);
+        let bytes = num_reads * payload_bytes;
+        let seconds = waves as f64 * self.rtt_s
+            + bytes as f64 / self.effective_bandwidth(payload_bytes as f64);
+        (seconds * NANOS_PER_SEC).round() / NANOS_PER_SEC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_bandwidths_ordered_by_generation() {
+        assert!(NetGeneration::Eth400G.peak_bandwidth() > NetGeneration::Eth100G.peak_bandwidth());
+    }
+
+    #[test]
+    fn effective_bandwidth_monotone_in_payload() {
+        let m = NetModel::new(NetGeneration::Eth100G);
+        let mut prev = 0.0;
+        for p in [64.0, 512.0, 4096.0, 65536.0, 1048576.0] {
+            let bw = m.effective_bandwidth(p);
+            assert!(bw > prev, "bandwidth must grow with payload");
+            prev = bw;
+        }
+        assert!(prev <= m.peak_bandwidth());
+    }
+
+    #[test]
+    fn network_is_slower_than_the_local_pcie_link() {
+        // Remote reads only hurt if the fabric per-row cost exceeds the
+        // local extraction cost; a single row must be latency-bound.
+        let m = NetModel::new(NetGeneration::Eth100G);
+        assert!(m.read_seconds(1, 512) >= DEFAULT_RTT_S);
+        assert_eq!(m.read_seconds(0, 512), 0.0);
+    }
+
+    #[test]
+    fn inflight_window_bounds_concurrency() {
+        let m = NetModel::new(NetGeneration::Eth100G).with_max_inflight(8);
+        let one_wave = m.read_seconds(8, 512);
+        let two_waves = m.read_seconds(9, 512);
+        assert!(two_waves > one_wave + 0.9 * DEFAULT_RTT_S);
+        // Within one wave, the round trip is paid once.
+        let partial = m.read_seconds(4, 512);
+        assert!(one_wave - partial < DEFAULT_RTT_S);
+    }
+
+    #[test]
+    fn batched_reads_amortize_the_round_trip() {
+        let m = NetModel::new(NetGeneration::Eth100G);
+        let solo = m.read_seconds(1, 512);
+        let batch = m.read_seconds(64, 512);
+        // 64 reads in one wave cost far less than 64 solo reads.
+        assert!(batch < 0.5 * (64.0 * solo));
+    }
+
+    #[test]
+    fn read_seconds_are_whole_nanoseconds() {
+        let m = NetModel::new(NetGeneration::Eth100G);
+        for (n, p) in [(1u64, 512u64), (37, 128), (1000, 4096), (63, 260)] {
+            let s = m.read_seconds(n, p);
+            let ns = s * 1e9;
+            assert!(
+                (ns - ns.round()).abs() < 1e-6,
+                "read_seconds({n}, {p}) = {s} is not integer-ns"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_bytes_include_header_overhead() {
+        let m = NetModel::new(NetGeneration::Eth100G);
+        assert_eq!(m.bytes_for_payload(512), 512 + 4096);
+    }
+
+    #[test]
+    fn rdma_preset_is_strictly_cheaper_than_the_rpc_default() {
+        let rpc = NetModel::new(NetGeneration::Eth400G);
+        let rdma = NetModel::rdma(NetGeneration::Eth400G);
+        assert_eq!(rdma.generation(), NetGeneration::Eth400G);
+        for (n, p) in [(1u64, 512u64), (64, 512), (300, 4096)] {
+            assert!(rdma.read_seconds(n, p) < rpc.read_seconds(n, p));
+        }
+        assert_eq!(rdma.bytes_for_payload(512), 512 + 256);
+    }
+}

@@ -468,6 +468,59 @@ impl StoreWorker {
     }
 }
 
+/// Per-worker fleet state: which vertices are locally owned (this
+/// server's shard plus the replicated hot head), the cluster-network
+/// model, and the shared remote-read meters. HBM-cache misses on
+/// unowned vertices bypass the local DRAM/SSD tiers entirely — their
+/// rows live on another server — and are charged one batched RPC wave
+/// through [`NetModel::read_seconds`](legion_hw::NetModel::read_seconds)
+/// instead.
+pub(crate) struct RemoteWorker {
+    owned: Arc<Vec<bool>>,
+    net: legion_hw::NetModel,
+    row_bytes: u64,
+    reads: Counter,
+    bytes: Counter,
+    pending: u64,
+}
+
+impl RemoteWorker {
+    fn new(rc: &crate::RemoteConfig, row_bytes: u64, registry: &Arc<Registry>) -> Self {
+        Self {
+            owned: Arc::clone(&rc.owned),
+            net: rc.net,
+            row_bytes,
+            reads: registry.counter("serve.remote.reads"),
+            bytes: registry.counter("serve.remote.bytes"),
+            pending: 0,
+        }
+    }
+
+    /// Classifies one HBM miss: if `v` is not locally owned it joins
+    /// this batch's remote wave and the local tiers never see it.
+    fn note_miss(&mut self, v: VertexId) -> bool {
+        if self.owned[v as usize] {
+            return false;
+        }
+        self.pending += 1;
+        true
+    }
+
+    /// Charges the batch's accumulated remote reads as one batched RPC
+    /// wave and returns the extraction stall, metering reads and wire
+    /// bytes.
+    fn charge_batch(&mut self) -> f64 {
+        if self.pending == 0 {
+            return 0.0;
+        }
+        let n = std::mem::take(&mut self.pending);
+        self.reads.add(n);
+        self.bytes
+            .add(n * self.net.bytes_for_payload(self.row_bytes));
+        self.net.read_seconds(n, self.row_bytes)
+    }
+}
+
 /// Attributes each batch's feature hit/miss deltas to the drift phase of
 /// its oldest request (`phase = id / drift_period`), plus tail-only
 /// counters covering the second half of each phase — the "settled" hit
@@ -607,6 +660,8 @@ pub(crate) struct Worker {
     /// Out-of-core store state; `None` unless the run's tiered
     /// placement put rows on the SSD.
     pub(crate) store: Option<Box<StoreWorker>>,
+    /// Fleet state; `None` unless this run is one server of a fleet.
+    pub(crate) remote: Option<Box<RemoteWorker>>,
     /// Plan version last pushed into the router's residency index
     /// (Replan + Residency runs only).
     pub(crate) last_plan_version: u64,
@@ -773,6 +828,7 @@ fn replan_batch_service(
     rng: &mut StdRng,
     scratch: &mut BatchScratch,
     mut store: Option<&mut StoreWorker>,
+    mut remote: Option<&mut RemoteWorker>,
 ) -> BatchTiming {
     // Batch-boundary swap: in-flight requests finished against the old
     // plan; this batch starts on the new one and pays its refill.
@@ -843,16 +899,27 @@ fn replan_batch_service(
     );
     let feat_tx = server.pcm().gpu_kind(gpu, TrafficKind::Feature) - feat_tx_before;
     let mut extract_t = time_model.extract_seconds(feat_tx, 0);
-    if let Some(sw) = store {
-        sw.missed.clear();
-        sw.missed.extend(
-            sample
-                .all_vertices
-                .iter()
-                .copied()
-                .filter(|&v| !plan_engine.feature_would_hit(gpu, v)),
-        );
-        extract_t += sw.charge_batch(at);
+    if store.is_some() || remote.is_some() {
+        if let Some(sw) = store.as_deref_mut() {
+            sw.missed.clear();
+        }
+        for &v in &sample.all_vertices {
+            if plan_engine.feature_would_hit(gpu, v) {
+                continue;
+            }
+            if remote.as_deref_mut().is_some_and(|rw| rw.note_miss(v)) {
+                continue;
+            }
+            if let Some(sw) = store.as_deref_mut() {
+                sw.missed.push(v);
+            }
+        }
+        if let Some(rw) = remote {
+            extract_t += rw.charge_batch();
+        }
+        if let Some(sw) = store {
+            extract_t += sw.charge_batch(at);
+        }
     }
     rw.state.window.note_batch(
         batch.len(),
@@ -956,6 +1023,7 @@ pub(crate) fn run_worker_batch(ctx: &ServeContext<'_>, w: &mut Worker, at: f64) 
             &mut w.rng,
             &mut w.scratch,
             w.store.as_deref_mut(),
+            w.remote.as_deref_mut(),
         ),
         WorkerPolicy::Replan(rw) => {
             let (_, replan_meters) = ctx.replan_shared.as_ref().expect("replan meters");
@@ -975,6 +1043,7 @@ pub(crate) fn run_worker_batch(ctx: &ServeContext<'_>, w: &mut Worker, at: f64) 
                 &mut w.rng,
                 &mut w.scratch,
                 w.store.as_deref_mut(),
+                w.remote.as_deref_mut(),
             )
         }
     };
@@ -1074,8 +1143,10 @@ fn run_sequential(
 
 /// Runs the full serving simulation for `config` against `server`.
 ///
-/// The server is reset first (memory and all counters); on return its
-/// registry holds the run's complete metrics.
+/// Generates the open-loop workload from the config's seed and hands it
+/// to [`serve_requests`]; the server is reset first (memory and all
+/// counters) and on return its registry holds the run's complete
+/// metrics.
 pub fn serve(
     graph: &CsrGraph,
     features: &FeatureTable,
@@ -1083,8 +1154,6 @@ pub fn serve(
     config: &ServeConfig,
 ) -> ServeReport {
     config.validate();
-    server.reset();
-    let num_gpus = server.num_gpus();
     let all_targets: Vec<u32> = (0..graph.num_vertices() as u32).collect();
 
     // Open-loop workload: arrivals, priority classes, and (drifting)
@@ -1093,7 +1162,7 @@ pub fn serve(
     // actually produce Interactive requests — so the default
     // single-class config reproduces the legacy stream byte-for-byte.
     let mut target_sampler = TargetSampler::new(
-        all_targets.clone(),
+        all_targets,
         config.zipf_exponent,
         config.drift_period,
         config.drift_stride,
@@ -1110,6 +1179,37 @@ pub fn serve(
         config.num_requests,
         &mut workload_rng,
     );
+    serve_requests(graph, features, server, config, &requests)
+}
+
+/// Runs the serving simulation over a *pre-generated* request stream.
+///
+/// This is [`serve`] with the workload supplied by the caller instead
+/// of drawn from the config's seed — the entry point the fleet tier
+/// uses to hand each simulated server its routed slice of the global
+/// stream. Arrivals must be sorted by time. An empty slice is legal
+/// (a fleet server may receive no traffic) and produces an all-zero
+/// report. Everything after workload generation is shared with
+/// [`serve`], so `serve(cfg) == serve_requests(cfg, generated)`
+/// byte-for-byte.
+pub fn serve_requests(
+    graph: &CsrGraph,
+    features: &FeatureTable,
+    server: &MultiGpuServer,
+    config: &ServeConfig,
+    requests: &[Request],
+) -> ServeReport {
+    config.validate();
+    if let Some(rc) = config.remote.as_ref() {
+        assert_eq!(
+            rc.owned.len(),
+            graph.num_vertices(),
+            "remote ownership map must cover every vertex"
+        );
+    }
+    server.reset();
+    let num_gpus = server.num_gpus();
+    let all_targets: Vec<u32> = (0..graph.num_vertices() as u32).collect();
 
     let residency = config.router.policy == RouterPolicy::Residency;
 
@@ -1330,6 +1430,10 @@ pub fn serve(
                 store: store_placement
                     .as_ref()
                     .map(|p| Box::new(StoreWorker::new(p, &config.store, row_bytes, registry))),
+                remote: config
+                    .remote
+                    .as_ref()
+                    .map(|rc| Box::new(RemoteWorker::new(rc, row_bytes, registry))),
                 last_plan_version: 0,
             }
         })
@@ -1393,11 +1497,11 @@ pub fn serve(
         1
     };
     if eff_shards <= 1 {
-        run_sequential(&ctx, &mut workers, &mut router, &requests);
+        run_sequential(&ctx, &mut workers, &mut router, requests);
     } else if let Some(rs) = router.as_mut() {
-        shard::run_residency_sharded(&ctx, &mut workers, rs, &requests, eff_shards);
+        shard::run_residency_sharded(&ctx, &mut workers, rs, requests, eff_shards);
     } else {
-        shard::run_roundrobin_sharded(&ctx, &mut workers, &requests, eff_shards);
+        shard::run_roundrobin_sharded(&ctx, &mut workers, requests, eff_shards);
     }
     let makespan = workers.iter().fold(0.0f64, |m, w| m.max(w.makespan));
 
@@ -1509,6 +1613,7 @@ fn batch_service_seconds(
     rng: &mut StdRng,
     scratch: &mut BatchScratch,
     mut store: Option<&mut StoreWorker>,
+    mut remote: Option<&mut RemoteWorker>,
 ) -> BatchTiming {
     batch_seeds(batch, &mut scratch.seeds);
 
@@ -1537,15 +1642,23 @@ fn batch_service_seconds(
                 .map(|s| server.traffic().gpu_to_gpu(s, gpu))
                 .sum::<u64>()
                 - peer_before;
-            if let Some(sw) = store.as_deref_mut() {
-                sw.missed.clear();
-                sw.missed.extend(
-                    sample
-                        .all_vertices
-                        .iter()
-                        .copied()
-                        .filter(|&v| !engine.feature_would_hit(gpu, v)),
-                );
+            if store.is_some() || remote.is_some() {
+                if let Some(sw) = store.as_deref_mut() {
+                    sw.missed.clear();
+                }
+                for &v in &sample.all_vertices {
+                    if engine.feature_would_hit(gpu, v) {
+                        continue;
+                    }
+                    // Unowned rows live on another server: the remote
+                    // wave takes them and the local tiers never see them.
+                    if remote.as_deref_mut().is_some_and(|rw| rw.note_miss(v)) {
+                        continue;
+                    }
+                    if let Some(sw) = store.as_deref_mut() {
+                        sw.missed.push(v);
+                    }
+                }
             }
             (tx, peer)
         }
@@ -1572,6 +1685,9 @@ fn batch_service_seconds(
                     misses += 1;
                     tx += row_tx;
                     bytes += row_bytes;
+                    if remote.as_deref_mut().is_some_and(|rw| rw.note_miss(v)) {
+                        continue;
+                    }
                     if let Some(sw) = store.as_deref_mut() {
                         sw.missed.push(v);
                     }
@@ -1587,6 +1703,11 @@ fn batch_service_seconds(
         PolicyKind::Replan => unreachable!("replan batches run through replan_batch_service"),
     };
     let mut extract_t = time_model.extract_seconds(feat_tx, peer_bytes);
+    if let Some(rw) = remote {
+        // Cross-server rows arrive as one batched RPC wave; the stall
+        // extends extraction just like a slower PCIe crossing would.
+        extract_t += rw.charge_batch();
+    }
     if let Some(sw) = store {
         // SSD-tier misses resolve against the staging window or the
         // device; the stall extends extraction, exactly like a slower

@@ -82,6 +82,8 @@
 //! | `store.nvme.bytes` | counter | bytes moved off the simulated NVMe device, whole blocks |
 //! | `store.nvme.queue_depth` | histogram | commands per device wave (cold, prefetch, migrate) |
 //! | `store.nvme.read_us` | histogram | duration of each device wave, microseconds |
+//! | `serve.remote.reads` | counter | HBM misses resolved from another server's shard (fleet runs only) |
+//! | `serve.remote.bytes` | counter | wire bytes (payload + headers) those remote reads moved |
 //!
 //! (`{g}` is a zero-based GPU index; `{k}` a zero-padded drift-phase
 //! index, e.g. `serve.phase003.feature_hits`; `{c}` a class priority
@@ -89,9 +91,10 @@
 //! route-group / clique index; `{s}` an event-loop shard index. Class
 //! and route metrics are registered only when the run actually uses
 //! them: per-class metrics for multi-class mixes, route metrics for the
-//! residency router, shard metrics for `--shards > 1`, and
+//! residency router, shard metrics for `--shards > 1`,
 //! `serve.store.*` / `store.nvme.*` only when [`StoreConfig`] actually
-//! places rows on the SSD tier.)
+//! places rows on the SSD tier, and `serve.remote.*` only when
+//! [`RemoteConfig`] marks the run as one server of a fleet.)
 
 pub mod batcher;
 pub mod cache_policy;
@@ -108,7 +111,8 @@ pub use cache_policy::{
     adaptive_replicated_rows, build_partitioned_layout, build_partitioned_layout_adaptive,
     build_static_layout, warmup_hot_vertices, warmup_hot_vertices_weighted, PolicyKind,
 };
-pub use engine::{serve, ServeReport};
+pub use engine::{serve, serve_requests, ServeReport};
+pub use legion_hw::{NetGeneration, NetModel};
 pub use legion_router::{PriorityClass, RouterConfig, RouterPolicy, CLASS_COUNT};
 pub use legion_store::{NvmeGeneration, NvmeModel, Tier, VertexStore};
 pub use queue::AdmissionQueue;
@@ -182,8 +186,30 @@ pub struct ServeConfig {
     pub adaptive_quantum: bool,
     /// Out-of-core feature store (SSD tier below host DRAM).
     pub store: StoreConfig,
+    /// Cross-server residency of the fleet tier; `None` (the default)
+    /// means every feature row is machine-local — the pre-fleet engine,
+    /// byte-identical.
+    pub remote: Option<RemoteConfig>,
     /// Master seed; every internal RNG stream derives from it.
     pub seed: u64,
+}
+
+/// Cross-server residency handed down by the fleet tier.
+///
+/// When a serving run is one server of a fleet, some feature rows live
+/// on *other* servers' shards. Every HBM-cache miss whose vertex is not
+/// locally owned is charged through the cluster-interconnect model
+/// instead of the local memory hierarchy, and metered under
+/// `serve.remote.{reads,bytes}`. The default `None` in [`ServeConfig`]
+/// keeps the single-machine engine (and its snapshots) byte-identical.
+#[derive(Debug, Clone)]
+pub struct RemoteConfig {
+    /// `owned[v]` — whether vertex `v`'s feature row is resident on
+    /// this server (its shard or the replicated hot head). Length must
+    /// equal the graph's vertex count.
+    pub owned: std::sync::Arc<Vec<bool>>,
+    /// The analytic network model remote reads are charged through.
+    pub net: legion_hw::NetModel,
 }
 
 /// Configuration of the SSD-backed out-of-core feature tier.
@@ -374,6 +400,7 @@ impl Default for ServeConfig {
             shard_quantum: 1e-3,
             adaptive_quantum: false,
             store: StoreConfig::default(),
+            remote: None,
             seed: 42,
         }
     }

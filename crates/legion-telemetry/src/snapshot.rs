@@ -77,4 +77,12 @@ impl Snapshot {
             .map(|c| c.value)
             .sum()
     }
+
+    /// The named histogram sample, or `None` if absent — the accessor
+    /// cross-registry aggregation uses to merge per-server latency
+    /// histograms (via [`Histogram::merge_counts`](crate::Histogram::merge_counts))
+    /// into a fleet-level one.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
 }

@@ -549,6 +549,143 @@ mod three_tier_store {
     }
 }
 
+/// Fleet-tier (cluster → machine → clique → GPU) invariants: same-seed
+/// replay of the fleet snapshot, exact degeneration of a single-server
+/// fleet to the non-fleet engine, and server-shard assignment pinned to
+/// the machine tier's edge-cut partitioner.
+mod fleet_serving {
+    use legion_fleet::{plan_fleet, serve_fleet, FleetConfig};
+    use legion_graph::dataset::{spec_by_name, Dataset};
+    use legion_hw::ServerSpec;
+    use legion_partition::{LdgPartitioner, Partitioner};
+    use legion_serve::{serve, PolicyKind, ServeConfig};
+
+    fn dataset() -> Dataset {
+        spec_by_name("PR").unwrap().instantiate(500, 42)
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            num_requests: 1200,
+            max_batch: 16,
+            max_wait: 1e-4,
+            queue_capacity: 256,
+            cache_rows_per_gpu: 512,
+            warmup_requests: 128,
+            fanouts: vec![5, 3],
+            policy: PolicyKind::StaticHot,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn fleet(n: usize) -> FleetConfig {
+        FleetConfig {
+            num_servers: n,
+            // Pin the projected-drain rate so the test doesn't depend
+            // on the closed-loop capacity probe.
+            drain_rps: Some(100_000.0),
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Same seed, same config → the fleet-level snapshot (routing
+    /// counters, merged latency histogram, locality gauge) and every
+    /// per-server snapshot replay byte for byte.
+    #[test]
+    fn fleet_runs_replay_byte_identically() {
+        let d = dataset();
+        let spec = ServerSpec::custom(4, 1 << 30, 2);
+        let run = || {
+            let r = serve_fleet(&d.graph, &d.features, &spec, &config(), &fleet(3));
+            assert_eq!(r.completed + r.shed, r.offered, "request conservation");
+            let per_server: Vec<String> = r
+                .per_server
+                .iter()
+                .map(|s| serde_json::to_string_pretty(&s.metrics).unwrap())
+                .collect();
+            (
+                serde_json::to_string_pretty(&r.metrics).unwrap(),
+                per_server,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0, "same-seed fleet snapshots must replay");
+        assert_eq!(a.1, b.1, "same-seed per-server snapshots must replay");
+        assert!(a.0.contains("fleet.latency_us"), "merged histogram missing");
+        assert!(a.0.contains("fleet.locality"), "locality gauge missing");
+    }
+
+    /// A single-server fleet must degenerate exactly: no remote tier,
+    /// and its one per-server snapshot byte-identical to the non-fleet
+    /// engine on the same config — the fleet tier is strictly additive.
+    #[test]
+    fn single_server_fleet_matches_non_fleet_engine_byte_for_byte() {
+        let d = dataset();
+        let spec = ServerSpec::custom(4, 1 << 30, 2);
+        let cfg = config();
+        let fleet_run = serve_fleet(&d.graph, &d.features, &spec, &cfg, &fleet(1));
+        let solo = serve(&d.graph, &d.features, &spec.build(), &cfg);
+        assert_eq!(fleet_run.per_server.len(), 1);
+        let a = serde_json::to_string_pretty(&fleet_run.per_server[0].metrics).unwrap();
+        let b = serde_json::to_string_pretty(&solo.metrics).unwrap();
+        assert_eq!(a, b, "single-server fleet must match the plain engine");
+        assert_eq!(fleet_run.completed, solo.completed);
+        assert_eq!(fleet_run.shed, solo.shed);
+        assert_eq!(fleet_run.p99_us, solo.p99_us);
+        assert_eq!(fleet_run.remote_reads, 0, "one server has no remote reads");
+        assert!(
+            !a.contains("serve.remote."),
+            "a single-server fleet must register no remote meters"
+        );
+    }
+
+    /// The fleet plan reuses the machine tier's edge-cut partitioner
+    /// verbatim at the server level, and the server-shard assignment is
+    /// pinned per seed: the same dataset seed reproduces the identical
+    /// shard vector and replicated head.
+    #[test]
+    fn server_shards_are_pinned_to_the_edge_cut_partitioner_per_seed() {
+        let cfg = config();
+        let plan_for = |seed: u64| {
+            let d = spec_by_name("PR").unwrap().instantiate(500, seed);
+            plan_fleet(&d.graph, &cfg, &fleet(4))
+        };
+        let a = plan_for(42);
+        let b = plan_for(42);
+        assert_eq!(a.shard, b.shard, "same seed must pin the shard vector");
+        assert_eq!(a.replicated, b.replicated, "replicated head must pin too");
+        assert!(
+            !a.replicated.is_empty(),
+            "multi-server plan replicates a head"
+        );
+        let direct = LdgPartitioner::default().partition(&dataset().graph, 4);
+        assert_eq!(
+            a.shard, direct,
+            "fleet sharding must be the LDG edge-cut partition verbatim"
+        );
+        // LDG keeps the shards balanced: no server owns more than twice
+        // the mean shard.
+        let mean = a.shard.len() / 4;
+        for (s, &size) in a.shard_sizes.iter().enumerate() {
+            assert!(
+                size <= 2 * mean,
+                "shard {s} unbalanced: {size} vs mean {mean}"
+            );
+        }
+        // Ownership is exhaustive: every vertex is owned by its shard's
+        // server, and the replicated head is owned everywhere.
+        for (v, &s) in a.shard.iter().enumerate() {
+            assert!(a.owned[s as usize][v]);
+        }
+        for &v in &a.replicated {
+            for o in &a.owned {
+                assert!(o[v as usize]);
+            }
+        }
+    }
+}
+
 #[test]
 fn dataset_instantiation_is_stable_across_calls() {
     let d1 = spec_by_name("CO").unwrap().instantiate(4000, 7);

@@ -1,0 +1,225 @@
+//! OPERATIONS.md stays truthful.
+//!
+//! The telemetry glossary in `OPERATIONS.md` (between the
+//! `glossary:begin` / `glossary:end` markers) is the operator-facing
+//! contract for every metric name the simulator can emit. This suite
+//! parses that table and diffs it against live registry snapshots in
+//! both directions:
+//!
+//! * **no undocumented metrics** — every name a live run registers must
+//!   match a documented pattern, so adding a counter without a glossary
+//!   row fails here;
+//! * **no phantom documentation** — a core set of documented patterns
+//!   must be observed live, so renaming a counter without updating the
+//!   glossary fails here too.
+//!
+//! Pattern language: literal dot-separated names with `{g}`-style
+//! placeholders matching one-or-more digits and `{a,b}`-style brace
+//! lists matching any alternative.
+
+use legion_fleet::{serve_fleet, FleetConfig};
+use legion_graph::dataset::{spec_by_name, Dataset};
+use legion_hw::ServerSpec;
+use legion_serve::{serve, PolicyKind, ServeConfig, StoreConfig};
+use legion_telemetry::Snapshot;
+
+/// The glossary rows of OPERATIONS.md: every backticked pattern in the
+/// first column of the tables between the machine-check markers.
+fn glossary_patterns() -> Vec<String> {
+    let doc = include_str!("../OPERATIONS.md");
+    let start = doc
+        .find("<!-- glossary:begin -->")
+        .expect("OPERATIONS.md must keep the glossary:begin marker");
+    let end = doc
+        .find("<!-- glossary:end -->")
+        .expect("OPERATIONS.md must keep the glossary:end marker");
+    let mut patterns = Vec::new();
+    for line in doc[start..end].lines() {
+        let line = line.trim();
+        if !line.starts_with("| `") {
+            continue;
+        }
+        let cell = line
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .expect("table row has a first cell");
+        let mut rest = cell;
+        while let Some(open) = rest.find('`') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else { break };
+            patterns.push(after[..close].to_string());
+            rest = &after[close + 1..];
+        }
+    }
+    assert!(
+        patterns.len() > 40,
+        "glossary parse collapsed: only {} patterns",
+        patterns.len()
+    );
+    patterns
+}
+
+/// Whether `name` matches `pattern`, where `{a,b}` is an alternative
+/// list and any other `{x}` placeholder is one-or-more digits.
+fn matches(pattern: &str, name: &str) -> bool {
+    let Some(open) = pattern.find('{') else {
+        return pattern == name;
+    };
+    let (literal, rest_p) = pattern.split_at(open);
+    let Some(rest_n) = name.strip_prefix(literal) else {
+        return false;
+    };
+    let close = rest_p.find('}').expect("unbalanced brace in pattern");
+    let inner = &rest_p[1..close];
+    let tail = &rest_p[close + 1..];
+    if inner.contains(',') {
+        inner
+            .split(',')
+            .any(|alt| rest_n.strip_prefix(alt).is_some_and(|r| matches(tail, r)))
+    } else {
+        let digits = rest_n.chars().take_while(char::is_ascii_digit).count();
+        (1..=digits).any(|k| matches(tail, &rest_n[k..]))
+    }
+}
+
+/// All metric names (counters, gauges, histograms) in a snapshot.
+fn live_names(snapshot: &Snapshot) -> Vec<String> {
+    snapshot
+        .counters
+        .iter()
+        .map(|c| c.name.clone())
+        .chain(snapshot.gauges.iter().map(|g| g.name.clone()))
+        .chain(snapshot.histograms.iter().map(|h| h.name.clone()))
+        .collect()
+}
+
+fn dataset() -> Dataset {
+    spec_by_name("PR").unwrap().instantiate(500, 42)
+}
+
+/// Live snapshots spanning the metric namespaces: a two-server fleet
+/// run (fleet.*, serve.remote.*, and the per-server serving engine) and
+/// an oversubscribed drifting re-plan run (serve.store.*, store.nvme.*,
+/// serve.phase*, serve.replan.*).
+fn live_snapshots() -> Vec<Snapshot> {
+    let d = dataset();
+    let base = ServeConfig {
+        num_requests: 1200,
+        max_batch: 16,
+        max_wait: 1e-4,
+        queue_capacity: 256,
+        cache_rows_per_gpu: 512,
+        warmup_requests: 128,
+        fanouts: vec![5, 3],
+        policy: PolicyKind::StaticHot,
+        ..ServeConfig::default()
+    };
+    let fleet = FleetConfig {
+        num_servers: 2,
+        drain_rps: Some(100_000.0),
+        ..FleetConfig::default()
+    };
+    let spec = ServerSpec::custom(4, 1 << 30, 2);
+    let report = serve_fleet(&d.graph, &d.features, &spec, &base, &fleet);
+    let mut snaps = vec![report.metrics.clone()];
+    snaps.extend(report.per_server.iter().map(|r| r.metrics.clone()));
+
+    let store_cfg = ServeConfig {
+        num_requests: 800,
+        max_wait: 0.0,
+        cache_rows_per_gpu: 128,
+        policy: PolicyKind::Replan,
+        drift_period: 200,
+        drift_stride: 128,
+        store: StoreConfig {
+            dram_budget_bytes: Some(4096),
+            staging_rows: 64,
+            prefetch_budget: 64,
+            ..StoreConfig::default()
+        },
+        ..base
+    };
+    snaps.push(serve(&d.graph, &d.features, &spec.build(), &store_cfg).metrics);
+    snaps
+}
+
+/// Every metric a live run registers is documented in OPERATIONS.md.
+#[test]
+fn live_registry_has_no_undocumented_metrics() {
+    let patterns = glossary_patterns();
+    let mut undocumented = Vec::new();
+    for snap in live_snapshots() {
+        for name in live_names(&snap) {
+            if !patterns.iter().any(|p| matches(p, &name)) && !undocumented.contains(&name) {
+                undocumented.push(name);
+            }
+        }
+    }
+    assert!(
+        undocumented.is_empty(),
+        "metrics registered live but missing from the OPERATIONS.md glossary: {undocumented:?}"
+    );
+}
+
+/// The core documented patterns are observed live — the glossary does
+/// not describe metrics that no longer exist under those names.
+#[test]
+fn documented_core_metrics_are_observed_live() {
+    let patterns = glossary_patterns();
+    let live: Vec<String> = live_snapshots().iter().flat_map(live_names).collect();
+    for expected in [
+        "serve.offered",
+        "serve.latency_us",
+        "serve.p99_us",
+        "serve.gpu{g}.batches",
+        "serve.phase{k}.feature_{hits,misses}",
+        "serve.replan.count",
+        "serve.store.{prefetch_hits,late_stalls,cold_reads,evictions}",
+        "store.nvme.bytes",
+        "store.nvme.read_us",
+        "serve.remote.reads",
+        "serve.remote.bytes",
+        "cache.gpu{g}.{topology,feature}_{hits,misses}",
+        "stage.gpu{g}.{sample,extract,train}_ns",
+        "pipeline.gpu{g}.queue_depth",
+        "fleet.offered",
+        "fleet.server{s}.{routed,spilled,shed}",
+        "fleet.server{s}.hit_rate",
+        "fleet.shard{s}.vertices",
+        "fleet.locality",
+        "fleet.latency_us",
+        "fleet.throughput_rps",
+    ] {
+        assert!(
+            patterns.contains(&expected.to_string()),
+            "glossary lost the `{expected}` row"
+        );
+        assert!(
+            live.iter().any(|n| matches(expected, n)),
+            "documented pattern `{expected}` matched no live metric"
+        );
+    }
+}
+
+/// The pattern matcher itself: placeholders, alternation, anchoring.
+#[test]
+fn pattern_matcher_semantics() {
+    assert!(matches("serve.offered", "serve.offered"));
+    assert!(!matches("serve.offered", "serve.offered_extra"));
+    assert!(matches("serve.gpu{g}.batches", "serve.gpu12.batches"));
+    assert!(!matches("serve.gpu{g}.batches", "serve.gpu.batches"));
+    assert!(matches(
+        "serve.phase{k}.feature_{hits,misses}",
+        "serve.phase003.feature_misses"
+    ));
+    assert!(!matches(
+        "serve.phase{k}.feature_{hits,misses}",
+        "serve.phase003.feature_count"
+    ));
+    assert!(matches(
+        "traffic.dst{d}.src{s}_bytes",
+        "traffic.dst0.src3_bytes"
+    ));
+    assert!(!matches("fleet.server{s}.routed", "fleet.serverX.routed"));
+}
