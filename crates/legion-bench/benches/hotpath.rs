@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use legion_cache::CliqueCache;
 use legion_graph::generate::ChungLuConfig;
 use legion_graph::{CsrGraph, FeatureTable};
-use legion_hw::ServerSpec;
+use legion_hw::{NetGeneration, NetModel, ServerSpec, UplinkConfig};
 use legion_router::{ClassedQueue, Dispatcher, PriorityClass, QueuedRequest};
 use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
 use legion_sampling::extract::extract_features;
@@ -341,6 +341,51 @@ fn bench_router(c: &mut Criterion, smoke: bool) {
     group.finish();
 }
 
+/// The cluster-fabric charging path the fleet's remote tier runs per
+/// batch: per-row wave charging vs one coalesced per-owner message set,
+/// uncontended vs on a shared oversubscribed uplink. Pure integer-ns
+/// arithmetic — this pins the cost of pricing a remote batch, not the
+/// simulated wire time itself.
+fn bench_net(c: &mut Criterion, smoke: bool) {
+    let batches = if smoke { 1_000 } else { 10_000 };
+    let row_bytes = 400u64;
+    let flat = NetModel::rdma(NetGeneration::Eth400G);
+    let contended = flat.with_contention(UplinkConfig::default());
+    // 16 owner buckets with a skewed row spread, like a routed fleet's
+    // per-batch miss profile.
+    let payloads: Vec<u64> = (0..16u64).map(|i| (i * i % 23) * row_bytes).collect();
+
+    let mut group = c.benchmark_group("bench_net");
+    group.bench_function(BenchmarkId::new("per_row", batches), |b| {
+        b.iter(|| {
+            let mut t = 0.0f64;
+            for i in 0..batches {
+                t += flat.read_seconds_at(64 + (i % 32) as u64, row_bytes, 8);
+            }
+            t
+        })
+    });
+    group.bench_function(BenchmarkId::new("per_row_contended", batches), |b| {
+        b.iter(|| {
+            let mut t = 0.0f64;
+            for i in 0..batches {
+                t += contended.read_seconds_at(64 + (i % 32) as u64, row_bytes, 8);
+            }
+            t
+        })
+    });
+    group.bench_function(BenchmarkId::new("coalesced_contended", batches), |b| {
+        b.iter(|| {
+            let mut t = 0.0f64;
+            for _ in 0..batches {
+                t += contended.coalesced_read_seconds_at(&payloads, 8);
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
 #[derive(serde::Serialize)]
 struct BenchEntry {
     name: String,
@@ -371,6 +416,7 @@ fn main() {
     bench_shard(&mut c, smoke);
     bench_store(&mut c, smoke);
     bench_router(&mut c, smoke);
+    bench_net(&mut c, smoke);
 
     let mut groups: Vec<BenchGroup> = Vec::new();
     for r in take_results() {

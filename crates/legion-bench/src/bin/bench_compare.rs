@@ -1,0 +1,132 @@
+//! Diff two `BENCH_hotpath.json` snapshots and flag regressions.
+//!
+//! Usage: `bench_compare BASELINE.json CANDIDATE.json [--warn-only] [--threshold PCT]`
+//!
+//! Matches benches by `group/name`, prints a per-bench delta table, and
+//! flags any bench whose `ns_per_op` grew by more than the threshold
+//! (default 20%). Exits nonzero when regressions are found, unless
+//! `--warn-only` is passed. A smoke snapshot compared against a full one
+//! is noisy by construction, so mode mismatch is called out up front.
+
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct BenchEntry {
+    name: String,
+    ns_per_op: f64,
+}
+
+#[derive(Deserialize)]
+struct BenchGroup {
+    group: String,
+    benches: Vec<BenchEntry>,
+}
+
+#[derive(Deserialize)]
+struct BenchOutput {
+    schema: String,
+    smoke: bool,
+    groups: Vec<BenchGroup>,
+}
+
+const SCHEMA: &str = "legion-bench-hotpath/v1";
+
+fn load(path: &str) -> BenchOutput {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_compare: cannot read {path}: {e}"));
+    let out: BenchOutput = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("bench_compare: {path} is not a bench snapshot: {e}"));
+    assert_eq!(
+        out.schema, SCHEMA,
+        "bench_compare: {path} has schema {:?}, want {SCHEMA:?}",
+        out.schema
+    );
+    out
+}
+
+fn flatten(out: &BenchOutput) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for g in &out.groups {
+        for b in &g.benches {
+            rows.push((format!("{}/{}", g.group, b.name), b.ns_per_op));
+        }
+    }
+    rows
+}
+
+fn main() {
+    let mut warn_only = false;
+    let mut threshold = 20.0f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--warn-only" => warn_only = true,
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("bench_compare: --threshold needs a percentage");
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: bench_compare BASELINE.json CANDIDATE.json [--warn-only] [--threshold PCT]"
+        );
+        std::process::exit(2);
+    }
+    let base = load(&paths[0]);
+    let cand = load(&paths[1]);
+    if base.smoke != cand.smoke {
+        println!(
+            "bench_compare: WARNING mode mismatch — baseline is {}, candidate is {}; \
+             deltas are noisy across modes",
+            if base.smoke { "SMOKE" } else { "FULL" },
+            if cand.smoke { "SMOKE" } else { "FULL" },
+        );
+    }
+
+    let base_rows = flatten(&base);
+    let cand_rows = flatten(&cand);
+    let mut regressions = 0usize;
+    let mut matched = 0usize;
+    println!(
+        "{:<44} {:>14} {:>14} {:>9}",
+        "bench", "base ns/op", "cand ns/op", "delta"
+    );
+    for (key, base_ns) in &base_rows {
+        let Some((_, cand_ns)) = cand_rows.iter().find(|(k, _)| k == key) else {
+            println!("{key:<44} {base_ns:>14.1} {:>14} {:>9}", "-", "gone");
+            continue;
+        };
+        matched += 1;
+        let pct = if *base_ns > 0.0 {
+            (cand_ns - base_ns) / base_ns * 100.0
+        } else {
+            0.0
+        };
+        let flag = if pct > threshold {
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        if pct > threshold {
+            regressions += 1;
+        }
+        println!("{key:<44} {base_ns:>14.1} {cand_ns:>14.1} {pct:>+8.1}%{flag}");
+    }
+    for (key, cand_ns) in &cand_rows {
+        if !base_rows.iter().any(|(k, _)| k == key) {
+            println!("{key:<44} {:>14} {cand_ns:>14.1} {:>9}", "-", "new");
+        }
+    }
+
+    println!(
+        "bench_compare: {matched} matched, {regressions} regression(s) over {threshold:.0}% ns/op"
+    );
+    if regressions > 0 && !warn_only {
+        std::process::exit(1);
+    }
+}

@@ -30,7 +30,7 @@ pub mod server;
 pub mod traffic;
 
 pub use device::{GpuDevice, HwError};
-pub use net::{NetGeneration, NetModel};
+pub use net::{NetGeneration, NetModel, UplinkConfig};
 pub use nvlink::NvLinkTopology;
 pub use pcie::{PcieGeneration, PcieModel};
 pub use pcm::PcmCounters;

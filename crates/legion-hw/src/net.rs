@@ -57,6 +57,84 @@ pub const RDMA_RTT_S: f64 = 3e-6;
 /// Nanoseconds per second, for the integer-ns quantization.
 const NANOS_PER_SEC: f64 = 1e9;
 
+/// Shared-uplink contention: what happens when several servers' remote
+/// waves cross the fabric *at the same time*.
+///
+/// The uncontended [`NetModel::read_seconds`] charges each server's
+/// wave as if it had the fabric to itself. A real rack does not work
+/// that way: every server's NIC also serializes the traffic it *serves*
+/// to its peers, and all the servers' flows funnel through a shared
+/// top-of-rack uplink that is provisioned below their aggregate line
+/// rate (the oversubscription factor). This config captures both
+/// effects as a deterministic stretch on the bandwidth term when `k`
+/// servers are concurrently active:
+///
+/// ```text
+/// stretch(k) = (1 + (F - 1) * (k - 1) / k)   // ToR oversubscription
+///            * (1 + s * (k - 1))             // NIC serialization
+/// ```
+///
+/// where `F = oversubscription` and `s = nic_serialization`. Both
+/// factors are exactly `1` at `k = 1` (a lone server sees the
+/// uncontended fabric) and strictly increase with `k`: the ToR term
+/// approaches the full oversubscription factor `F` as every flow's
+/// probability of colliding on the shared uplink grows with `(k-1)/k`,
+/// and the NIC term adds a fixed serialization fraction per concurrent
+/// peer whose shard reads this server must also serve. Round-trip
+/// latency is unaffected — contention queues bytes, not handshakes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkConfig {
+    /// ToR oversubscription factor `F >= 1`: the shared uplink carries
+    /// `1/F` of the servers' aggregate line rate when all of them
+    /// burst at once. `1.0` models a non-blocking fabric.
+    pub oversubscription: f64,
+    /// Fraction of a peer's concurrent wave that serializes through
+    /// this server's NIC path (the reads it serves to others share the
+    /// same links its own requests use). `0.0` disables the term.
+    pub nic_serialization: f64,
+}
+
+impl Default for UplinkConfig {
+    /// A 4:1 oversubscribed ToR — the common datacenter provisioning —
+    /// with a 5% per-peer NIC serialization tax.
+    fn default() -> Self {
+        Self {
+            oversubscription: 4.0,
+            nic_serialization: 0.05,
+        }
+    }
+}
+
+impl UplinkConfig {
+    /// Checks the invariants the contention model relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first violated
+    /// invariant.
+    pub fn validate(&self) {
+        assert!(
+            self.oversubscription >= 1.0,
+            "uplink oversubscription must be >= 1"
+        );
+        assert!(
+            self.nic_serialization >= 0.0,
+            "nic_serialization must be non-negative"
+        );
+    }
+
+    /// The bandwidth-term stretch when `concurrent` servers issue
+    /// remote waves at once: exactly `1.0` at one server,
+    /// monotonically increasing, bounded by
+    /// `oversubscription * (1 + nic_serialization * (k - 1))`.
+    pub fn stretch(&self, concurrent: usize) -> f64 {
+        let k = concurrent.max(1) as f64;
+        let tor = 1.0 + (self.oversubscription - 1.0) * (k - 1.0) / k;
+        let nic = 1.0 + self.nic_serialization * (k - 1.0);
+        tor * nic
+    }
+}
+
 /// Analytic cluster-network read model.
 ///
 /// # Examples
@@ -76,6 +154,7 @@ pub struct NetModel {
     overhead_bytes: f64,
     rtt_s: f64,
     max_inflight: u64,
+    contention: Option<UplinkConfig>,
 }
 
 impl NetModel {
@@ -86,6 +165,7 @@ impl NetModel {
             overhead_bytes: DEFAULT_MESSAGE_OVERHEAD_BYTES,
             rtt_s: DEFAULT_RTT_S,
             max_inflight: DEFAULT_MAX_INFLIGHT,
+            contention: None,
         }
     }
 
@@ -122,6 +202,26 @@ impl NetModel {
         self
     }
 
+    /// Enables the shared-uplink contention model; see
+    /// [`UplinkConfig`]. The default `None` keeps every wave charged
+    /// at the uncontended fabric — byte-identical to the pre-contention
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uplink` is invalid ([`UplinkConfig::validate`]).
+    pub fn with_contention(mut self, uplink: UplinkConfig) -> Self {
+        uplink.validate();
+        self.contention = Some(uplink);
+        self
+    }
+
+    /// The shared-uplink contention config, if enabled.
+    #[inline]
+    pub fn contention(&self) -> Option<UplinkConfig> {
+        self.contention
+    }
+
     /// The fabric class.
     pub fn generation(&self) -> NetGeneration {
         self.generation
@@ -131,6 +231,12 @@ impl NetModel {
     #[inline]
     pub fn max_inflight(&self) -> u64 {
         self.max_inflight
+    }
+
+    /// Round-trip time per wave, in seconds.
+    #[inline]
+    pub fn rtt_seconds(&self) -> f64 {
+        self.rtt_s
     }
 
     /// Peak per-link bandwidth in bytes/s.
@@ -163,14 +269,60 @@ impl NetModel {
     /// bandwidth. The result is quantized to whole nanoseconds so it
     /// composes with the simulator's integer-ns horizon.
     pub fn read_seconds(&self, num_reads: u64, payload_bytes: u64) -> f64 {
+        self.read_seconds_at(num_reads, payload_bytes, 1)
+    }
+
+    /// [`read_seconds`](Self::read_seconds) under shared-uplink
+    /// contention: the bandwidth term is stretched by
+    /// [`UplinkConfig::stretch`] for `concurrent` simultaneously
+    /// active servers. With no contention config, or a single active
+    /// server, this is exactly the uncontended charge (same integer-ns
+    /// result, bit for bit).
+    pub fn read_seconds_at(&self, num_reads: u64, payload_bytes: u64, concurrent: usize) -> f64 {
         if num_reads == 0 {
             return 0.0;
         }
         let waves = num_reads.div_ceil(self.max_inflight);
         let bytes = num_reads * payload_bytes;
         let seconds = waves as f64 * self.rtt_s
-            + bytes as f64 / self.effective_bandwidth(payload_bytes as f64);
+            + bytes as f64 / self.effective_bandwidth(payload_bytes as f64)
+                * self.stretch_for(concurrent);
         (seconds * NANOS_PER_SEC).round() / NANOS_PER_SEC
+    }
+
+    /// Seconds for one *coalesced* remote wave: one batched message per
+    /// owning peer, `payloads[i]` payload bytes in message `i` (zero
+    /// payloads are skipped). All messages launch inside the same
+    /// in-flight window — `ceil(messages / max_inflight)` round-trip
+    /// waves — and each message's bytes move at its own
+    /// payload-dependent effective bandwidth, stretched by the
+    /// contention model for `concurrent` active servers. This is the
+    /// per-owner alternative to charging every row as its own RPC:
+    /// fewer messages amortize both the per-message header overhead
+    /// and the round-trip waves. Quantized to whole nanoseconds.
+    pub fn coalesced_read_seconds_at(&self, payloads: &[u64], concurrent: usize) -> f64 {
+        let messages = payloads.iter().filter(|&&p| p > 0).count() as u64;
+        if messages == 0 {
+            return 0.0;
+        }
+        let waves = messages.div_ceil(self.max_inflight);
+        let bw: f64 = payloads
+            .iter()
+            .filter(|&&p| p > 0)
+            .map(|&p| p as f64 / self.effective_bandwidth(p as f64))
+            .sum();
+        let seconds = waves as f64 * self.rtt_s + bw * self.stretch_for(concurrent);
+        (seconds * NANOS_PER_SEC).round() / NANOS_PER_SEC
+    }
+
+    /// The active contention stretch for `concurrent` servers; `1.0`
+    /// when contention is off — multiplying by it reproduces the
+    /// uncontended arithmetic exactly.
+    fn stretch_for(&self, concurrent: usize) -> f64 {
+        match self.contention {
+            Some(up) if concurrent > 1 => up.stretch(concurrent),
+            _ => 1.0,
+        }
     }
 }
 
@@ -241,6 +393,75 @@ mod tests {
     fn wire_bytes_include_header_overhead() {
         let m = NetModel::new(NetGeneration::Eth100G);
         assert_eq!(m.bytes_for_payload(512), 512 + 4096);
+    }
+
+    #[test]
+    fn contention_off_and_one_server_reproduce_the_uncontended_charge() {
+        let plain = NetModel::rdma(NetGeneration::Eth400G);
+        let contended = plain.with_contention(UplinkConfig::default());
+        for (n, p) in [(1u64, 512u64), (64, 512), (300, 4096), (7, 64)] {
+            // No contention config: any concurrency is charged flat.
+            assert_eq!(plain.read_seconds_at(n, p, 16), plain.read_seconds(n, p));
+            // Contention config but one active server: exclusive fabric.
+            assert_eq!(contended.read_seconds_at(n, p, 1), plain.read_seconds(n, p));
+        }
+    }
+
+    #[test]
+    fn contended_time_is_monotone_in_concurrent_servers() {
+        let m = NetModel::rdma(NetGeneration::Eth400G).with_contention(UplinkConfig::default());
+        let mut prev = 0.0;
+        for k in 1..=32 {
+            let t = m.read_seconds_at(256, 512, k);
+            assert!(
+                t >= prev,
+                "contended time must not shrink with more servers: k={k} gave {t} < {prev}"
+            );
+            prev = t;
+        }
+        // And it genuinely bites: 16 servers on a 4:1 ToR cost more
+        // than double the lone-server wave.
+        assert!(m.read_seconds_at(256, 512, 16) > 2.0 * m.read_seconds_at(256, 512, 1));
+    }
+
+    #[test]
+    fn uplink_stretch_shape() {
+        let up = UplinkConfig {
+            oversubscription: 4.0,
+            nic_serialization: 0.05,
+        };
+        assert_eq!(up.stretch(1), 1.0);
+        assert!(up.stretch(2) > 1.0);
+        // The ToR term approaches F; with the NIC term the product
+        // keeps growing, but stays near F * nic for moderate k.
+        assert!(up.stretch(1000) > 3.9);
+    }
+
+    #[test]
+    fn coalesced_wave_undercuts_per_row_charging() {
+        let m = NetModel::rdma(NetGeneration::Eth400G);
+        // 192 rows of 512 B spread over 3 owners vs 192 individual RPCs.
+        let per_row = m.read_seconds(192, 512);
+        let coalesced = m.coalesced_read_seconds_at(&[64 * 512, 96 * 512, 32 * 512], 1);
+        assert!(
+            coalesced < per_row,
+            "coalesced {coalesced} must undercut per-row {per_row}"
+        );
+        // Empty and zero-payload waves cost nothing.
+        assert_eq!(m.coalesced_read_seconds_at(&[], 4), 0.0);
+        assert_eq!(m.coalesced_read_seconds_at(&[0, 0], 4), 0.0);
+        // Integer-ns quantization holds for the coalesced path too.
+        let ns = coalesced * 1e9;
+        assert!((ns - ns.round()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscription must be >= 1")]
+    fn undersubscribed_uplink_invalid() {
+        NetModel::new(NetGeneration::Eth100G).with_contention(UplinkConfig {
+            oversubscription: 0.5,
+            nic_serialization: 0.0,
+        });
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use legion_hw::{GpuDevice, NvLinkTopology, PcieGeneration, PcieModel};
+use legion_hw::{
+    GpuDevice, NetGeneration, NetModel, NvLinkTopology, PcieGeneration, PcieModel, UplinkConfig,
+};
 
 proptest! {
     #[test]
@@ -52,6 +54,102 @@ proptest! {
         let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
         prop_assert!(model.effective_bandwidth(lo) <= model.effective_bandwidth(hi) + 1e-9);
         prop_assert!(model.effective_bandwidth(hi) <= model.peak_bandwidth());
+    }
+
+    #[test]
+    fn net_reads_respect_the_rtt_floor(
+        reads in 1u64..10_000,
+        payload in 1u64..100_000,
+    ) {
+        let net = NetModel::new(NetGeneration::Eth400G);
+        // Any nonempty read set pays at least one round trip.
+        prop_assert!(net.read_seconds(reads, payload) >= net.rtt_seconds());
+    }
+
+    #[test]
+    fn net_time_is_monotone_in_payload(
+        reads in 1u64..1_000,
+        p1 in 1u64..100_000,
+        p2 in 1u64..100_000,
+    ) {
+        let net = NetModel::new(NetGeneration::Eth400G);
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(net.read_seconds(reads, lo) <= net.read_seconds(reads, hi));
+    }
+
+    #[test]
+    fn net_waves_follow_the_inflight_cap(
+        reads in 1u64..100_000,
+        payload in 1u64..4_096,
+    ) {
+        let net = NetModel::new(NetGeneration::Eth400G);
+        // Total time covers ceil(reads / max_inflight) round-trip waves.
+        let waves = reads.div_ceil(net.max_inflight());
+        prop_assert!(net.read_seconds(reads, payload) >= waves as f64 * net.rtt_seconds());
+    }
+
+    #[test]
+    fn net_contention_is_monotone_and_exact_at_one_server(
+        reads in 1u64..10_000,
+        payload in 1u64..100_000,
+        over in 1.0f64..16.0,
+        nic in 0.0f64..1.0,
+        k1 in 1usize..32,
+        k2 in 1usize..32,
+    ) {
+        let net = NetModel::new(NetGeneration::Eth400G)
+            .with_contention(UplinkConfig { oversubscription: over, nic_serialization: nic });
+        // One server sharing the uplink is the uncontended charge, and
+        // the uncontended model at any concurrency too.
+        let alone = NetModel::new(NetGeneration::Eth400G).read_seconds(reads, payload);
+        prop_assert_eq!(net.read_seconds_at(reads, payload, 1), alone);
+        let (lo, hi) = if k1 < k2 { (k1, k2) } else { (k2, k1) };
+        prop_assert!(
+            net.read_seconds_at(reads, payload, lo) <= net.read_seconds_at(reads, payload, hi)
+        );
+    }
+
+    #[test]
+    fn net_times_are_integer_nanosecond_quantized(
+        reads in 0u64..10_000,
+        payload in 1u64..100_000,
+        k in 1usize..32,
+    ) {
+        let net = NetModel::new(NetGeneration::Eth400G)
+            .with_contention(UplinkConfig::default());
+        let t = net.read_seconds_at(reads, payload, k);
+        let ns = t * 1e9;
+        prop_assert!((ns - ns.round()).abs() < 1e-6, "not integer-ns: {} s", t);
+        // And byte-identical across recomputation (pure function).
+        prop_assert_eq!(
+            t.to_bits(),
+            net.read_seconds_at(reads, payload, k).to_bits()
+        );
+    }
+
+    #[test]
+    fn coalesced_reads_never_beat_the_per_message_floor(
+        payloads in proptest::collection::vec(0u64..100_000, 0..64),
+        k in 1usize..16,
+    ) {
+        let net = NetModel::new(NetGeneration::Eth400G)
+            .with_contention(UplinkConfig::default());
+        let t = net.coalesced_read_seconds_at(&payloads, k);
+        let messages = payloads.iter().filter(|&&p| p > 0).count() as u64;
+        if messages == 0 {
+            prop_assert_eq!(t, 0.0);
+        } else {
+            let waves = messages.div_ceil(net.max_inflight());
+            prop_assert!(t >= waves as f64 * net.rtt_seconds());
+            // One batched message per owner never exceeds charging each
+            // owner's payload as its own message.
+            let per_owner: f64 = payloads
+                .iter()
+                .filter(|&&p| p > 0)
+                .map(|&p| net.read_seconds_at(1, p, k))
+                .sum();
+            prop_assert!(t <= per_owner + 1e-9);
+        }
     }
 
     #[test]

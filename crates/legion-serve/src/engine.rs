@@ -479,45 +479,138 @@ pub(crate) struct RemoteWorker {
     owned: Arc<Vec<bool>>,
     net: legion_hw::NetModel,
     row_bytes: u64,
+    /// Fleet size assumed concurrently active on the shared uplink.
+    concurrent: usize,
     reads: Counter,
     bytes: Counter,
     pending: u64,
+    /// Per-owner coalescing state; `None` keeps the flat per-row pool
+    /// (and registers none of the coalescing meters), byte-identical
+    /// to the pre-coalescing engine.
+    coalesce: Option<CoalesceState>,
+}
+
+/// The coalescing side of [`RemoteWorker`]: a batch-window dedup map
+/// plus per-owner row buckets, drained once per batch into one batched
+/// message per owning server.
+struct CoalesceState {
+    shard: Arc<Vec<u32>>,
+    /// `last_fetch[v]` — the batch index that last pulled `v` over the
+    /// wire (`u64::MAX` = never). A row re-missed within
+    /// `window_batches` of its fetch is still resident in the remote
+    /// staging buffer and is deduplicated instead of re-fetched.
+    last_fetch: Vec<u64>,
+    window_batches: u64,
+    batch_idx: u64,
+    /// Rows this batch fetches from each owner; reset per batch by
+    /// walking `touched`.
+    owner_rows: Vec<u64>,
+    touched: Vec<u32>,
+    payloads: Vec<u64>,
+    coalesced_msgs: Counter,
+    dedup_hits: Counter,
+    per_owner_bytes: Counter,
 }
 
 impl RemoteWorker {
     fn new(rc: &crate::RemoteConfig, row_bytes: u64, registry: &Arc<Registry>) -> Self {
+        let coalesce = rc.coalesce.as_ref().map(|cc| {
+            assert_eq!(
+                cc.shard.len(),
+                rc.owned.len(),
+                "coalescing shard map must cover every vertex"
+            );
+            CoalesceState {
+                shard: Arc::clone(&cc.shard),
+                last_fetch: vec![u64::MAX; cc.shard.len()],
+                window_batches: cc.window_batches,
+                batch_idx: 0,
+                owner_rows: vec![0; cc.num_servers],
+                touched: Vec::new(),
+                payloads: Vec::new(),
+                coalesced_msgs: registry.counter("serve.remote.coalesced_msgs"),
+                dedup_hits: registry.counter("serve.remote.dedup_hits"),
+                per_owner_bytes: registry.counter("serve.remote.per_owner_bytes"),
+            }
+        });
         Self {
             owned: Arc::clone(&rc.owned),
             net: rc.net,
             row_bytes,
+            concurrent: rc.concurrent_servers.max(1),
             reads: registry.counter("serve.remote.reads"),
             bytes: registry.counter("serve.remote.bytes"),
             pending: 0,
+            coalesce,
         }
     }
 
     /// Classifies one HBM miss: if `v` is not locally owned it joins
     /// this batch's remote wave and the local tiers never see it.
+    /// Under coalescing the miss is first checked against the staging
+    /// window (recently fetched rows dedupe) and then bucketed by its
+    /// owning shard.
     fn note_miss(&mut self, v: VertexId) -> bool {
         if self.owned[v as usize] {
             return false;
         }
         self.pending += 1;
+        if let Some(c) = self.coalesce.as_mut() {
+            let last = c.last_fetch[v as usize];
+            if last != u64::MAX && c.batch_idx - last <= c.window_batches {
+                c.dedup_hits.inc();
+            } else {
+                c.last_fetch[v as usize] = c.batch_idx;
+                let owner = c.shard[v as usize];
+                if c.owner_rows[owner as usize] == 0 {
+                    c.touched.push(owner);
+                }
+                c.owner_rows[owner as usize] += 1;
+            }
+        }
         true
     }
 
-    /// Charges the batch's accumulated remote reads as one batched RPC
-    /// wave and returns the extraction stall, metering reads and wire
-    /// bytes.
+    /// Charges the batch's accumulated remote reads and returns the
+    /// extraction stall, metering reads and wire bytes. The flat pool
+    /// charges every miss as its own RPC
+    /// ([`NetModel::read_seconds_at`](legion_hw::NetModel::read_seconds_at));
+    /// coalescing charges one batched message per owning server —
+    /// headers and round-trip waves amortize across each owner's rows,
+    /// and staging-window dedup hits cost no wire at all.
     fn charge_batch(&mut self) -> f64 {
         if self.pending == 0 {
+            if let Some(c) = self.coalesce.as_mut() {
+                c.batch_idx += 1;
+            }
             return 0.0;
         }
         let n = std::mem::take(&mut self.pending);
         self.reads.add(n);
-        self.bytes
-            .add(n * self.net.bytes_for_payload(self.row_bytes));
-        self.net.read_seconds(n, self.row_bytes)
+        let Some(c) = self.coalesce.as_mut() else {
+            self.bytes
+                .add(n * self.net.bytes_for_payload(self.row_bytes));
+            return self.net.read_seconds_at(n, self.row_bytes, self.concurrent);
+        };
+        // Drain the owner buckets in ascending server order so the
+        // payload vector (and therefore the charged time) is a pure
+        // function of the miss set.
+        c.touched.sort_unstable();
+        let mut wire = 0u64;
+        c.payloads.clear();
+        for &owner in &c.touched {
+            let rows = std::mem::take(&mut c.owner_rows[owner as usize]);
+            let payload = rows * self.row_bytes;
+            c.payloads.push(payload);
+            wire += self.net.bytes_for_payload(payload);
+        }
+        c.coalesced_msgs.add(c.payloads.len() as u64);
+        c.per_owner_bytes.add(wire);
+        self.bytes.add(wire);
+        c.touched.clear();
+        c.batch_idx += 1;
+        self.net
+            .coalesced_read_seconds_at(&c.payloads, self.concurrent)
     }
 }
 

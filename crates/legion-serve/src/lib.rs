@@ -84,6 +84,9 @@
 //! | `store.nvme.read_us` | histogram | duration of each device wave, microseconds |
 //! | `serve.remote.reads` | counter | HBM misses resolved from another server's shard (fleet runs only) |
 //! | `serve.remote.bytes` | counter | wire bytes (payload + headers) those remote reads moved |
+//! | `serve.remote.coalesced_msgs` | counter | batched per-owner messages the coalesced remote wave sent (coalescing runs only) |
+//! | `serve.remote.dedup_hits` | counter | remote misses served from the coalescing staging window instead of re-fetched |
+//! | `serve.remote.per_owner_bytes` | counter | wire bytes charged through per-owner batched messages |
 //!
 //! (`{g}` is a zero-based GPU index; `{k}` a zero-padded drift-phase
 //! index, e.g. `serve.phase003.feature_hits`; `{c}` a class priority
@@ -93,8 +96,10 @@
 //! them: per-class metrics for multi-class mixes, route metrics for the
 //! residency router, shard metrics for `--shards > 1`,
 //! `serve.store.*` / `store.nvme.*` only when [`StoreConfig`] actually
-//! places rows on the SSD tier, and `serve.remote.*` only when
-//! [`RemoteConfig`] marks the run as one server of a fleet.)
+//! places rows on the SSD tier, `serve.remote.*` only when
+//! [`RemoteConfig`] marks the run as one server of a fleet, and the
+//! `serve.remote.{coalesced_msgs,dedup_hits,per_owner_bytes}` triple
+//! only when that config enables per-owner coalescing.)
 
 pub mod batcher;
 pub mod cache_policy;
@@ -210,6 +215,43 @@ pub struct RemoteConfig {
     pub owned: std::sync::Arc<Vec<bool>>,
     /// The analytic network model remote reads are charged through.
     pub net: legion_hw::NetModel,
+    /// Per-owning-server coalescing of each batch's remote wave;
+    /// `None` (the default) keeps the flat per-row pool — every miss
+    /// charged as its own RPC, byte-identical to the pre-coalescing
+    /// engine.
+    pub coalesce: Option<CoalesceConfig>,
+    /// Servers assumed concurrently active on the shared uplink (the
+    /// fleet size) — the `k` handed to
+    /// [`legion_hw::NetModel::read_seconds_at`]. Only meaningful when
+    /// `net` carries an [`legion_hw::UplinkConfig`]; `1` (or a `net`
+    /// without contention) charges the uncontended fabric.
+    pub concurrent_servers: usize,
+}
+
+/// Per-owner coalescing of the cross-server remote-read wave.
+///
+/// Instead of charging every unowned HBM miss as its own RPC (payload
+/// plus a full per-message header, one in-flight slot each), the
+/// engine buckets each batch's misses by *owning server* and charges
+/// one batched message per owner — the header and round-trip waves
+/// amortize across every row the owner ships. Rows fetched within the
+/// last [`window_batches`](Self::window_batches) batches are still
+/// resident in the remote staging buffer and are deduplicated instead
+/// of re-fetched. Metered under
+/// `serve.remote.{coalesced_msgs,dedup_hits,per_owner_bytes}`.
+#[derive(Debug, Clone)]
+pub struct CoalesceConfig {
+    /// `shard[v]` — the server whose shard owns vertex `v` (the fleet
+    /// plan's partition vector). Length must equal the graph's vertex
+    /// count.
+    pub shard: std::sync::Arc<Vec<u32>>,
+    /// Servers in the fleet (bounds the shard ids).
+    pub num_servers: usize,
+    /// How many batches a fetched remote row stays deduplicable in the
+    /// staging buffer; `0` restricts dedup to the current batch (where
+    /// the sampler's sorted-unique vertex set never repeats, so the
+    /// counter stays 0).
+    pub window_batches: u64,
 }
 
 /// Configuration of the SSD-backed out-of-core feature tier.

@@ -6,11 +6,16 @@
 # sequential vs `--shards 2` on the 2x2-clique server and prints the
 # measured speedup. The `bench_store` group compares out-of-core reads
 # against the SSD tier: staged (prefetched), cold, and DRAM-resident.
+# The `bench_net` group prices the fleet fabric's remote-charging path:
+# per-row vs coalesced per-owner, with and without uplink contention.
 # Seeds are fixed, so the output is deterministic modulo the timing
 # fields.
 #
 #   scripts/bench.sh           full measurement run
 #   scripts/bench.sh --smoke   shrunken inputs, for CI gating
+#
+# Compare two snapshots with scripts/bench_compare OLD.json NEW.json —
+# it flags >20% ns/op regressions (exit 1 unless --warn-only).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,9 +28,14 @@ for arg in "$@"; do
 done
 
 if [[ "$SMOKE" == 1 ]]; then
+    MODE="SMOKE (shrunken inputs — CI gate only, not comparable to full runs)"
     LEGION_BENCH_SMOKE=1 cargo bench -q -p legion-bench --bench hotpath
 else
+    MODE="FULL (measurement run)"
     cargo bench -q -p legion-bench --bench hotpath
 fi
 
-echo "bench: OK (BENCH_hotpath.json)"
+echo "=================================================================="
+echo "bench mode: $MODE"
+echo "=================================================================="
+echo "bench: OK (BENCH_hotpath.json; diff snapshots with scripts/bench_compare)"

@@ -44,7 +44,7 @@ cargo run --release -q -p legion-bench --bin servectl -- --smoke --router --shar
 echo "==> servectl --smoke --oversubscribe (SSD tier sweep + DRAM-resident equivalence)"
 cargo run --release -q -p legion-bench --bin servectl -- --smoke --oversubscribe
 
-echo "==> servectl --smoke --fleet 2 (scale-out head-to-head + determinism check)"
+echo "==> servectl --smoke --fleet 2 (scale-out + contention/coalescing head-to-head + drift resize)"
 cargo run --release -q -p legion-bench --bin servectl -- --smoke --fleet 2
 
 echo "==> sharded-vs-sequential equivalence (determinism suite)"

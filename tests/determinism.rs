@@ -551,12 +551,13 @@ mod three_tier_store {
 
 /// Fleet-tier (cluster → machine → clique → GPU) invariants: same-seed
 /// replay of the fleet snapshot, exact degeneration of a single-server
-/// fleet to the non-fleet engine, and server-shard assignment pinned to
-/// the machine tier's edge-cut partitioner.
+/// fleet to the non-fleet engine, server-shard assignment pinned to
+/// the machine tier's edge-cut partitioner, and byte-identity of the
+/// defaults-off contention/coalescing/resize features.
 mod fleet_serving {
     use legion_fleet::{plan_fleet, serve_fleet, FleetConfig};
     use legion_graph::dataset::{spec_by_name, Dataset};
-    use legion_hw::ServerSpec;
+    use legion_hw::{ServerSpec, UplinkConfig};
     use legion_partition::{LdgPartitioner, Partitioner};
     use legion_serve::{serve, PolicyKind, ServeConfig};
 
@@ -637,6 +638,104 @@ mod fleet_serving {
         assert!(
             !a.contains("serve.remote."),
             "a single-server fleet must register no remote meters"
+        );
+    }
+
+    /// With contention `None`, coalescing off, and resize off — the
+    /// defaults — the fleet must reproduce the pre-fabric snapshots
+    /// byte for byte: explicitly spelling the features off is the same
+    /// run as never mentioning them, and none of the fabric meters
+    /// (`serve.remote.coalesced_msgs`, `fleet.uplink.*`,
+    /// `fleet.resize.*`) may register.
+    #[test]
+    fn defaults_off_fabric_reproduces_the_flat_fleet_byte_for_byte() {
+        let d = dataset();
+        let spec = ServerSpec::custom(4, 1 << 30, 2);
+        let cfg = config();
+        let implicit = serve_fleet(&d.graph, &d.features, &spec, &cfg, &fleet(3));
+        let explicit = serve_fleet(
+            &d.graph,
+            &d.features,
+            &spec,
+            &cfg,
+            &FleetConfig {
+                uplink: None,
+                coalesce: false,
+                resize_on_drift: false,
+                ..fleet(3)
+            },
+        );
+        let snap = |r: &legion_fleet::FleetReport| {
+            let fleet_json = serde_json::to_string_pretty(&r.metrics).unwrap();
+            let servers: Vec<String> = r
+                .per_server
+                .iter()
+                .map(|s| serde_json::to_string_pretty(&s.metrics).unwrap())
+                .collect();
+            (fleet_json, servers)
+        };
+        let a = snap(&implicit);
+        let b = snap(&explicit);
+        assert_eq!(a, b, "defaults-off must be the identical run");
+        for needle in ["fleet.uplink", "fleet.resize"] {
+            assert!(
+                !a.0.contains(needle),
+                "defaults-off fleet snapshot must not register {needle}"
+            );
+        }
+        for s in &a.1 {
+            assert!(
+                !s.contains("serve.remote.coalesced_msgs")
+                    && !s.contains("serve.remote.dedup_hits")
+                    && !s.contains("serve.remote.per_owner_bytes"),
+                "defaults-off server snapshots must not register coalescing meters"
+            );
+        }
+    }
+
+    /// The full fabric on — shared-uplink contention, per-owner
+    /// coalescing, drift-driven resize — replays byte for byte from
+    /// the same seed, and the coalescing meters satisfy their
+    /// conservation identity (a remote read is either a dedup hit or
+    /// a row inside some per-owner message).
+    #[test]
+    fn fabric_on_fleet_replays_byte_identically() {
+        let d = dataset();
+        let spec = ServerSpec::custom(4, 1 << 30, 2);
+        let cfg = config();
+        let fabric = FleetConfig {
+            uplink: Some(UplinkConfig::default()),
+            coalesce: true,
+            resize_on_drift: true,
+            ..fleet(3)
+        };
+        let run = || {
+            let r = serve_fleet(&d.graph, &d.features, &spec, &cfg, &fabric);
+            assert_eq!(r.completed + r.shed, r.offered, "request conservation");
+            serde_json::to_string_pretty(&r.metrics).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fabric-on fleet snapshots must replay");
+        let r = serve_fleet(&d.graph, &d.features, &spec, &cfg, &fabric);
+        assert!(r.remote_reads > 0, "three shards must go remote");
+        assert!(
+            r.remote_msgs < r.remote_reads,
+            "coalescing must put fewer messages than rows on the wire"
+        );
+        for s in &r.per_server {
+            let reads = s.metrics.counter("serve.remote.reads");
+            let msgs = s.metrics.counter("serve.remote.coalesced_msgs");
+            let dedup = s.metrics.counter("serve.remote.dedup_hits");
+            assert!(
+                msgs + dedup <= reads,
+                "each remote read is one row in a batch or a window hit: \
+                 {msgs} msgs + {dedup} dedup vs {reads} reads"
+            );
+        }
+        assert!(
+            a.contains("fleet.uplink.stretch"),
+            "contention-on snapshot must carry the uplink gauges"
         );
     }
 

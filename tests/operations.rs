@@ -19,7 +19,7 @@
 
 use legion_fleet::{serve_fleet, FleetConfig};
 use legion_graph::dataset::{spec_by_name, Dataset};
-use legion_hw::ServerSpec;
+use legion_hw::{ServerSpec, UplinkConfig};
 use legion_serve::{serve, PolicyKind, ServeConfig, StoreConfig};
 use legion_telemetry::Snapshot;
 
@@ -99,9 +99,11 @@ fn dataset() -> Dataset {
 }
 
 /// Live snapshots spanning the metric namespaces: a two-server fleet
-/// run (fleet.*, serve.remote.*, and the per-server serving engine) and
-/// an oversubscribed drifting re-plan run (serve.store.*, store.nvme.*,
-/// serve.phase*, serve.replan.*).
+/// run with the contention-aware fabric on (fleet.*, fleet.uplink.*,
+/// fleet.resize.*, serve.remote.* including the coalescing triple, and
+/// the per-server serving engine) and an oversubscribed drifting
+/// re-plan run (serve.store.*, store.nvme.*, serve.phase*,
+/// serve.replan.*).
 fn live_snapshots() -> Vec<Snapshot> {
     let d = dataset();
     let base = ServeConfig {
@@ -118,6 +120,9 @@ fn live_snapshots() -> Vec<Snapshot> {
     let fleet = FleetConfig {
         num_servers: 2,
         drain_rps: Some(100_000.0),
+        uplink: Some(UplinkConfig::default()),
+        coalesce: true,
+        resize_on_drift: true,
         ..FleetConfig::default()
     };
     let spec = ServerSpec::custom(4, 1 << 30, 2);
@@ -180,6 +185,9 @@ fn documented_core_metrics_are_observed_live() {
         "store.nvme.read_us",
         "serve.remote.reads",
         "serve.remote.bytes",
+        "serve.remote.coalesced_msgs",
+        "serve.remote.dedup_hits",
+        "serve.remote.per_owner_bytes",
         "cache.gpu{g}.{topology,feature}_{hits,misses}",
         "stage.gpu{g}.{sample,extract,train}_ns",
         "pipeline.gpu{g}.queue_depth",
@@ -190,6 +198,11 @@ fn documented_core_metrics_are_observed_live() {
         "fleet.locality",
         "fleet.latency_us",
         "fleet.throughput_rps",
+        "fleet.uplink.stretch",
+        "fleet.uplink.coalesced_msgs",
+        "fleet.uplink.dedup_hits",
+        "fleet.resize.count",
+        "fleet.resize.head_rows",
     ] {
         assert!(
             patterns.contains(&expected.to_string()),
