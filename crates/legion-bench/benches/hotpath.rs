@@ -23,7 +23,7 @@ use legion_router::{ClassedQueue, Dispatcher, PriorityClass, QueuedRequest};
 use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
 use legion_sampling::extract::extract_features;
 use legion_sampling::{BatchTotals, KHopSampler, SampleScratch};
-use legion_serve::{serve, PolicyKind, ServeConfig};
+use legion_serve::{serve, ChurnConfig, DeltaOverlay, MutationLog, PolicyKind, ServeConfig};
 use legion_store::{NvmeGeneration, NvmeModel, Tier, VertexStore};
 
 fn bench_graph(num_vertices: usize, num_edges: usize) -> CsrGraph {
@@ -341,6 +341,65 @@ fn bench_router(c: &mut Criterion, smoke: bool) {
     group.finish();
 }
 
+/// The delta-CSR overlay's hot path: streaming a pre-generated mutation
+/// log into a fresh overlay (`apply`), merging every dirtied row at
+/// sample time against the base CSR (`merge_dirty` — the per-vertex
+/// cost a sampler pays on a mutated row), folding the pending deltas
+/// into compacted rows (`apply_compact`, so the delta over `apply` is
+/// the compaction cost), and materialising the whole mutated graph from
+/// scratch (`rebuild_csr` — the correctness oracle, not a serving-path
+/// cost).
+fn bench_mutate(c: &mut Criterion, smoke: bool) {
+    let n = if smoke { 10_000 } else { 100_000 };
+    let ops = if smoke { 2_000 } else { 20_000 };
+    let graph = bench_graph(n, n * 8);
+    let churn = ChurnConfig {
+        ops_per_sec: 1e6,
+        ..ChurnConfig::default()
+    };
+    let log = MutationLog::generate(&graph, &churn, 42, ops as f64 / 1e6);
+    let applied = DeltaOverlay::new(n);
+    for m in &log.ops {
+        applied.apply(&graph, &m.op);
+    }
+    let dirty: Vec<u32> = (0..n as u32).filter(|&v| applied.is_dirty(v)).collect();
+
+    let mut group = c.benchmark_group("bench_mutate");
+    group.bench_function(BenchmarkId::new("apply", log.ops.len()), |b| {
+        b.iter(|| {
+            let overlay = DeltaOverlay::new(n);
+            for m in &log.ops {
+                overlay.apply(&graph, &m.op);
+            }
+            overlay.dirty_rows()
+        })
+    });
+    group.bench_function(BenchmarkId::new("merge_dirty", dirty.len()), |b| {
+        let mut buf: Vec<u32> = Vec::new();
+        b.iter(|| {
+            let mut edges = 0usize;
+            for &v in &dirty {
+                applied.merge_into(&graph, v, &mut buf);
+                edges += buf.len();
+            }
+            edges
+        })
+    });
+    group.bench_function(BenchmarkId::new("apply_compact", log.ops.len()), |b| {
+        b.iter(|| {
+            let overlay = DeltaOverlay::new(n);
+            for m in &log.ops {
+                overlay.apply(&graph, &m.op);
+            }
+            overlay.compact(&graph)
+        })
+    });
+    group.bench_function(BenchmarkId::new("rebuild_csr", n), |b| {
+        b.iter(|| applied.rebuild_csr(&graph).num_edges())
+    });
+    group.finish();
+}
+
 /// The cluster-fabric charging path the fleet's remote tier runs per
 /// batch: per-row wave charging vs one coalesced per-owner message set,
 /// uncontended vs on a shared oversubscribed uplink. Pure integer-ns
@@ -416,6 +475,7 @@ fn main() {
     bench_shard(&mut c, smoke);
     bench_store(&mut c, smoke);
     bench_router(&mut c, smoke);
+    bench_mutate(&mut c, smoke);
     bench_net(&mut c, smoke);
 
     let mut groups: Vec<BenchGroup> = Vec::new();

@@ -10,6 +10,7 @@
 //! cargo run --release -p legion-bench --bin servectl -- --router --shards 2 # sharded loop
 //! cargo run --release -p legion-bench --bin servectl -- --oversubscribe # out-of-core sweep
 //! cargo run --release -p legion-bench --bin servectl -- --fleet 16 # scale-out fleet
+//! cargo run --release -p legion-bench --bin servectl -- --churn # streaming mutations
 //! ```
 //!
 //! `--fleet N` runs the scale-out head-to-head: the same open-loop
@@ -25,6 +26,14 @@
 //! feature table (cold tail on the simulated NVMe tier), asserting the
 //! lookahead prefetcher hides the SSD below the knee and that an
 //! infinite DRAM budget is byte-identical to the store-off run.
+//!
+//! `--churn` runs the legion-dyn envelope: the same workload over a
+//! frozen graph versus production-rate streaming mutations through the
+//! delta-CSR overlay, asserting the hit rate stays within 15 points and
+//! the p99 within 3x of the frozen baseline, that merged and engine-
+//! sampled neighborhoods agree exactly with a from-scratch rebuilt CSR,
+//! and that replaying the logged stream (after a JSON round trip) is
+//! byte-identical to generating it.
 //!
 //! `--shards N` runs the serving loop with one shard thread per NVLink
 //! clique (clamped to the clique count) and appends a sequential-vs-
@@ -49,9 +58,10 @@ use legion_fleet::{serve_fleet, FleetConfig, FleetPolicy, FleetReport};
 use legion_graph::dataset::{spec_by_name, Dataset};
 use legion_hw::{MultiGpuServer, ServerSpec, UplinkConfig};
 use legion_serve::{
-    estimate_capacity_rps, run_sweep, serve, ClassConfig, LoadPoint, PolicyKind, PriorityClass,
-    ReplanConfig, RouterPolicy, ServeConfig, ServeReport, StoreConfig, SMOKE_MULTIPLIERS,
-    SWEEP_MULTIPLIERS,
+    estimate_capacity_rps, generate_workload_classed, run_sweep, serve, ArrivalProcess,
+    ChurnConfig, ClassConfig, ClassSampler, DeltaOverlay, LoadPoint, MutationLog, MutationSource,
+    PolicyKind, PriorityClass, ReplanConfig, RouterPolicy, ServeConfig, ServeReport, StoreConfig,
+    TargetSampler, SMOKE_MULTIPLIERS, SWEEP_MULTIPLIERS,
 };
 use legion_telemetry::Snapshot;
 
@@ -1117,12 +1127,258 @@ fn print_points(points: &[LoadPoint]) {
     }
 }
 
+/// One row of the churn head-to-head: a (policy, config) cell with the
+/// latency tail, the cache hit rate, and the mutation/invalidation
+/// telemetry that explains it.
+#[derive(serde::Serialize)]
+struct ChurnRow {
+    policy: &'static str,
+    config: &'static str,
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    p50_us: u64,
+    p99_us: u64,
+    hit_rate: f64,
+    mut_inserts: u64,
+    mut_deletes: u64,
+    compactions: u64,
+    overlay_rows: u64,
+    invalidate_topo_rows: u64,
+    invalidate_residency_bits: u64,
+}
+
+/// Streaming-mutation head-to-head: the same skewed serving workload at
+/// 0.9x capacity over a frozen graph versus production-rate churn
+/// (edge inserts/deletes/vertex churn at a quarter of the request
+/// rate) streamed through the delta-CSR overlay. Asserts, per policy,
+/// that churn keeps the hit rate within 15 points and the p99 within
+/// 3x of the frozen baseline; that the overlay's merged neighborhoods
+/// — including the engine's actual sampled ids — agree exactly with a
+/// from-scratch rebuilt CSR (no deleted edge survives, no applied
+/// insert goes missing); and that replaying the logged stream after a
+/// JSON round trip reproduces the generated run byte-for-byte.
+fn churn_head_to_head(dataset: &Dataset, base: &ServeConfig, smoke: bool) -> Vec<ChurnRow> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let spec = ServerSpec::dgx_v100().truncated(4);
+    let server = spec.build();
+    let capacity = estimate_capacity_rps(&dataset.graph, &dataset.features, &server, base);
+    let rate = 0.9 * capacity;
+    let churn_cfg = ChurnConfig {
+        ops_per_sec: (0.25 * rate).max(2_000.0),
+        // Low enough that batch-boundary compaction actually fires
+        // within a smoke-length stream.
+        compact_threshold: 512,
+        ..ChurnConfig::default()
+    };
+    println!(
+        "\nchurn head-to-head at 0.9x capacity ({rate:.0} req/s): {:.0} mutations/s \
+         ({}% inserts, {}% vertex churn), compaction threshold {} delta edges",
+        churn_cfg.ops_per_sec,
+        (churn_cfg.insert_frac * 100.0) as u32,
+        (churn_cfg.churn_frac * 100.0) as u32,
+        churn_cfg.compact_threshold,
+    );
+    println!(
+        "{:<8} {:<8} {:>9} {:>7} {:>8} {:>9} {:>9} {:>9} {:>8} {:>7} {:>9}",
+        "policy",
+        "graph",
+        "done",
+        "shed",
+        "hit%",
+        "p99_us",
+        "inserts",
+        "deletes",
+        "compact",
+        "rows",
+        "invalid"
+    );
+    let run = |policy: PolicyKind, mutations: Option<MutationSource>| {
+        let server = spec.build();
+        let mut cfg = base.clone();
+        cfg.policy = policy;
+        cfg.arrival = ArrivalProcess::Poisson { rate };
+        cfg.mutations = mutations;
+        serve(&dataset.graph, &dataset.features, &server, &cfg)
+    };
+    let mut rows = Vec::new();
+    let mut record = |policy: PolicyKind, config: &'static str, r: &ServeReport| {
+        let row = ChurnRow {
+            policy: policy.as_str(),
+            config,
+            offered: r.offered,
+            completed: r.completed,
+            shed: r.shed,
+            p50_us: r.p50_us,
+            p99_us: r.p99_us,
+            hit_rate: feature_hit_rate(&r.metrics),
+            mut_inserts: counter(&r.metrics, "graph.mut.inserts"),
+            mut_deletes: counter(&r.metrics, "graph.mut.deletes"),
+            compactions: counter(&r.metrics, "graph.mut.compactions"),
+            overlay_rows: counter(&r.metrics, "graph.mut.overlay_rows"),
+            invalidate_topo_rows: counter(&r.metrics, "serve.invalidate.topo_rows"),
+            invalidate_residency_bits: counter(&r.metrics, "serve.invalidate.residency_bits"),
+        };
+        println!(
+            "{:<8} {:<8} {:>9} {:>7} {:>8.1} {:>9} {:>9} {:>9} {:>8} {:>7} {:>9}",
+            row.policy,
+            row.config,
+            row.completed,
+            row.shed,
+            row.hit_rate * 100.0,
+            row.p99_us,
+            row.mut_inserts,
+            row.mut_deletes,
+            row.compactions,
+            row.overlay_rows,
+            row.invalidate_topo_rows + row.invalidate_residency_bits,
+        );
+        rows.push(row);
+    };
+    let mut churn_static: Option<ServeReport> = None;
+    for &policy in &POLICIES {
+        let frozen = run(policy, None);
+        let churned = run(policy, Some(MutationSource::Generate(churn_cfg.clone())));
+        assert_eq!(churned.completed + churned.shed, churned.offered);
+        let (fh, ch) = (
+            feature_hit_rate(&frozen.metrics),
+            feature_hit_rate(&churned.metrics),
+        );
+        assert!(
+            ch >= fh - 0.15,
+            "{}: churn hit rate {:.3} fell more than 15 points below frozen {:.3}",
+            policy.as_str(),
+            ch,
+            fh
+        );
+        assert!(
+            churned.p99_us <= 3 * frozen.p99_us.max(100),
+            "{}: churn p99 {} us must stay within 3x of frozen {} us",
+            policy.as_str(),
+            churned.p99_us,
+            frozen.p99_us
+        );
+        assert!(
+            counter(&churned.metrics, "graph.mut.inserts")
+                + counter(&churned.metrics, "graph.mut.deletes")
+                > 0,
+            "churn run must apply mutations"
+        );
+        record(policy, "frozen", &frozen);
+        record(policy, "churn", &churned);
+        if policy == PolicyKind::StaticHot {
+            churn_static = Some(churned);
+        }
+    }
+
+    // Replay byte-identity: rebuild the exact log the engine resolved
+    // (same seed, horizon = last arrival), round-trip it through JSON,
+    // and replay it — the snapshot must match the generated run
+    // byte-for-byte.
+    let requests = {
+        let mut target_sampler = TargetSampler::new(
+            (0..dataset.graph.num_vertices() as u32).collect(),
+            base.zipf_exponent,
+            base.drift_period,
+            base.drift_stride,
+        );
+        let mut class_sampler = ClassSampler::new(base.classes.mix, base.seed);
+        let mut rng = StdRng::seed_from_u64(base.seed);
+        // The head-to-head overrides the arrival process, so the
+        // horizon must come from the stream the runs actually saw.
+        generate_workload_classed(
+            &ArrivalProcess::Poisson { rate },
+            &mut target_sampler,
+            &mut class_sampler,
+            base.num_requests,
+            &mut rng,
+        )
+    };
+    let horizon = requests.last().map(|r| r.arrival).unwrap_or(0.0);
+    let log = MutationLog::generate(&dataset.graph, &churn_cfg, base.seed, horizon);
+    let json = serde_json::to_string(&log).expect("serializable mutation log");
+    let replayed_log: MutationLog = serde_json::from_str(&json).expect("round-trippable log");
+    assert_eq!(log, replayed_log, "JSON round trip must preserve the log");
+    let replayed = run(
+        PolicyKind::StaticHot,
+        Some(MutationSource::Replay {
+            log: std::sync::Arc::new(replayed_log),
+            compact_threshold: churn_cfg.compact_threshold,
+        }),
+    );
+    let snap = |r: &ServeReport| serde_json::to_string(&r.metrics).expect("serializable snapshot");
+    let generated = churn_static.expect("StaticHot churn run recorded");
+    assert_eq!(
+        snap(&generated),
+        snap(&replayed),
+        "replaying the logged stream must be byte-identical to generating it"
+    );
+
+    // Sampled-neighborhood correctness: replay the full log into a
+    // fresh overlay and compare every merged row against a from-scratch
+    // rebuilt CSR — then drive the engine's real sampling path over the
+    // dirty rows with a saturating fanout and check the sampled ids.
+    let overlay = DeltaOverlay::new(dataset.graph.num_vertices());
+    for m in &log.ops {
+        overlay.apply(&dataset.graph, &m.op);
+    }
+    let rebuilt = overlay.rebuild_csr(&dataset.graph);
+    let mut merged = Vec::new();
+    let mut dirty: Vec<u32> = Vec::new();
+    for v in 0..dataset.graph.num_vertices() as u32 {
+        overlay.merge_into(&dataset.graph, v, &mut merged);
+        let mut got = merged.clone();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            rebuilt.neighbors(v),
+            "merged row {v} must equal the rebuilt CSR row"
+        );
+        if overlay.is_dirty(v) {
+            dirty.push(v);
+        }
+    }
+    use legion_sampling::access::{AccessEngine, CacheLayout, TopologyPlacement};
+    let layout = CacheLayout::none(server.num_gpus());
+    let engine = AccessEngine::new(
+        &dataset.graph,
+        &dataset.features,
+        &layout,
+        &server,
+        TopologyPlacement::CpuUva,
+    )
+    .with_overlay(Some(&overlay));
+    let mut rng = StdRng::seed_from_u64(base.seed ^ 0x5a5a_5a5a);
+    let spot = if smoke { 64 } else { 512 };
+    for &v in dirty.iter().take(spot) {
+        let want = rebuilt.neighbors(v);
+        let mut got = engine.sample_neighbors(0, v, want.len().max(1), &mut rng);
+        got.sort_unstable();
+        assert_eq!(
+            got, want,
+            "sampling vertex {v} at saturating fanout must return exactly the live \
+             neighborhood: no deleted edges, no missing inserts"
+        );
+    }
+    println!(
+        "  [churn] replay byte-identical after JSON round trip ({} ops); {} merged rows == rebuilt CSR; \
+         {} dirty rows spot-checked through the sampler",
+        log.ops.len(),
+        dataset.graph.num_vertices(),
+        dirty.len().min(spot),
+    );
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let drift_only = args.iter().any(|a| a == "--drift-only");
     let router_only = args.iter().any(|a| a == "--router");
     let oversubscribe = args.iter().any(|a| a == "--oversubscribe");
+    let churn = args.iter().any(|a| a == "--churn");
     let sequential = args.iter().any(|a| a == "--sequential");
     let fleet = args
         .iter()
@@ -1211,6 +1467,12 @@ fn main() {
     if oversubscribe {
         let rows = oversubscribe_sweep(&dataset, &base, smoke);
         legion_bench::save_json("servectl_oversubscribe", &rows);
+        println!("\nservectl: OK");
+        return;
+    }
+    if churn {
+        let rows = churn_head_to_head(&dataset, &base, smoke);
+        legion_bench::save_json("servectl_churn", &rows);
         println!("\nservectl: OK");
         return;
     }

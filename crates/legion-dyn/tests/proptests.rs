@@ -1,0 +1,145 @@
+//! Property-based tests for the delta-CSR overlay.
+//!
+//! The contract under test: for *arbitrary* interleavings of edge
+//! inserts, deletes, and vertex churns — including duplicates and
+//! no-ops — the overlay's merged adjacency equals the adjacency of a
+//! CSR rebuilt from scratch by replaying the same ops onto a plain
+//! edge set, and compaction never changes the merged view.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use legion_dyn::{DeltaOverlay, MutationOp};
+use legion_graph::builder::from_edges;
+use legion_graph::{CsrGraph, VertexId};
+
+/// Arbitrary base graph + mutation interleaving over `n` vertices.
+fn scenario(
+    max_n: usize,
+    max_edges: usize,
+    max_ops: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<MutationOp>)> {
+    (4usize..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32);
+        let op = (0u8..=2, 0..n as u32, 0..n as u32).prop_map(|(kind, a, b)| match kind {
+            0 => MutationOp::InsertEdge { src: a, dst: b },
+            1 => MutationOp::DeleteEdge { src: a, dst: b },
+            _ => MutationOp::ChurnVertex { v: a },
+        });
+        (
+            Just(n),
+            proptest::collection::vec(edge, 0..max_edges),
+            proptest::collection::vec(op, 0..max_ops),
+        )
+    })
+}
+
+/// Reference model: replay ops onto a plain set of directed edges.
+fn reference_adjacency(n: usize, graph: &CsrGraph, ops: &[MutationOp]) -> Vec<BTreeSet<VertexId>> {
+    let mut adj: Vec<BTreeSet<VertexId>> = (0..n as VertexId)
+        .map(|v| graph.neighbors(v).iter().copied().collect())
+        .collect();
+    for op in ops {
+        match *op {
+            MutationOp::InsertEdge { src, dst } => {
+                adj[src as usize].insert(dst);
+            }
+            MutationOp::DeleteEdge { src, dst } => {
+                adj[src as usize].remove(&dst);
+            }
+            MutationOp::ChurnVertex { v } => {
+                adj[v as usize].clear();
+            }
+        }
+    }
+    adj
+}
+
+fn sorted_merge(ov: &DeltaOverlay, g: &CsrGraph, v: VertexId) -> Vec<VertexId> {
+    let mut buf = Vec::new();
+    ov.merge_into(g, v, &mut buf);
+    buf.sort_unstable();
+    buf
+}
+
+proptest! {
+    /// Merged adjacency == from-scratch rebuild, for every vertex.
+    #[test]
+    fn overlay_matches_reference_model((n, edges, ops) in scenario(24, 96, 64)) {
+        let g = from_edges(n, &edges);
+        let ov = DeltaOverlay::new(n);
+        for op in &ops {
+            ov.apply(&g, op);
+        }
+        let reference = reference_adjacency(n, &g, &ops);
+        let rebuilt = ov.rebuild_csr(&g);
+        for v in 0..n as VertexId {
+            let merged = sorted_merge(&ov, &g, v);
+            let expect: Vec<VertexId> = reference[v as usize].iter().copied().collect();
+            prop_assert_eq!(&merged, &expect, "merged view diverged at v={}", v);
+            prop_assert_eq!(rebuilt.neighbors(v), &expect[..], "rebuild diverged at v={}", v);
+            // Merged view has no duplicates.
+            let mut dedup = merged.clone();
+            dedup.dedup();
+            prop_assert_eq!(merged, dedup);
+        }
+    }
+
+    /// Compaction is a representation change only: the merged view and
+    /// the rebuilt CSR are identical before and after, and pending
+    /// deltas drop to zero.
+    #[test]
+    fn compaction_is_noop_on_merged_view((n, edges, ops) in scenario(24, 96, 64)) {
+        let g = from_edges(n, &edges);
+        let ov = DeltaOverlay::new(n);
+        for op in &ops {
+            ov.apply(&g, op);
+        }
+        let before = ov.rebuild_csr(&g);
+        ov.compact(&g);
+        prop_assert_eq!(ov.pending_delta_edges(), 0);
+        let after = ov.rebuild_csr(&g);
+        prop_assert_eq!(&before, &after);
+        for v in 0..n as VertexId {
+            prop_assert_eq!(sorted_merge(&ov, &g, v), before.neighbors(v).to_vec());
+        }
+    }
+
+    /// Interleaving compactions *between* ops never changes the final
+    /// merged view relative to applying all ops with no compaction.
+    #[test]
+    fn interleaved_compaction_is_transparent((n, edges, ops) in scenario(16, 64, 48)) {
+        let g = from_edges(n, &edges);
+        let plain = DeltaOverlay::new(n);
+        let compacting = DeltaOverlay::new(n);
+        for (i, op) in ops.iter().enumerate() {
+            plain.apply(&g, op);
+            compacting.apply(&g, op);
+            if i % 5 == 4 {
+                compacting.compact(&g);
+            }
+        }
+        prop_assert_eq!(plain.rebuild_csr(&g), compacting.rebuild_csr(&g));
+    }
+
+    /// Effect accounting: an overlay sees net edge count =
+    /// base + inserted - deleted, matching the rebuilt CSR exactly.
+    #[test]
+    fn effects_account_for_edge_count((n, edges, ops) in scenario(16, 64, 48)) {
+        let g = from_edges(n, &edges);
+        let ov = DeltaOverlay::new(n);
+        let mut inserted = 0u64;
+        let mut deleted = 0u64;
+        for op in &ops {
+            let e = ov.apply(&g, op);
+            inserted += e.inserted;
+            deleted += e.deleted;
+        }
+        let rebuilt = ov.rebuild_csr(&g);
+        prop_assert_eq!(
+            rebuilt.num_edges() as i64,
+            g.num_edges() as i64 + inserted as i64 - deleted as i64
+        );
+    }
+}

@@ -78,13 +78,19 @@ use legion_partition::{LdgPartitioner, Partitioner};
 use legion_router::Dispatcher;
 use legion_serve::{
     adaptive_replicated_rows, estimate_capacity_rps, generate_workload_classed, latency_buckets,
-    serve_requests, warmup_hot_vertices_weighted, ClassSampler, CoalesceConfig, PriorityClass,
-    RemoteConfig, Request, ServeConfig, ServeReport, TargetSampler, WindowEstimator,
+    serve_requests, warmup_hot_vertices_weighted, ClassSampler, CoalesceConfig, MutationOp,
+    MutationSource, PriorityClass, RemoteConfig, Request, ServeConfig, ServeReport, TargetSampler,
+    WindowEstimator,
 };
 use legion_telemetry::{Registry, Snapshot};
 
 /// Salt of the random-server baseline's RNG stream.
 const RANDOM_ROUTE_SALT: u64 = 0xf1ee_7a11_0c8e_55aa;
+
+/// Wire payload of one cross-server mutation notification: a packed
+/// op tag plus two vertex ids (the timestamp rides in the message
+/// header the [`NetModel`] overhead already accounts for).
+const MUTATION_NOTIFY_PAYLOAD_BYTES: u64 = 12;
 
 /// How the front tier picks a server for each request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -606,6 +612,18 @@ pub fn serve_fleet(
         &mut workload_rng,
     );
 
+    // Streaming mutations under the fleet: topology is replicated on
+    // every server (only features are sharded), so the global stream is
+    // resolved ONCE — from the base seed and the global horizon — and
+    // every engine replays the identical log. The shard owner of each
+    // mutated vertex applies the op authoritatively and notifies the
+    // other `n - 1` servers; that fan-out is charged to the fabric
+    // below as fixed-size control messages.
+    let fleet_mutations = base.mutations.as_ref().map(|src| {
+        let horizon = requests.last().map(|r| r.arrival).unwrap_or(0.0);
+        src.resolve(graph, base.seed, horizon)
+    });
+
     // Front tier: a Dispatcher over single-server groups, scored on
     // each server's owned set. Projected load is analytic — a server's
     // backlog is what the front tier sent it minus what a server
@@ -712,6 +730,12 @@ pub fn serve_fleet(
                 }),
                 concurrent_servers: n,
             });
+            if let Some((log, compact_threshold)) = &fleet_mutations {
+                cfg.mutations = Some(MutationSource::Replay {
+                    log: Arc::clone(log),
+                    compact_threshold: *compact_threshold,
+                });
+            }
             serve_requests(graph, features, &server, &cfg, &streams[s])
         })
         .collect();
@@ -806,6 +830,31 @@ pub fn serve_fleet(
             .counter("fleet.uplink.coalesced_msgs")
             .add(coalesced_msgs);
         registry.counter("fleet.uplink.dedup_hits").add(dedup_hits);
+    }
+    // Mutation fan-out: each op is applied by its shard owner and
+    // broadcast to the other servers as a fixed-size control message
+    // charged through the fabric model. Registered only when churn is
+    // on, so frozen-fleet snapshots keep their exact name set.
+    if let Some((log, _)) = &fleet_mutations {
+        let applied = log.ops.len() as u64;
+        let mut owned_ops = vec![0u64; n];
+        for m in &log.ops {
+            let v = match m.op {
+                MutationOp::InsertEdge { src, .. } | MutationOp::DeleteEdge { src, .. } => src,
+                MutationOp::ChurnVertex { v } => v,
+            };
+            owned_ops[plan.shard[v as usize] as usize] += 1;
+        }
+        let notify_msgs = applied * (n as u64 - 1);
+        let notify_bytes = notify_msgs * net.bytes_for_payload(MUTATION_NOTIFY_PAYLOAD_BYTES);
+        registry.counter("fleet.mut.applied").add(applied);
+        registry.counter("fleet.mut.notify_msgs").add(notify_msgs);
+        registry.counter("fleet.mut.notify_bytes").add(notify_bytes);
+        for (s, count) in owned_ops.iter().enumerate() {
+            registry
+                .counter(&format!("fleet.server{s}.mut_owned"))
+                .add(*count);
+        }
     }
     let resizes = resizer.as_ref().map_or(0, |rz| rz.resizes);
     if let Some(rz) = &resizer {
@@ -950,6 +999,80 @@ mod tests {
             serde_json::to_string(&b.metrics).unwrap()
         );
         assert_eq!(a.p99_us, b.p99_us);
+    }
+
+    /// Frozen fleets (`mutations: None`, the default) must register
+    /// none of the mutation counter families — fleet-level or inside
+    /// any per-server snapshot.
+    #[test]
+    fn mutations_off_fleet_registers_no_mutation_metrics() {
+        let (g, f) = tiny_graph();
+        let spec = legion_hw::ServerSpec::custom(2, 1 << 30, 1);
+        let report = serve_fleet(&g, &f, &spec, &tiny_config(), &tiny_fleet(2));
+        assert!(!report
+            .metrics
+            .counters
+            .iter()
+            .any(|c| c.name.starts_with("fleet.mut.") || c.name.contains(".mut_owned")));
+        for per in &report.per_server {
+            assert!(!per.metrics.counters.iter().any(|c| {
+                c.name.starts_with("graph.mut.") || c.name.starts_with("serve.invalidate.")
+            }));
+        }
+    }
+
+    /// A churn-enabled fleet replays one global log on every server
+    /// (identical overlay state cluster-wide), meters the owner-side
+    /// applies and the `n - 1` notification fan-out through the fabric
+    /// model, and stays deterministic.
+    #[test]
+    fn churn_fleet_replays_one_log_and_meters_the_notify_fanout() {
+        let (g, f) = tiny_graph();
+        let spec = legion_hw::ServerSpec::custom(2, 1 << 30, 1);
+        let mut config = tiny_config();
+        config.mutations = Some(MutationSource::Generate(legion_serve::ChurnConfig {
+            ops_per_sec: 100_000.0,
+            ..legion_serve::ChurnConfig::default()
+        }));
+        let n = 2usize;
+        let run = || serve_fleet(&g, &f, &spec, &config, &tiny_fleet(n));
+        let report = run();
+        assert_eq!(report.completed + report.shed, report.offered);
+        let applied = report.metrics.counter("fleet.mut.applied");
+        assert!(applied > 0, "churn must stream mutations into the fleet");
+        assert_eq!(
+            report.metrics.counter("fleet.mut.notify_msgs"),
+            applied * (n as u64 - 1),
+            "every op notifies the other servers"
+        );
+        assert!(report.metrics.counter("fleet.mut.notify_bytes") > 0);
+        let owned: u64 = (0..n)
+            .map(|s| {
+                report
+                    .metrics
+                    .counter(&format!("fleet.server{s}.mut_owned"))
+            })
+            .sum();
+        assert_eq!(owned, applied, "shard owners partition the stream");
+        // Every server replayed the same global log: identical applied
+        // op totals in each per-server snapshot.
+        let per_applied: Vec<u64> = report
+            .per_server
+            .iter()
+            .map(|r| {
+                r.metrics.counter("graph.mut.inserts") + r.metrics.counter("graph.mut.deletes")
+            })
+            .collect();
+        assert!(per_applied[0] > 0);
+        assert!(
+            per_applied.iter().all(|&a| a == per_applied[0]),
+            "replicated replay must apply the same ops everywhere"
+        );
+        let again = run();
+        assert_eq!(
+            serde_json::to_string(&report.metrics).unwrap(),
+            serde_json::to_string(&again.metrics).unwrap()
+        );
     }
 
     #[test]

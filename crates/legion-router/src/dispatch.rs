@@ -177,6 +177,17 @@ impl Dispatcher {
         &self.residency
     }
 
+    /// Clears `v`'s residency bit in every group, returning how many
+    /// bits were actually cleared. The mutation fast path: a mutated
+    /// vertex's cached rows are stale everywhere, so the router must
+    /// stop steering its requests toward caches that can no longer
+    /// serve it until the next plan commit refreshes the groups.
+    pub fn invalidate_vertex(&mut self, v: VertexId) -> usize {
+        (0..self.groups.len())
+            .filter(|&g| self.residency.clear(g, v))
+            .count()
+    }
+
     /// Coverage score of group `g` for a probe slice (target vertex
     /// first, then its leading neighbors).
     pub fn score(&self, g: usize, probe: &[VertexId]) -> usize {
@@ -311,6 +322,23 @@ mod tests {
         assert!(!dec.spilled);
         assert_eq!(dec.gpu, 1);
         assert_eq!(dec.group, 0);
+    }
+
+    #[test]
+    fn invalidate_vertex_clears_bits_and_redirects_routing() {
+        let mut d = two_clique_dispatcher(100);
+        d.refresh_group(1, &[1, 50]); // vertex 1 resident in both groups
+        assert_eq!(d.residency().resident_count(0), 4);
+        assert_eq!(d.invalidate_vertex(1), 2, "cleared in both groups");
+        assert_eq!(d.invalidate_vertex(1), 0, "second clear is a no-op");
+        assert_eq!(d.residency().resident_count(0), 3);
+        assert!(!d.residency().contains(0, 1));
+        // Out-of-range ids are ignored.
+        assert_eq!(d.invalidate_vertex(10_000), 0);
+        // Probing only the invalidated vertex now ties at 0 coverage and
+        // falls through to load.
+        let dec = d.route(&[1], &[5, 5, 0, 0]);
+        assert_eq!(dec.group, 1);
     }
 
     #[test]

@@ -76,6 +76,26 @@ impl ResidencyIndex {
         self.counts[g] = count;
     }
 
+    /// Clears vertex `v`'s residency bit in group `g`, returning whether
+    /// it was set. The fast invalidation path for streaming mutations: a
+    /// mutated vertex's cached row is stale, so routing must stop
+    /// counting it as resident until the next full
+    /// [`Self::refresh_group`].
+    pub fn clear(&mut self, g: usize, v: VertexId) -> bool {
+        let v = v as usize;
+        if g >= self.counts.len() || v >= self.num_vertices {
+            return false;
+        }
+        let word = &mut self.bits[g * self.words_per_group + v / 64];
+        let mask = 1u64 << (v % 64);
+        if *word & mask == 0 {
+            return false;
+        }
+        *word &= !mask;
+        self.counts[g] -= 1;
+        true
+    }
+
     /// Whether vertex `v` is resident in group `g`'s cache.
     #[inline]
     pub fn contains(&self, g: usize, v: VertexId) -> bool {

@@ -28,6 +28,7 @@ use rand::Rng;
 
 use legion_cache::unified::CacheHit;
 use legion_cache::CliqueCache;
+use legion_dyn::DeltaOverlay;
 use legion_graph::{CsrGraph, FeatureTable, VertexId};
 use legion_hw::pcm::TrafficKind;
 use legion_hw::traffic::Source;
@@ -167,6 +168,11 @@ pub struct AccessEngine<'a> {
     layout: &'a CacheLayout,
     server: &'a MultiGpuServer,
     topology_placement: TopologyPlacement,
+    /// Delta-CSR overlay for streaming mutations. Rows the overlay marks
+    /// dirty are merged at sample time and always served over CPU UVA —
+    /// cached topology copies (local, peer, or replicated) are stale the
+    /// moment the row mutates.
+    overlay: Option<&'a DeltaOverlay>,
     meters: Vec<GpuMeters>,
     block_edges: Histogram,
 }
@@ -200,9 +206,40 @@ impl<'a> AccessEngine<'a> {
             layout,
             server,
             topology_placement,
+            overlay: None,
             meters,
             block_edges,
         }
+    }
+
+    /// Attaches a delta-CSR overlay: subsequent topology reads of dirty
+    /// rows merge the overlay at sample time instead of trusting cached
+    /// copies. `None` (the default) is byte-identical to the pre-overlay
+    /// engine.
+    pub fn with_overlay(mut self, overlay: Option<&'a DeltaOverlay>) -> Self {
+        self.overlay = overlay;
+        self
+    }
+
+    /// The attached overlay, if any.
+    pub fn overlay(&self) -> Option<&'a DeltaOverlay> {
+        self.overlay
+    }
+
+    /// Whether `v` has a mutated adjacency row (overlay dirty bit).
+    #[inline]
+    pub fn topology_dirty(&self, v: VertexId) -> bool {
+        self.overlay.is_some_and(|ov| ov.is_dirty(v))
+    }
+
+    /// Whether any clique in the layout holds a (possibly stale) cached
+    /// copy of `v`'s topology row. Used by the invalidation fast path to
+    /// meter how many cached rows a mutation actually invalidated.
+    pub fn topology_cached_anywhere(&self, v: VertexId) -> bool {
+        if self.topology_placement == TopologyPlacement::ReplicatedGpu {
+            return true;
+        }
+        self.layout.cliques.iter().any(|c| c.has_topology(v))
     }
 
     /// The underlying graph.
@@ -235,6 +272,23 @@ impl<'a> AccessEngine<'a> {
         fanout: usize,
         rng: &mut R,
     ) -> Vec<VertexId> {
+        if self.topology_dirty(v) {
+            let mut merged = Vec::new();
+            self.overlay
+                .expect("dirty implies overlay")
+                .merge_into(self.graph, v, &mut merged);
+            let edges_read = merged.len().min(fanout) as u64;
+            let meters = &self.meters[gpu];
+            meters.sampled_edges.add(edges_read);
+            meters.topology_misses.inc();
+            self.server
+                .pcm()
+                .add(gpu, TrafficKind::Topology, 1 + edges_read);
+            self.server
+                .traffic()
+                .add(gpu, Source::Cpu, edges_read * 4 + 8);
+            return sample_from(&merged, fanout, rng);
+        }
         let neighbors = self.read_topology(gpu, v, fanout);
         sample_from(neighbors, fanout, rng)
     }
@@ -317,21 +371,39 @@ impl<'a> AccessEngine<'a> {
         seen: &mut FloydSet,
         out: &mut Vec<VertexId>,
         totals: &mut BatchTotals,
+        merge: &mut Vec<VertexId>,
     ) {
-        let neighbors = self.read_topology_batched(gpu, v, fanout, totals);
+        let neighbors = self.read_topology_batched(gpu, v, fanout, totals, merge);
         out.clear();
         sample_from_into(neighbors, fanout, rng, seen, out);
     }
 
-    /// Topology read metered into `totals` (no atomics touched).
+    /// Topology read metered into `totals` (no atomics touched). Dirty
+    /// rows merge the overlay into `merge` and are served from there;
+    /// clean rows stay zero-copy on the base CSR or cache.
     #[inline]
-    fn read_topology_batched(
-        &self,
+    fn read_topology_batched<'m>(
+        &'m self,
         gpu: GpuId,
         v: VertexId,
         fanout: usize,
         totals: &mut BatchTotals,
-    ) -> &[VertexId] {
+        merge: &'m mut Vec<VertexId>,
+    ) -> &'m [VertexId] {
+        if self.topology_dirty(v) {
+            // A mutated row is never trusted from any cached copy
+            // (local, peer, or GPU replica): merge the delta-CSR and
+            // charge the fine-grained CPU UVA read of the merged row.
+            self.overlay
+                .expect("dirty implies overlay")
+                .merge_into(self.graph, v, merge);
+            let edges_read = merge.len().min(fanout) as u64;
+            totals.sampled_edges += edges_read;
+            totals.topology_misses += 1;
+            totals.topology_tx += 1 + edges_read;
+            totals.cpu_bytes += edges_read * 4 + 8;
+            return &merge[..];
+        }
         let degree = self.graph.degree(v) as usize;
         let edges_read = degree.min(fanout) as u64;
         totals.sampled_edges += edges_read;
@@ -454,8 +526,12 @@ impl<'a> AccessEngine<'a> {
             .unwrap_or(false)
     }
 
-    /// Whether a topology read of `v` from `gpu` avoids PCIe.
+    /// Whether a topology read of `v` from `gpu` avoids PCIe. Dirty
+    /// overlay rows never hit: their cached copies are stale.
     pub fn topology_would_hit(&self, gpu: GpuId, v: VertexId) -> bool {
+        if self.topology_dirty(v) {
+            return false;
+        }
         if self.topology_placement == TopologyPlacement::ReplicatedGpu {
             return true;
         }
@@ -701,6 +777,58 @@ mod tests {
         let _ = engine.sample_neighbors(1, 0, 5, &mut rng);
         assert_eq!(server.pcm().total(), 0);
         assert_eq!(server.traffic().gpu_to_gpu(0, 1), 5 * 4 + 8);
+    }
+
+    #[test]
+    fn overlay_dirty_row_is_merged_and_treated_as_cpu_miss() {
+        use legion_dyn::{DeltaOverlay, MutationOp};
+        let g = star_graph();
+        let f = FeatureTable::zeros(40, 16);
+        // Cache vertex 0's (stale) topology row so a frozen engine hits.
+        let mut cc = CliqueCache::new(vec![0], 40, 16);
+        cc.insert_topology(0, 0, g.neighbors(0));
+        let layout = CacheLayout::from_cliques(1, vec![cc]);
+        let server = ServerSpec::custom(1, 1 << 30, 1).build();
+        let ov = DeltaOverlay::new(40);
+        // Drop every base edge of vertex 0 except a fresh insert.
+        ov.apply(&g, &MutationOp::ChurnVertex { v: 0 });
+        ov.apply(&g, &MutationOp::InsertEdge { src: 0, dst: 7 });
+        let engine = AccessEngine::new(&g, &f, &layout, &server, TopologyPlacement::CpuUva)
+            .with_overlay(Some(&ov));
+        assert!(engine.topology_dirty(0));
+        assert!(!engine.topology_would_hit(0, 0), "dirty rows never hit");
+        assert!(engine.topology_cached_anywhere(0));
+
+        let mut rng = StdRng::seed_from_u64(9);
+        // Scalar path: the stale cached row (39 neighbors) must not leak.
+        let s = engine.sample_neighbors(0, 0, 10, &mut rng);
+        assert_eq!(s, vec![7]);
+        // Metered as a CPU UVA miss of the merged (1-edge) row.
+        assert_eq!(server.pcm().gpu_kind(0, TrafficKind::Topology), 2);
+        assert_eq!(server.traffic().cpu_to_gpu(0), 4 + 8);
+
+        // Batched path agrees.
+        server.reset();
+        let mut seen = FloydSet::new();
+        let mut out = Vec::new();
+        let mut totals = BatchTotals::new(1);
+        let mut merge = Vec::new();
+        engine.sample_neighbors_into(
+            0,
+            0,
+            10,
+            &mut rng,
+            &mut seen,
+            &mut out,
+            &mut totals,
+            &mut merge,
+        );
+        assert_eq!(out, vec![7]);
+        engine.flush_totals(0, &mut totals);
+        assert_eq!(server.pcm().gpu_kind(0, TrafficKind::Topology), 2);
+
+        // A clean vertex still hits the cache machinery untouched.
+        assert!(!engine.topology_dirty(3));
     }
 
     #[test]

@@ -89,6 +89,8 @@ pub struct SampleScratch {
     seen: FloydSet,
     /// Locally accumulated meter deltas, flushed once per batch.
     totals: BatchTotals,
+    /// Merge buffer for delta-CSR overlay rows (empty on frozen graphs).
+    merge: Vec<VertexId>,
 }
 
 impl SampleScratch {
@@ -186,6 +188,7 @@ impl KHopSampler {
                 neighbors,
                 seen,
                 totals,
+                merge,
                 ..
             } = scratch;
             // This hop's destinations are the previous hop's sources; its
@@ -207,7 +210,7 @@ impl KHopSampler {
             let mut edge_src: Vec<u32> = Vec::with_capacity(num_dst * fanout / 2);
             for di in 0..num_dst {
                 let dst = src_vertices[di];
-                engine.sample_neighbors_into(gpu, dst, fanout, rng, seen, neighbors, totals);
+                engine.sample_neighbors_into(gpu, dst, fanout, rng, seen, neighbors, totals, merge);
                 for &s in neighbors.iter() {
                     if let Some(f) = on_edge.as_deref_mut() {
                         f(dst);

@@ -53,6 +53,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use legion_cache::{cslp, CostModel, FifoCache};
+use legion_dyn::{DeltaOverlay, MutationLog, MutationOp};
 use legion_gnn::{GnnModel, ModelKind};
 use legion_graph::{topology_bytes_for_degree, CsrGraph, FeatureTable, VertexId};
 use legion_hw::pcm::TrafficKind;
@@ -922,6 +923,7 @@ fn replan_batch_service(
     scratch: &mut BatchScratch,
     mut store: Option<&mut StoreWorker>,
     mut remote: Option<&mut RemoteWorker>,
+    overlay: Option<&DeltaOverlay>,
 ) -> BatchTiming {
     // Batch-boundary swap: in-flight requests finished against the old
     // plan; this batch starts on the new one and pays its refill.
@@ -964,7 +966,8 @@ fn replan_batch_service(
         rw.state.plan.active_layout(),
         server,
         TopologyPlacement::CpuUva,
-    );
+    )
+    .with_overlay(overlay);
     batch_seeds(batch, &mut scratch.seeds);
     let topo_before = server.pcm().gpu_kind(gpu, TrafficKind::Topology);
     let window = &mut rw.state.window;
@@ -1137,6 +1140,7 @@ pub(crate) fn run_worker_batch(ctx: &ServeContext<'_>, w: &mut Worker, at: f64) 
                 &mut w.scratch,
                 w.store.as_deref_mut(),
                 w.remote.as_deref_mut(),
+                ctx.engine.overlay(),
             )
         }
     };
@@ -1174,15 +1178,139 @@ pub(crate) fn run_worker_batch(ctx: &ServeContext<'_>, w: &mut Worker, at: f64) 
     batch.len()
 }
 
+/// Drives a resolved mutation stream through the sequential event loop:
+/// applies each op to the [`DeltaOverlay`] at its timestamp, meters the
+/// `graph.mut.*` family, and runs the fast invalidation path — stale
+/// cached topology rows are counted, the router's residency bits for
+/// the mutated vertex are cleared (routing stops crediting a stale
+/// row), and every replan worker's window estimator gets a hotness
+/// nudge so the slow re-planning path eventually folds the change into
+/// a fresh plan. Compaction runs only at batch boundaries, once the
+/// overlay's pending delta edges cross the configured threshold.
+pub(crate) struct MutationDriver<'a> {
+    log: Arc<MutationLog>,
+    cursor: usize,
+    overlay: &'a DeltaOverlay,
+    compact_threshold: usize,
+    inserts: Counter,
+    deletes: Counter,
+    compactions: Counter,
+    overlay_rows: Counter,
+    invalidate_topo: Counter,
+    invalidate_bits: Counter,
+}
+
+impl<'a> MutationDriver<'a> {
+    /// Binds a resolved log to the run's overlay and registers the
+    /// mutation counter families (only churn-enabled runs reach here,
+    /// so frozen-graph snapshots never see the names).
+    pub(crate) fn new(
+        log: Arc<MutationLog>,
+        compact_threshold: usize,
+        overlay: &'a DeltaOverlay,
+        registry: &Registry,
+    ) -> Self {
+        MutationDriver {
+            log,
+            cursor: 0,
+            overlay,
+            compact_threshold,
+            inserts: registry.counter("graph.mut.inserts"),
+            deletes: registry.counter("graph.mut.deletes"),
+            compactions: registry.counter("graph.mut.compactions"),
+            overlay_rows: registry.counter("graph.mut.overlay_rows"),
+            invalidate_topo: registry.counter("serve.invalidate.topo_rows"),
+            invalidate_bits: registry.counter("serve.invalidate.residency_bits"),
+        }
+    }
+
+    /// Timestamp of the next unapplied mutation, if any remain.
+    fn next_at(&self) -> Option<f64> {
+        self.log.ops.get(self.cursor).map(|m| m.at)
+    }
+
+    /// Applies the next mutation and runs the fast invalidation path.
+    fn fire(
+        &mut self,
+        ctx: &ServeContext<'_>,
+        workers: &mut [Worker],
+        router: &mut Option<RouterState>,
+    ) {
+        let m = self.log.ops[self.cursor];
+        self.cursor += 1;
+        let effect = self.overlay.apply(ctx.graph, &m.op);
+        self.inserts.add(effect.inserted);
+        self.deletes.add(effect.deleted);
+        self.overlay_rows.add(effect.newly_dirty);
+        if !effect.changed() {
+            return;
+        }
+        let v = match m.op {
+            MutationOp::InsertEdge { src, .. } | MutationOp::DeleteEdge { src, .. } => src,
+            MutationOp::ChurnVertex { v } => v,
+        };
+        // A cached copy of the mutated row — in the serving layout or in
+        // any replan worker's active plan — is now stale; samplers
+        // detect this through the overlay's dirty bit and fall back to
+        // CPU UVA, but we count the invalidation here for telemetry.
+        let cached = ctx.engine.topology_cached_anywhere(v)
+            || workers.iter().any(|w| match &w.policy {
+                WorkerPolicy::Replan(rw) => rw
+                    .state
+                    .plan
+                    .active_layout()
+                    .cliques
+                    .iter()
+                    .any(|c| c.has_topology(v)),
+                WorkerPolicy::Flat { .. } => false,
+            });
+        if cached {
+            self.invalidate_topo.inc();
+        }
+        if let Some(rs) = router.as_mut() {
+            let cleared = rs.dispatcher.invalidate_vertex(v);
+            self.invalidate_bits.add(cleared as u64);
+        }
+        // Hotness nudge: a mutated vertex's neighborhood just changed,
+        // so the windowed estimators treat it as freshly touched — the
+        // slow path (re-planning) will re-examine it next roll.
+        for w in workers.iter_mut() {
+            if let WorkerPolicy::Replan(rw) = &mut w.policy {
+                rw.state.window.note_edge(v);
+                if let MutationOp::InsertEdge { dst, .. } = m.op {
+                    rw.state.window.note_feature(dst);
+                }
+            }
+        }
+    }
+
+    /// Batch-boundary compaction: once enough delta edges are pending,
+    /// fold the dirtied rows into fresh compacted rows (bounded work,
+    /// never mid-batch). A threshold of zero disables compaction.
+    fn maybe_compact(&mut self, ctx: &ServeContext<'_>) {
+        if self.compact_threshold > 0
+            && self.overlay.pending_delta_edges() >= self.compact_threshold
+            && self.overlay.compact(ctx.graph) > 0
+        {
+            self.compactions.inc();
+        }
+    }
+}
+
 /// The sequential global event loop (`shards <= 1`): repeatedly take
 /// the earliest event — the next arrival or the earliest batch launch
 /// across all workers (launch ties go to the lowest GPU; an arrival
 /// tying a launch yields to it, the same rule the per-GPU loops used).
+/// When a mutation stream is attached its events interleave too: a
+/// mutation fires whenever it is due no later than both the next
+/// arrival and the earliest launch (ties go to the mutation, so an edge
+/// changed "now" is visible to the batch launching "now").
 fn run_sequential(
     ctx: &ServeContext<'_>,
     workers: &mut [Worker],
     router: &mut Option<RouterState>,
     requests: &[Request],
+    mut driver: Option<MutationDriver<'_>>,
 ) {
     let num_gpus = workers.len();
     let mut next_req = 0usize;
@@ -1192,6 +1320,16 @@ fn run_sequential(
             if let Some(t) = ctx.batch_policy.launch_time(&w.queue, w.free_at) {
                 if launch.is_none_or(|(bt, _)| t < bt) {
                     launch = Some((t, wi));
+                }
+            }
+        }
+        if let Some(d) = driver.as_mut() {
+            if let Some(mt) = d.next_at() {
+                let before_arrival = requests.get(next_req).is_none_or(|r| mt <= r.arrival);
+                let before_launch = launch.is_none_or(|(t, _)| mt <= t);
+                if before_arrival && before_launch {
+                    d.fire(ctx, workers, router);
+                    continue;
                 }
             }
         }
@@ -1209,6 +1347,11 @@ fn run_sequential(
             }
             (_, Some((at, wi))) => {
                 run_worker_batch(ctx, &mut workers[wi], at);
+                // Batch boundary: fold pending overlay deltas into
+                // fresh compacted rows once the budget is crossed.
+                if let Some(d) = driver.as_mut() {
+                    d.maybe_compact(ctx);
+                }
                 // A committed plan changed this GPU's resident set:
                 // rebuild its residency group from the active plan.
                 if let Some(rs) = router.as_mut() {
@@ -1359,7 +1502,15 @@ pub fn serve_requests(
         }
         PolicyKind::Fifo | PolicyKind::Replan => CacheLayout::none(num_gpus),
     };
-    let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva);
+    // Streaming mutations: the delta-CSR overlay shared by every
+    // sampler path. `None` — the default — leaves the engine overlay-
+    // free and the run byte-identical to the frozen-graph engine.
+    let overlay: Option<DeltaOverlay> = config
+        .mutations
+        .as_ref()
+        .map(|_| DeltaOverlay::new(graph.num_vertices()));
+    let engine = AccessEngine::new(graph, features, &layout, server, TopologyPlacement::CpuUva)
+        .with_overlay(overlay.as_ref());
     let time_model = TimeModel::new(server.spec());
     let sampler = KHopSampler::new(config.fanouts.clone());
     let mut model_rng = StdRng::seed_from_u64(config.seed ^ 0x6d5f_3a21_9b4e_c087);
@@ -1589,8 +1740,22 @@ pub fn serve_requests(
     } else {
         1
     };
+    // Mutation stream: resolved once per run (generated from the
+    // config's churn knobs up to the last arrival, or replayed from a
+    // logged stream) and interleaved into the sequential loop. The
+    // config validator pins churn runs to `shards <= 1`.
+    let mutation_driver = config.mutations.as_ref().map(|src| {
+        let horizon = requests.last().map(|r| r.arrival).unwrap_or(0.0);
+        let (log, compact_threshold) = src.resolve(graph, config.seed, horizon);
+        MutationDriver::new(
+            log,
+            compact_threshold,
+            overlay.as_ref().expect("churn runs build an overlay"),
+            registry,
+        )
+    });
     if eff_shards <= 1 {
-        run_sequential(&ctx, &mut workers, &mut router, requests);
+        run_sequential(&ctx, &mut workers, &mut router, requests, mutation_driver);
     } else if let Some(rs) = router.as_mut() {
         shard::run_residency_sharded(&ctx, &mut workers, rs, requests, eff_shards);
     } else {
@@ -1821,7 +1986,7 @@ mod tests {
     use super::*;
     use crate::replan::{DriftDetector, ReplanConfig};
     use crate::workload::ArrivalProcess;
-    use crate::{ClassConfig, RouterConfig};
+    use crate::{ChurnConfig, ClassConfig, MutationSource, RouterConfig};
     use legion_graph::GraphBuilder;
     use legion_hw::ServerSpec;
 
@@ -2290,6 +2455,171 @@ mod tests {
                 "all-resident runs must register no store metrics"
             );
         }
+    }
+
+    /// `mutations: None` — the default — must leave the run exactly on
+    /// the frozen-graph path: deterministic snapshots and none of the
+    /// `graph.mut.*` / `serve.invalidate.*` names registered, for every
+    /// policy and with the residency router on.
+    #[test]
+    fn mutations_off_registers_no_churn_metrics_for_any_policy() {
+        let (g, f) = tiny_graph();
+        for policy in [PolicyKind::StaticHot, PolicyKind::Fifo, PolicyKind::Replan] {
+            for residency in [false, true] {
+                let run = || {
+                    let server = ServerSpec::custom(2, 1 << 30, 1).build();
+                    let mut config = tiny_config(policy);
+                    assert!(config.mutations.is_none(), "churn must default off");
+                    if residency {
+                        config.router = RouterConfig {
+                            policy: RouterPolicy::Residency,
+                            ..RouterConfig::default()
+                        };
+                    }
+                    serve(&g, &f, &server, &config)
+                };
+                let (a, b) = (run(), run());
+                assert_eq!(a.metrics, b.metrics, "frozen runs must be deterministic");
+                assert!(
+                    !a.metrics
+                        .counters
+                        .iter()
+                        .any(|c| c.name.starts_with("graph.mut.")
+                            || c.name.starts_with("serve.invalidate.")),
+                    "frozen-graph runs must register no mutation metrics (policy {})",
+                    policy.as_str()
+                );
+            }
+        }
+    }
+
+    /// A churn-enabled run must apply mutations, invalidate cached rows
+    /// and residency bits, compact at batch boundaries, stay
+    /// deterministic, and replay byte-identically from the logged
+    /// stream (`Generate(cfg)` == `Replay(log-of-cfg)`).
+    #[test]
+    fn churn_run_applies_invalidates_compacts_and_replays_byte_identically() {
+        let (g, f) = tiny_graph();
+        let churn = ChurnConfig {
+            ops_per_sec: 200_000.0,
+            compact_threshold: 32,
+            ..ChurnConfig::default()
+        };
+        let mut config = tiny_config(PolicyKind::StaticHot);
+        config.num_requests = 400;
+        config.router = RouterConfig {
+            policy: RouterPolicy::Residency,
+            ..RouterConfig::default()
+        };
+        config.mutations = Some(MutationSource::Generate(churn.clone()));
+        let run = |cfg: &ServeConfig| {
+            let server = ServerSpec::custom(2, 1 << 30, 1).build();
+            serve(&g, &f, &server, cfg)
+        };
+        let report = run(&config);
+        assert_eq!(report.completed + report.shed, report.offered);
+        let counter = |name: &str| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        assert!(counter("graph.mut.inserts") > 0, "churn must insert edges");
+        assert!(counter("graph.mut.deletes") > 0, "churn must delete edges");
+        assert!(counter("graph.mut.overlay_rows") > 0);
+        assert!(
+            counter("graph.mut.compactions") > 0,
+            "a 32-edge threshold must trigger batch-boundary compaction"
+        );
+        // Static layouts cache features only (topology stays in CPU
+        // UVA), so the topo-row counter is registered but never fires;
+        // the Replan test below covers the firing path.
+        assert!(
+            report
+                .metrics
+                .counters
+                .iter()
+                .any(|c| c.name == "serve.invalidate.topo_rows"),
+            "churn runs must register the invalidation family"
+        );
+        assert!(
+            counter("serve.invalidate.residency_bits") > 0,
+            "mutations must clear residency bits in the router index"
+        );
+        // Deterministic rerun.
+        assert_eq!(report.metrics, run(&config).metrics);
+        // Replaying the logged stream reproduces the generated run
+        // byte-for-byte: rebuild the log exactly as the engine resolved
+        // it (same seed, horizon = last arrival) and swap the source.
+        let requests = {
+            let mut target_sampler = TargetSampler::new(
+                (0..g.num_vertices() as u32).collect(),
+                config.zipf_exponent,
+                config.drift_period,
+                config.drift_stride,
+            );
+            let mut class_sampler = ClassSampler::new(config.classes.mix, config.seed);
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            generate_workload_classed(
+                &config.arrival,
+                &mut target_sampler,
+                &mut class_sampler,
+                config.num_requests,
+                &mut rng,
+            )
+        };
+        let horizon = requests.last().map(|r| r.arrival).unwrap_or(0.0);
+        let log = Arc::new(MutationLog::generate(&g, &churn, config.seed, horizon));
+        assert!(!log.ops.is_empty(), "churn fixture must generate mutations");
+        let mut replayed = config.clone();
+        replayed.mutations = Some(MutationSource::Replay {
+            log,
+            compact_threshold: churn.compact_threshold,
+        });
+        assert_eq!(
+            report.metrics,
+            run(&replayed).metrics,
+            "replaying the logged stream must be byte-identical"
+        );
+    }
+
+    /// Under `Replan`, churn must keep flowing through the window
+    /// estimators (the slow path) while the overlay serves the fast
+    /// path; the run stays deterministic and conserves requests.
+    #[test]
+    fn churn_under_replan_policy_is_deterministic() {
+        let (g, f) = tiny_graph();
+        let mut config = tiny_config(PolicyKind::Replan);
+        config.num_requests = 400;
+        config.mutations = Some(MutationSource::Generate(ChurnConfig {
+            ops_per_sec: 100_000.0,
+            ..ChurnConfig::default()
+        }));
+        let run = || {
+            let server = ServerSpec::custom(2, 1 << 30, 1).build();
+            serve(&g, &f, &server, &config)
+        };
+        let report = run();
+        assert_eq!(report.completed + report.shed, report.offered);
+        let counter = |name: &str| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        let applied = counter("graph.mut.inserts") + counter("graph.mut.deletes");
+        assert!(applied > 0, "churn must apply under Replan");
+        // Replan plans cache topology rows, so mutating a planned
+        // vertex must fire the topo-row invalidation counter.
+        assert!(
+            counter("serve.invalidate.topo_rows") > 0,
+            "mutating a plan-cached topology row must count an invalidation"
+        );
+        assert_eq!(report.metrics, run().metrics);
     }
 
     /// Re-plan commits under an active store must migrate rows across

@@ -87,6 +87,11 @@
 //! | `serve.remote.coalesced_msgs` | counter | batched per-owner messages the coalesced remote wave sent (coalescing runs only) |
 //! | `serve.remote.dedup_hits` | counter | remote misses served from the coalescing staging window instead of re-fetched |
 //! | `serve.remote.per_owner_bytes` | counter | wire bytes charged through per-owner batched messages |
+//! | `graph.mut.{inserts,deletes}` | counter | stream edge mutations actually applied to the overlay (churn runs only) |
+//! | `graph.mut.compactions` | counter | batch-boundary folds of pending deltas into contiguous rows |
+//! | `graph.mut.overlay_rows` | counter | adjacency rows first dirtied by a mutation |
+//! | `serve.invalidate.topo_rows` | counter | mutations whose vertex had a (now stale) cached topology row |
+//! | `serve.invalidate.residency_bits` | counter | residency-index bits cleared by the mutation fast path |
 //!
 //! (`{g}` is a zero-based GPU index; `{k}` a zero-padded drift-phase
 //! index, e.g. `serve.phase003.feature_hits`; `{c}` a class priority
@@ -97,9 +102,11 @@
 //! residency router, shard metrics for `--shards > 1`,
 //! `serve.store.*` / `store.nvme.*` only when [`StoreConfig`] actually
 //! places rows on the SSD tier, `serve.remote.*` only when
-//! [`RemoteConfig`] marks the run as one server of a fleet, and the
+//! [`RemoteConfig`] marks the run as one server of a fleet, the
 //! `serve.remote.{coalesced_msgs,dedup_hits,per_owner_bytes}` triple
-//! only when that config enables per-owner coalescing.)
+//! only when that config enables per-owner coalescing, and the
+//! `graph.mut.*` / `serve.invalidate.*` families only when
+//! [`ServeConfig::mutations`] streams churn into the run.)
 
 pub mod batcher;
 pub mod cache_policy;
@@ -117,6 +124,9 @@ pub use cache_policy::{
     build_static_layout, warmup_hot_vertices, warmup_hot_vertices_weighted, PolicyKind,
 };
 pub use engine::{serve, serve_requests, ServeReport};
+pub use legion_dyn::{
+    ChurnConfig, DeltaOverlay, Mutation, MutationLog, MutationOp, MutationSource,
+};
 pub use legion_hw::{NetGeneration, NetModel};
 pub use legion_router::{PriorityClass, RouterConfig, RouterPolicy, CLASS_COUNT};
 pub use legion_store::{NvmeGeneration, NvmeModel, Tier, VertexStore};
@@ -195,6 +205,12 @@ pub struct ServeConfig {
     /// means every feature row is machine-local — the pre-fleet engine,
     /// byte-identical.
     pub remote: Option<RemoteConfig>,
+    /// Streaming graph mutations applied while serving (edge
+    /// inserts/deletes, vertex churn) through a delta-CSR overlay with
+    /// fast-path cache/residency invalidation. `None` (the default)
+    /// freezes the graph — the pre-mutation engine, byte-identical, with
+    /// no `graph.mut.*` / `serve.invalidate.*` telemetry registered.
+    pub mutations: Option<MutationSource>,
     /// Master seed; every internal RNG stream derives from it.
     pub seed: u64,
 }
@@ -443,6 +459,7 @@ impl Default for ServeConfig {
             adaptive_quantum: false,
             store: StoreConfig::default(),
             remote: None,
+            mutations: None,
             seed: 42,
         }
     }
@@ -469,6 +486,15 @@ impl ServeConfig {
         );
         assert!(self.shards > 0, "shards must be positive");
         assert!(self.shard_quantum > 0.0, "shard_quantum must be positive");
+        if let Some(m) = &self.mutations {
+            if let Err(e) = m.validate() {
+                panic!("mutations: {e}");
+            }
+            assert!(
+                self.shards <= 1,
+                "mutations require the sequential event loop (shards <= 1)"
+            );
+        }
         self.replan.validate();
         self.router.validate();
         self.classes.validate();

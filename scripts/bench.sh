@@ -8,6 +8,9 @@
 # against the SSD tier: staged (prefetched), cold, and DRAM-resident.
 # The `bench_net` group prices the fleet fabric's remote-charging path:
 # per-row vs coalesced per-owner, with and without uplink contention.
+# The `bench_mutate` group prices the delta-CSR overlay: applying a
+# mutation stream, merging dirty rows at sample time, compaction, and
+# the from-scratch rebuild oracle.
 # Seeds are fixed, so the output is deterministic modulo the timing
 # fields.
 #

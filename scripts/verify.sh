@@ -47,10 +47,16 @@ cargo run --release -q -p legion-bench --bin servectl -- --smoke --oversubscribe
 echo "==> servectl --smoke --fleet 2 (scale-out + contention/coalescing head-to-head + drift resize)"
 cargo run --release -q -p legion-bench --bin servectl -- --smoke --fleet 2
 
+echo "==> servectl --smoke --churn (streaming mutations: margins, overlay correctness, replay)"
+cargo run --release -q -p legion-bench --bin servectl -- --smoke --churn
+
 echo "==> sharded-vs-sequential equivalence (determinism suite)"
 cargo test -q -p legion-core --test determinism
 
-echo "==> bench.sh --smoke"
-scripts/bench.sh --smoke
+echo "==> bench_compare --warn-only (fresh smoke hotpath run vs committed BENCH_hotpath.json)"
+BENCH_TMP="$(mktemp /tmp/bench_hotpath.XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP"' EXIT
+LEGION_BENCH_SMOKE=1 LEGION_BENCH_OUT="$BENCH_TMP" cargo bench -q -p legion-bench --bench hotpath
+scripts/bench_compare BENCH_hotpath.json "$BENCH_TMP" --warn-only
 
 echo "verify: OK"

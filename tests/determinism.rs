@@ -134,8 +134,18 @@ fn batched_reads_match_scalar_reads_byte_identically() {
     let mut seen = FloydSet::new();
     let mut out = Vec::new();
     let mut totals = BatchTotals::new(2);
+    let mut merge = Vec::new();
     for (i, &v) in vertices.iter().enumerate() {
-        engine_b.sample_neighbors_into(0, v, 8, &mut rng_b, &mut seen, &mut out, &mut totals);
+        engine_b.sample_neighbors_into(
+            0,
+            v,
+            8,
+            &mut rng_b,
+            &mut seen,
+            &mut out,
+            &mut totals,
+            &mut merge,
+        );
         assert_eq!(out, scalar_neighbors[i], "neighbors differ at vertex {v}");
     }
     engine_b.flush_totals(0, &mut totals);

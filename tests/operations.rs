@@ -20,7 +20,7 @@
 use legion_fleet::{serve_fleet, FleetConfig};
 use legion_graph::dataset::{spec_by_name, Dataset};
 use legion_hw::{ServerSpec, UplinkConfig};
-use legion_serve::{serve, PolicyKind, ServeConfig, StoreConfig};
+use legion_serve::{serve, ChurnConfig, MutationSource, PolicyKind, ServeConfig, StoreConfig};
 use legion_telemetry::Snapshot;
 
 /// The glossary rows of OPERATIONS.md: every backticked pattern in the
@@ -99,11 +99,12 @@ fn dataset() -> Dataset {
 }
 
 /// Live snapshots spanning the metric namespaces: a two-server fleet
-/// run with the contention-aware fabric on (fleet.*, fleet.uplink.*,
-/// fleet.resize.*, serve.remote.* including the coalescing triple, and
-/// the per-server serving engine) and an oversubscribed drifting
-/// re-plan run (serve.store.*, store.nvme.*, serve.phase*,
-/// serve.replan.*).
+/// run with the contention-aware fabric and streaming mutations on
+/// (fleet.*, fleet.uplink.*, fleet.resize.*, fleet.mut.*,
+/// serve.remote.* including the coalescing triple, and the per-server
+/// serving engine with graph.mut.* / serve.invalidate.*) and an
+/// oversubscribed drifting re-plan run (serve.store.*, store.nvme.*,
+/// serve.phase*, serve.replan.*).
 fn live_snapshots() -> Vec<Snapshot> {
     let d = dataset();
     let base = ServeConfig {
@@ -115,6 +116,10 @@ fn live_snapshots() -> Vec<Snapshot> {
         warmup_requests: 128,
         fanouts: vec![5, 3],
         policy: PolicyKind::StaticHot,
+        mutations: Some(MutationSource::Generate(ChurnConfig {
+            ops_per_sec: 100_000.0,
+            ..ChurnConfig::default()
+        })),
         ..ServeConfig::default()
     };
     let fleet = FleetConfig {
@@ -203,6 +208,14 @@ fn documented_core_metrics_are_observed_live() {
         "fleet.uplink.dedup_hits",
         "fleet.resize.count",
         "fleet.resize.head_rows",
+        "graph.mut.{inserts,deletes}",
+        "graph.mut.compactions",
+        "graph.mut.overlay_rows",
+        "serve.invalidate.topo_rows",
+        "serve.invalidate.residency_bits",
+        "fleet.mut.applied",
+        "fleet.mut.{notify_msgs,notify_bytes}",
+        "fleet.server{s}.mut_owned",
     ] {
         assert!(
             patterns.contains(&expected.to_string()),
